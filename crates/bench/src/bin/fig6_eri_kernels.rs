@@ -1,0 +1,62 @@
+//! [Figure 6] FP64 ERI kernel microbenchmark: Mako (CompilerMako-tuned)
+//! vs the LibintX-like baseline, in shell quartets per second on the
+//! simulated A100, across the diagonal classes (ss|ss)…(gg|gg) at
+//! contraction degrees {1,1}, {1,5}, {5,5}.
+//!
+//! Paper result: average speedups 2.67× / 2.34× / 3.11× for the three
+//! contraction patterns.
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin fig6_eri_kernels
+//! ```
+
+use mako_accel::{CostModel, DeviceSpec};
+use mako_bench::{diagonal_classes, geomean};
+use mako_compiler::KernelCache;
+use mako_kernels::pipeline::simulate_batch_cost;
+use mako_kernels::LIBINTX_CONFIG;
+use mako_precision::Precision;
+
+const BATCH: usize = 200_000;
+
+fn main() {
+    let model = CostModel::new(DeviceSpec::a100());
+    let cache = KernelCache::new();
+
+    println!("Figure 6: FP64 ERI kernel throughput, Mako vs LibintX-like (simulated A100)");
+    println!("metric: shell quartets / second (batch of {BATCH})\n");
+
+    let mut averages = Vec::new();
+    for (kab, kcd) in [(1usize, 1usize), (1, 5), (5, 5)] {
+        println!("contraction degrees K = {{{kab},{kcd}}}");
+        println!(
+            "{:<12} {:>16} {:>16} {:>9}",
+            "class", "Mako (q/s)", "LibintX (q/s)", "speedup"
+        );
+        let mut speedups = Vec::new();
+        for class in diagonal_classes(kab, kcd) {
+            let tuned = cache.get_or_tune(&class, Precision::Fp64, &model);
+            let mako_t = simulate_batch_cost(&class, BATCH, &tuned.config, &model);
+            let lib_t = simulate_batch_cost(&class, BATCH, &LIBINTX_CONFIG, &model);
+            let speedup = lib_t / mako_t;
+            speedups.push(speedup);
+            println!(
+                "{:<12} {:>16.3e} {:>16.3e} {:>8.2}x",
+                class.label(),
+                BATCH as f64 / mako_t,
+                BATCH as f64 / lib_t,
+                speedup
+            );
+        }
+        let avg = geomean(&speedups);
+        averages.push(((kab, kcd), avg));
+        println!("  average speedup: {avg:.2}x\n");
+    }
+
+    println!("paper Figure 6 averages: {{1,1}} 2.67x   {{1,5}} 2.34x   {{5,5}} 3.11x");
+    print!("this reproduction:      ");
+    for ((a, b), avg) in averages {
+        print!(" {{{a},{b}}} {avg:.2}x  ");
+    }
+    println!();
+}

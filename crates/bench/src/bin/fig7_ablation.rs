@@ -1,0 +1,165 @@
+//! [Figure 7] Ablation study.
+//!
+//! * 7a: baseline (unfused) → +KernelMako (fusion + swizzle + coalescing)
+//!   → +CompilerMako (autotuning); paper reports 3.98× average overall.
+//! * 7b: QuantMako quantized kernels vs the FP64 kernels; paper reports
+//!   4.8× average.
+//! * extra design ablations DESIGN.md calls out: swizzle on/off,
+//!   GEMM coalescing on/off, ILP factor sweep.
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin fig7_ablation
+//! ```
+
+use mako_accel::{CostModel, DeviceSpec, SmemLayout};
+use mako_bench::{diagonal_classes, geomean};
+use mako_compiler::KernelCache;
+use mako_kernels::pipeline::{simulate_batch_cost, FusionStrategy, PipelineConfig};
+use mako_kernels::LIBINTX_CONFIG;
+use mako_precision::Precision;
+
+const BATCH: usize = 200_000;
+
+fn main() {
+    let model = CostModel::new(DeviceSpec::a100());
+    let cache = KernelCache::new();
+    let classes: Vec<_> = [(1usize, 1usize), (1, 5), (5, 5)]
+        .iter()
+        .flat_map(|&(a, b)| diagonal_classes(a, b))
+        .collect();
+
+    // ------------------------------------------------------------------
+    println!("Figure 7(a): incremental speedup over the unfused FP64 baseline\n");
+    println!(
+        "{:<18} {:>10} {:>14} {:>14}",
+        "class", "baseline", "+KernelMako", "+CompilerMako"
+    );
+    let mut kernel_speedups = Vec::new();
+    let mut tuned_speedups = Vec::new();
+    for class in &classes {
+        let base = simulate_batch_cost(class, BATCH, &LIBINTX_CONFIG, &model);
+        // KernelMako: fused + swizzled with a fixed, untuned configuration
+        // (fall back to FuseRPq when full fusion can't launch).
+        let fixed = PipelineConfig::kernel_mako_fp64();
+        let mut km = simulate_batch_cost(class, BATCH, &fixed, &model);
+        if !km.is_finite() {
+            km = simulate_batch_cost(
+                class,
+                BATCH,
+                &PipelineConfig {
+                    fusion: FusionStrategy::FuseRPq,
+                    ..fixed
+                },
+                &model,
+            );
+        }
+        if !km.is_finite() {
+            km = base;
+        }
+        // CompilerMako: plan + tune.
+        let tuned = cache.get_or_tune(class, Precision::Fp64, &model);
+        let cm = tuned.cost_s / tuned_probe_ratio(BATCH);
+        let cm = if cm.is_finite() && cm > 0.0 {
+            simulate_batch_cost(class, BATCH, &tuned.config, &model)
+        } else {
+            km
+        };
+        kernel_speedups.push(base / km);
+        tuned_speedups.push(base / cm);
+        println!(
+            "{:<18} {:>9.1}x {:>13.2}x {:>13.2}x",
+            class.label(),
+            1.0,
+            base / km,
+            base / cm
+        );
+    }
+    println!(
+        "\naverage: +KernelMako {:.2}x, +CompilerMako {:.2}x   (paper overall: 3.98x)",
+        geomean(&kernel_speedups),
+        geomean(&tuned_speedups)
+    );
+
+    // ------------------------------------------------------------------
+    println!("\nFigure 7(b): QuantMako quantized kernels vs FP64 kernels\n");
+    println!("{:<18} {:>12}", "class", "speedup");
+    let mut quant_speedups = Vec::new();
+    for class in &classes {
+        let fp64 = cache.get_or_tune(class, Precision::Fp64, &model);
+        let q = cache.get_or_tune(class, Precision::Fp16, &model);
+        let t64 = simulate_batch_cost(class, BATCH, &fp64.config, &model);
+        let tq = simulate_batch_cost(class, BATCH, &q.config, &model);
+        quant_speedups.push(t64 / tq);
+        println!("{:<18} {:>11.2}x", class.label(), t64 / tq);
+    }
+    println!(
+        "\naverage QuantMako speedup: {:.2}x   (paper: 4.8x)",
+        geomean(&quant_speedups)
+    );
+
+    // ------------------------------------------------------------------
+    println!("\nExtra ablations (DESIGN.md):");
+
+    // Swizzle on/off for a transpose-heavy class.
+    let c = &classes[7]; // (dd|dd) K={1,5}
+    let tuned = cache.get_or_tune(c, Precision::Fp64, &model).config;
+    let with = simulate_batch_cost(c, BATCH, &tuned, &model);
+    let without = simulate_batch_cost(
+        c,
+        BATCH,
+        &PipelineConfig {
+            layout: SmemLayout::Linear,
+            ..tuned
+        },
+        &model,
+    );
+    println!("  layout swizzle off on {}: {:.2}x slower", c.label(), without / with);
+
+    // Coalescing on/off for the K=1 g class.
+    let g = mako_eri::batch::EriClass {
+        la: 4,
+        lb: 4,
+        lc: 4,
+        ld: 4,
+        kab: 1,
+        kcd: 1,
+    };
+    let quant_g = cache.get_or_tune(&g, Precision::Fp16, &model).config;
+    let coal = simulate_batch_cost(&g, BATCH, &quant_g, &model);
+    let uncoal = simulate_batch_cost(
+        &g,
+        BATCH,
+        &PipelineConfig {
+            fusion: FusionStrategy::FuseRPq,
+            ..quant_g
+        },
+        &model,
+    );
+    println!(
+        "  GEMM coalescing off on (gg|gg) K={{1,1}} quantized: {:.2}x slower",
+        uncoal / coal
+    );
+
+    // ILP sweep on a compute-bound fused class.
+    let c2 = mako_eri::batch::EriClass {
+        la: 2,
+        lb: 2,
+        lc: 2,
+        ld: 2,
+        kab: 5,
+        kcd: 5,
+    };
+    print!("  ILP sweep on (dd|dd) K={{5,5}} (seconds): ");
+    for ilp in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = PipelineConfig {
+            ilp,
+            ..PipelineConfig::kernel_mako_fp64()
+        };
+        print!("ilp{}={:.4} ", ilp, simulate_batch_cost(&c2, BATCH, &cfg, &model));
+    }
+    println!();
+}
+
+fn tuned_probe_ratio(_batch: usize) -> f64 {
+    1.0
+}

@@ -1,0 +1,33 @@
+//! [Table 1] A100 GPU specifications: tensor-core vs CUDA-core peak
+//! throughput per precision.
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin table1_device_specs
+//! ```
+
+use mako_accel::{DeviceKind, DeviceSpec};
+
+fn main() {
+    println!("Table 1: A100 GPU SPECIFICATIONS (device model vs paper)\n");
+    let d = DeviceSpec::a100();
+    println!("{:<12} {:>14} {:>14} {:>9}", "Precision", "Tensor Core", "CUDA Core", "Speedup");
+    for (label, tensor, cuda, speedup) in d.table1_rows() {
+        println!(
+            "{:<12} {:>8.1} TFLOPS {:>8.1} TFLOPS {:>8.0}x",
+            label, tensor, cuda, speedup
+        );
+    }
+    println!("\npaper Table 1: FP64 19.5/9.7 (2x)  FP32/TF32 156/19.5 (8x)  BF16 312/78 (4x)  FP16 312/78 (4x)");
+
+    println!("\nOther simulated devices (CompilerMako portability targets):");
+    for kind in [DeviceKind::V100, DeviceKind::H100] {
+        let d = DeviceSpec::new(kind);
+        println!("\n{} — {} SMs, {:.0} GB/s, {} KiB SMEM/SM", d.name, d.num_sms, d.mem_bandwidth / 1e9, d.smem_per_sm / 1024);
+        for (label, tensor, cuda, speedup) in d.table1_rows() {
+            println!(
+                "  {:<12} {:>8.1} TFLOPS {:>8.1} TFLOPS {:>8.1}x",
+                label, tensor, cuda, speedup
+            );
+        }
+    }
+}

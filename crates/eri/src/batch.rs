@@ -1,0 +1,229 @@
+//! ERI-class bookkeeping and quartet batching.
+//!
+//! Quartets sharing angular momenta and contraction degrees follow the same
+//! execution pattern (paper §2.1) — the key observation behind CompilerMako:
+//! group them into batches, plan one fused kernel per class, run the batch as
+//! batched GEMMs. [`EriClass`] is the planning key; [`QuartetBatch`] is the
+//! work unit the simulated pipelines and the distributed driver schedule.
+
+use crate::screening::ScreenedPair;
+use mako_chem::cart::{l_letter, nherm, nsph};
+use std::collections::HashMap;
+
+/// The static execution-pattern key of a shell quartet: four angular momenta
+/// plus bra/ket contraction degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EriClass {
+    /// Bra angular momenta.
+    pub la: usize,
+    /// Second bra angular momentum.
+    pub lb: usize,
+    /// Ket angular momenta.
+    pub lc: usize,
+    /// Second ket angular momentum.
+    pub ld: usize,
+    /// Bra contraction degree `K_AB` (primitive-pair count).
+    pub kab: usize,
+    /// Ket contraction degree `K_CD`.
+    pub kcd: usize,
+}
+
+impl EriClass {
+    /// Combined bra angular momentum.
+    pub fn l_bra(&self) -> usize {
+        self.la + self.lb
+    }
+
+    /// Combined ket angular momentum.
+    pub fn l_ket(&self) -> usize {
+        self.lc + self.ld
+    }
+
+    /// Spherical output size per quartet.
+    pub fn out_size(&self) -> usize {
+        nsph(self.la) * nsph(self.lb) * nsph(self.lc) * nsph(self.ld)
+    }
+
+    /// Hermite dimensions (bra, ket).
+    pub fn herm_dims(&self) -> (usize, usize) {
+        (nherm(self.l_bra()), nherm(self.l_ket()))
+    }
+
+    /// FLOPs of the two basis-transformation GEMMs for ONE quartet:
+    /// `(ab|q] = E_AB · [p|q]` is `(nsph_ab × H_ab × H_cd)` MACs per bra
+    /// primitive, and `(ab|cd) = (ab|q] · E_CDᵀ` is
+    /// `(nsph_ab × H_cd × nsph_cd)` per ket primitive. One MAC = 2 FLOPs.
+    pub fn transform_flops(&self) -> f64 {
+        let (hb, hk) = self.herm_dims();
+        let nab = (nsph(self.la) * nsph(self.lb)) as f64;
+        let ncd = (nsph(self.lc) * nsph(self.ld)) as f64;
+        let first = nab * hb as f64 * hk as f64 * (self.kab * self.kcd) as f64;
+        let second = nab * hk as f64 * ncd * self.kcd as f64;
+        2.0 * (first + second)
+    }
+
+    /// FLOPs of the non-GEMM stages for one quartet: Boys-function
+    /// evaluation (exp + table interpolation + downward recursion, ~80 FLOPs
+    /// plus ~12 per order), the r-integral recursion, and `[p|q]` assembly —
+    /// all per primitive-pair product. For low-l, high-K classes the Boys
+    /// term dominates, which is what makes (ss|ss)-type quartets far from
+    /// free even though their GEMMs are trivial.
+    pub fn rpq_flops(&self) -> f64 {
+        let l = self.l_bra() + self.l_ket();
+        let boys = 80.0 + 12.0 * (l + 1) as f64;
+        let prim_setup = 40.0; // centers, prefactors, screening compare
+        let r_terms = ((l + 1) * (l + 2) * (l + 3) / 6) as f64 * (l + 1) as f64;
+        let (hb, hk) = self.herm_dims();
+        let pq_terms = (hb * hk) as f64;
+        (boys + prim_setup + 3.0 * r_terms + 2.0 * pq_terms) * (self.kab * self.kcd) as f64
+    }
+
+    /// Display label like `(dd|dd) K={5,1}`.
+    pub fn label(&self) -> String {
+        format!(
+            "({}{}|{}{}) K={{{},{}}}",
+            l_letter(self.la),
+            l_letter(self.lb),
+            l_letter(self.lc),
+            l_letter(self.ld),
+            self.kab,
+            self.kcd
+        )
+    }
+}
+
+/// A batch of shell quartets sharing one [`EriClass`]: indices into a
+/// screened-pair list, as (bra pair, ket pair).
+#[derive(Debug, Clone)]
+pub struct QuartetBatch {
+    /// The shared class.
+    pub class: EriClass,
+    /// (bra pair index, ket pair index) into the screened-pair list.
+    pub quartets: Vec<(usize, usize)>,
+}
+
+impl QuartetBatch {
+    /// Quartets in the batch.
+    pub fn len(&self) -> usize {
+        self.quartets.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.quartets.is_empty()
+    }
+}
+
+/// Group all unique pair-of-pairs combinations `(bra ≥ ket)` whose Schwarz
+/// product exceeds `threshold` into per-class batches.
+pub fn batch_quartets(pairs: &[ScreenedPair], threshold: f64) -> Vec<QuartetBatch> {
+    let mut map: HashMap<EriClass, Vec<(usize, usize)>> = HashMap::new();
+    for (pi, pab) in pairs.iter().enumerate() {
+        for (qi, pcd) in pairs.iter().enumerate().take(pi + 1) {
+            if pab.bound * pcd.bound < threshold {
+                continue;
+            }
+            let class = EriClass {
+                la: pab.data.la,
+                lb: pab.data.lb,
+                lc: pcd.data.la,
+                ld: pcd.data.lb,
+                kab: pab.data.degree(),
+                kcd: pcd.data.degree(),
+            };
+            map.entry(class).or_default().push((pi, qi));
+        }
+    }
+    let mut batches: Vec<QuartetBatch> = map
+        .into_iter()
+        .map(|(class, quartets)| QuartetBatch { class, quartets })
+        .collect();
+    batches.sort_by_key(|b| b.class);
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::screening::build_screened_pairs;
+    use mako_chem::basis::ShellDef;
+    use mako_chem::Shell;
+
+    fn shell(l: usize, center: [f64; 3], nprim: usize) -> Shell {
+        let exps: Vec<f64> = (0..nprim).map(|i| 2.0 / (i + 1) as f64).collect();
+        let coefs = vec![1.0 / nprim as f64; nprim];
+        ShellDef { l, exps, coefs }.at(0, center)
+    }
+
+    #[test]
+    fn class_labels() {
+        let c = EriClass {
+            la: 2,
+            lb: 2,
+            lc: 4,
+            ld: 4,
+            kab: 5,
+            kcd: 1,
+        };
+        assert_eq!(c.label(), "(dd|gg) K={5,1}");
+        assert_eq!(c.out_size(), 25 * 81);
+        assert_eq!(c.herm_dims(), (nherm(4), nherm(8)));
+    }
+
+    #[test]
+    fn flops_grow_with_angular_momentum() {
+        let mk = |l: usize| EriClass {
+            la: l,
+            lb: l,
+            lc: l,
+            ld: l,
+            kab: 1,
+            kcd: 1,
+        };
+        let mut prev = 0.0;
+        for l in 0..=4 {
+            let f = mk(l).transform_flops();
+            assert!(f > prev, "l={l}");
+            prev = f;
+        }
+        // (gg|gg) transform cost is dominated by the first GEMM:
+        // 81 × 165 × 165 × 2 ≈ 4.4 MFLOP.
+        assert!(mk(4).transform_flops() > 4.0e6);
+    }
+
+    #[test]
+    fn batching_groups_by_class() {
+        let shells = vec![
+            shell(0, [0.0; 3], 3),
+            shell(0, [1.0, 0.0, 0.0], 3),
+            shell(1, [0.0, 1.0, 0.0], 1),
+        ];
+        let pairs = build_screened_pairs(&shells, 0.0);
+        assert_eq!(pairs.len(), 6);
+        let batches = batch_quartets(&pairs, 0.0);
+        // Total quartets = 6·7/2 = 21 across all classes.
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 21);
+        // All members of a batch share the class key.
+        for b in &batches {
+            for &(pi, qi) in &b.quartets {
+                assert_eq!(pairs[pi].data.la, b.class.la);
+                assert_eq!(pairs[qi].data.lb, b.class.ld);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_screening_threshold_prunes() {
+        // 4 Bohr apart: the cross pair survives primitive screening but its
+        // Schwarz bound is ~1e-7, so cross×cross quartets prune at 1e-8.
+        let shells = vec![shell(0, [0.0; 3], 1), shell(0, [4.0, 0.0, 0.0], 1)];
+        let pairs = build_screened_pairs(&shells, 0.0);
+        assert_eq!(pairs.len(), 3, "cross pair must survive");
+        let all = batch_quartets(&pairs, 0.0);
+        let pruned = batch_quartets(&pairs, 1e-8);
+        let n_all: usize = all.iter().map(|b| b.len()).sum();
+        let n_pruned: usize = pruned.iter().map(|b| b.len()).sum();
+        assert!(n_pruned < n_all);
+    }
+}

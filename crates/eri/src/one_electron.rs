@@ -1,0 +1,290 @@
+//! One-electron integrals over contracted spherical Gaussian shells:
+//! overlap `S`, kinetic energy `T`, and nuclear attraction `V`.
+//!
+//! All three fall out of the same Hermite machinery as the ERIs:
+//! `S` from `E_0` coefficients, `T` from the standard 1D kinetic relation on
+//! shifted overlaps, and `V` from the Hermite Coulomb integrals with a single
+//! composite exponent (`V_ab = −Z · 2π/p · Σ_tuv E^{ab}_{tuv} R_tuv(p, P−C)`).
+
+use crate::boys::boys_reference;
+use crate::hermite::{r_integrals, ETable};
+use crate::mmd::sph_pair_transform;
+use mako_chem::cart::{cart_components, hermite_components, ncart};
+use mako_chem::molecule::Molecule;
+use mako_chem::Shell;
+use mako_linalg::{gemm, Matrix, Transpose};
+
+/// Spherical overlap block `S_{ab}` for a shell pair, shape
+/// `nsph(la) × nsph(lb)`.
+pub fn overlap_block(sa: &Shell, sb: &Shell) -> Matrix {
+    pair_block(sa, sb, |la, lb, a, b, ab| {
+        let p = a + b;
+        let pref = (std::f64::consts::PI / p).powf(1.5);
+        let ex = ETable::new(la, lb, a, b, ab[0]);
+        let ey = ETable::new(la, lb, a, b, ab[1]);
+        let ez = ETable::new(la, lb, a, b, ab[2]);
+        let ca = cart_components(la);
+        let cb = cart_components(lb);
+        let mut m = Matrix::zeros(ca.len(), cb.len());
+        for (ia, &(ax, ay, az)) in ca.iter().enumerate() {
+            for (ib, &(bx, by, bz)) in cb.iter().enumerate() {
+                m[(ia, ib)] = pref * ex.get(ax, bx, 0) * ey.get(ay, by, 0) * ez.get(az, bz, 0);
+            }
+        }
+        m
+    })
+}
+
+/// Spherical kinetic-energy block `T_{ab} = ⟨a| −∇²/2 |b⟩`.
+pub fn kinetic_block(sa: &Shell, sb: &Shell) -> Matrix {
+    pair_block(sa, sb, |la, lb, a, b, ab| {
+        let p = a + b;
+        let pref = (std::f64::consts::PI / p).powf(1.5);
+        // 1D tables reaching j+2.
+        let ex = ETable::new(la, lb + 2, a, b, ab[0]);
+        let ey = ETable::new(la, lb + 2, a, b, ab[1]);
+        let ez = ETable::new(la, lb + 2, a, b, ab[2]);
+        let s1 = |e: &ETable, i: usize, j: i32| -> f64 {
+            if j < 0 {
+                0.0
+            } else {
+                e.get(i, j as usize, 0)
+            }
+        };
+        // T_ij = −½[j(j−1) S_{i,j−2} − 2b(2j+1) S_{i,j} + 4b² S_{i,j+2}].
+        let t1 = |e: &ETable, i: usize, j: usize| -> f64 {
+            let jj = j as f64;
+            -0.5 * (jj * (jj - 1.0) * s1(e, i, j as i32 - 2)
+                - 2.0 * b * (2.0 * jj + 1.0) * s1(e, i, j as i32)
+                + 4.0 * b * b * s1(e, i, j as i32 + 2))
+        };
+        let ca = cart_components(la);
+        let cb = cart_components(lb);
+        let mut m = Matrix::zeros(ca.len(), cb.len());
+        for (ia, &(ax, ay, az)) in ca.iter().enumerate() {
+            for (ib, &(bx, by, bz)) in cb.iter().enumerate() {
+                let sx = s1(&ex, ax, bx as i32);
+                let sy = s1(&ey, ay, by as i32);
+                let sz = s1(&ez, az, bz as i32);
+                let tx = t1(&ex, ax, bx);
+                let ty = t1(&ey, ay, by);
+                let tz = t1(&ez, az, bz);
+                m[(ia, ib)] = pref * (tx * sy * sz + sx * ty * sz + sx * sy * tz);
+            }
+        }
+        m
+    })
+}
+
+/// Spherical nuclear-attraction block
+/// `V_{ab} = Σ_C (−Z_C) ⟨a| 1/|r−C| |b⟩` over all nuclei of `mol`.
+pub fn nuclear_block(sa: &Shell, sb: &Shell, mol: &Molecule) -> Matrix {
+    pair_block(sa, sb, |la, lb, a, b, ab| {
+        let p = a + b;
+        let ex = ETable::new(la, lb, a, b, ab[0]);
+        let ey = ETable::new(la, lb, a, b, ab[1]);
+        let ez = ETable::new(la, lb, a, b, ab[2]);
+        let l_tot = la + lb;
+        let herm = hermite_components(l_tot);
+        let ca = cart_components(la);
+        let cb = cart_components(lb);
+        // Gaussian product center.
+        let pc = [
+            (a * sa.center[0] + b * sb.center[0]) / p,
+            (a * sa.center[1] + b * sb.center[1]) / p,
+            (a * sa.center[2] + b * sb.center[2]) / p,
+        ];
+        let mut m = Matrix::zeros(ca.len(), cb.len());
+        let mut boys = vec![0.0f64; l_tot + 1];
+        for atom in &mol.atoms {
+            let pcx = [
+                pc[0] - atom.position[0],
+                pc[1] - atom.position[1],
+                pc[2] - atom.position[2],
+            ];
+            let t = p * (pcx[0] * pcx[0] + pcx[1] * pcx[1] + pcx[2] * pcx[2]);
+            boys_reference(l_tot, t, &mut boys);
+            let r = r_integrals(l_tot, p, pcx, &boys);
+            let pref = -atom.element.charge() * 2.0 * std::f64::consts::PI / p;
+            for (ia, &(ax, ay, az)) in ca.iter().enumerate() {
+                for (ib, &(bx, by, bz)) in cb.iter().enumerate() {
+                    let mut s = 0.0;
+                    for (hi, &(t_, u, v)) in herm.iter().enumerate() {
+                        if t_ <= ax + bx && u <= ay + by && v <= az + bz {
+                            s += ex.get(ax, bx, t_) * ey.get(ay, by, u) * ez.get(az, bz, v) * r[hi];
+                        }
+                    }
+                    m[(ia, ib)] += pref * s;
+                }
+            }
+        }
+        m
+    })
+}
+
+/// Shared contraction + spherical-folding driver for one-electron blocks.
+fn pair_block(
+    sa: &Shell,
+    sb: &Shell,
+    mut prim_block: impl FnMut(usize, usize, f64, f64, [f64; 3]) -> Matrix,
+) -> Matrix {
+    let (la, lb) = (sa.l, sb.l);
+    let ab = [
+        sa.center[0] - sb.center[0],
+        sa.center[1] - sb.center[1],
+        sa.center[2] - sb.center[2],
+    ];
+    let mut cart = Matrix::zeros(ncart(la), ncart(lb));
+    for (i, &a) in sa.exps.iter().enumerate() {
+        for (j, &b) in sb.exps.iter().enumerate() {
+            let coef = sa.coefs[i] * sb.coefs[j];
+            let block = prim_block(la, lb, a, b, ab);
+            cart.axpy(coef, &block);
+        }
+    }
+    // Spherical transform: C_a · cart · C_bᵀ.
+    let ca = mako_chem::harmonics::cart_to_sph(la);
+    let cb = mako_chem::harmonics::cart_to_sph(lb);
+    let half = gemm(&ca, Transpose::No, &cart, Transpose::No);
+    gemm(&half, Transpose::No, &cb, Transpose::Yes)
+}
+
+/// Assemble the full AO-basis `S`, `T`, `V` matrices for a shell list.
+pub fn one_electron_matrices(shells: &[Shell], mol: &Molecule) -> (Matrix, Matrix, Matrix) {
+    let layout = mako_chem::AoLayout::new(shells);
+    let n = layout.nao;
+    let mut s = Matrix::zeros(n, n);
+    let mut t = Matrix::zeros(n, n);
+    let mut v = Matrix::zeros(n, n);
+    for i in 0..shells.len() {
+        for j in 0..=i {
+            let sb = overlap_block(&shells[i], &shells[j]);
+            let tb = kinetic_block(&shells[i], &shells[j]);
+            let vb = nuclear_block(&shells[i], &shells[j], mol);
+            let (oi, oj) = (layout.shell_offsets[i], layout.shell_offsets[j]);
+            for a in 0..sb.rows() {
+                for b in 0..sb.cols() {
+                    s[(oi + a, oj + b)] = sb[(a, b)];
+                    s[(oj + b, oi + a)] = sb[(a, b)];
+                    t[(oi + a, oj + b)] = tb[(a, b)];
+                    t[(oj + b, oi + a)] = tb[(a, b)];
+                    v[(oi + a, oj + b)] = vb[(a, b)];
+                    v[(oj + b, oi + a)] = vb[(a, b)];
+                }
+            }
+        }
+    }
+    let _ = sph_pair_transform(0, 0); // keep the cache warm for callers
+    (s, t, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mako_chem::basis::sto3g::sto3g;
+    use mako_chem::basis::ShellDef;
+    use mako_chem::builders;
+
+    fn shell(l: usize, center: [f64; 3], exps: Vec<f64>, coefs: Vec<f64>) -> Shell {
+        ShellDef { l, exps, coefs }.at(0, center)
+    }
+
+    #[test]
+    fn normalized_shells_have_unit_diagonal_overlap() {
+        // Validates the analytic normalization in mako-chem through a
+        // completely different code path (E-coefficient overlaps).
+        for l in 0..=4 {
+            let s = shell(l, [0.3, -0.2, 0.5], vec![1.7, 0.5], vec![0.4, 0.7]);
+            let block = overlap_block(&s, &s);
+            for m in 0..s.nfunc() {
+                assert!(
+                    (block[(m, m)] - 1.0).abs() < 1e-12,
+                    "l={l} m={m}: {}",
+                    block[(m, m)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn water_sto3g_overlap_properties() {
+        let mol = builders::water();
+        let shells = sto3g().shells_for(&mol);
+        let (s, t, v) = one_electron_matrices(&shells, &mol);
+        assert_eq!(s.rows(), 7);
+        assert!(s.asymmetry() < 1e-12);
+        assert!(t.asymmetry() < 1e-12);
+        assert!(v.asymmetry() < 1e-12);
+        for i in 0..7 {
+            assert!((s[(i, i)] - 1.0).abs() < 1e-10, "S[{i}{i}] = {}", s[(i, i)]);
+            assert!(t[(i, i)] > 0.0, "kinetic diagonal positive");
+            assert!(v[(i, i)] < 0.0, "nuclear attraction negative");
+        }
+        // S must be positive definite.
+        assert!(mako_linalg::cholesky(&s).is_ok());
+    }
+
+    #[test]
+    fn hydrogen_atom_sto3g_energy() {
+        // ⟨φ|T+V|φ⟩ for the STO-3G hydrogen 1s on a bare proton is the
+        // STO-3G H-atom HF energy, −0.46658 Ha (textbook value).
+        let mut mol = mako_chem::Molecule::new("H");
+        mol.atoms.push(mako_chem::Atom {
+            element: mako_chem::Element::H,
+            position: [0.0; 3],
+        });
+        let shells = sto3g().shells_for(&mol);
+        let (s, t, v) = one_electron_matrices(&shells, &mol);
+        assert!((s[(0, 0)] - 1.0).abs() < 1e-10);
+        let e = t[(0, 0)] + v[(0, 0)];
+        assert!((e - (-0.46658)).abs() < 2e-4, "E(H, STO-3G) = {e}");
+    }
+
+    #[test]
+    fn kinetic_via_exponent_derivative() {
+        // For a normalized primitive s Gaussian: ⟨T⟩ = 3α/2.
+        let alpha = 0.9;
+        let s = shell(0, [0.0; 3], vec![alpha], vec![1.0]);
+        let t = kinetic_block(&s, &s);
+        assert!((t[(0, 0)] - 1.5 * alpha).abs() < 1e-12, "{}", t[(0, 0)]);
+    }
+
+    #[test]
+    fn nuclear_attraction_point_charge_limit() {
+        // An s distribution far from a unit charge sees −1/R.
+        let mut mol = mako_chem::Molecule::new("H");
+        mol.atoms.push(mako_chem::Atom {
+            element: mako_chem::Element::H,
+            position: [0.0, 0.0, 30.0],
+        });
+        let s = shell(0, [0.0; 3], vec![1.2], vec![1.0]);
+        let v = nuclear_block(&s, &s, &mol);
+        assert!((v[(0, 0)] + 1.0 / 30.0).abs() < 1e-10, "{}", v[(0, 0)]);
+    }
+
+    #[test]
+    fn overlap_decays_with_distance() {
+        let s0 = shell(0, [0.0; 3], vec![1.0], vec![1.0]);
+        let mut prev = 1.0;
+        for r in [0.5, 1.0, 2.0, 4.0] {
+            let sr = shell(0, [0.0, 0.0, r], vec![1.0], vec![1.0]);
+            let o = overlap_block(&s0, &sr)[(0, 0)];
+            assert!(o < prev && o > 0.0);
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn p_shell_overlap_orthogonal_components() {
+        // ⟨p_x | p_y⟩ on the same center vanishes.
+        let p = shell(1, [0.0; 3], vec![0.8], vec![1.0]);
+        let block = overlap_block(&p, &p);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(block[(i, j)].abs() < 1e-13);
+                }
+            }
+        }
+    }
+}

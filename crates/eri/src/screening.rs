@@ -1,0 +1,161 @@
+//! Schwarz screening: rigorous Cauchy–Schwarz bounds on ERI magnitudes.
+//!
+//! `|(ab|cd)| ≤ √(ab|ab) · √(cd|cd)` — the inequality behind both integral
+//! pruning and QuantMako's *Convergence-Aware Scheduling*, which classifies
+//! quartets as FP64 / quantized / negligible by comparing density-weighted
+//! bounds against per-iteration thresholds (paper §3.2.3).
+
+use crate::mmd::{eri_quartet_mmd, shell_pair, ShellPairData};
+use mako_chem::Shell;
+
+/// A shell pair with its Schwarz bound and originating shell indices.
+#[derive(Debug, Clone)]
+pub struct ScreenedPair {
+    /// Index of the first shell.
+    pub i: usize,
+    /// Index of the second shell.
+    pub j: usize,
+    /// Precomputed pair data.
+    pub data: ShellPairData,
+    /// `√(max_ab (ab|ab))`.
+    pub bound: f64,
+}
+
+/// Schwarz bound of a shell pair: `√(max_{a∈A, b∈B} (ab|ab))`.
+pub fn schwarz_bound(pair: &ShellPairData) -> f64 {
+    let t = eri_quartet_mmd(pair, pair);
+    let (na, nb) = (t.dims[0], t.dims[1]);
+    let mut m = 0.0f64;
+    for a in 0..na {
+        for b in 0..nb {
+            m = m.max(t.get(a, b, a, b));
+        }
+    }
+    m.max(0.0).sqrt()
+}
+
+/// Build all shell pairs `(i, j)` with `i ≥ j`, dropping those whose Schwarz
+/// bound falls below `threshold` (no quartet containing them can matter).
+pub fn build_screened_pairs(shells: &[Shell], threshold: f64) -> Vec<ScreenedPair> {
+    let mut out = Vec::new();
+    for i in 0..shells.len() {
+        for j in 0..=i {
+            let data = shell_pair(&shells[i], &shells[j]);
+            if data.prims.is_empty() {
+                continue;
+            }
+            let bound = schwarz_bound(&data);
+            if bound >= threshold {
+                out.push(ScreenedPair { i, j, data, bound });
+            }
+        }
+    }
+    out
+}
+
+/// Importance classes for quartet batches (QuantMako §3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImportanceClass {
+    /// Must be evaluated in FP64.
+    Critical,
+    /// Safe for the quantized kernels.
+    Moderate,
+    /// May be pruned entirely.
+    Negligible,
+}
+
+/// Classify a quartet by its density-weighted Schwarz estimate
+/// `Q_ab · Q_cd · D_max` against `(fp64_threshold, prune_threshold)`.
+pub fn classify(
+    bound_ab: f64,
+    bound_cd: f64,
+    density_max: f64,
+    fp64_threshold: f64,
+    prune_threshold: f64,
+) -> ImportanceClass {
+    let estimate = bound_ab * bound_cd * density_max.max(1e-30);
+    if estimate < prune_threshold {
+        ImportanceClass::Negligible
+    } else if estimate >= fp64_threshold {
+        ImportanceClass::Critical
+    } else {
+        ImportanceClass::Moderate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mako_chem::basis::ShellDef;
+
+    fn shell(l: usize, center: [f64; 3], exp: f64) -> Shell {
+        ShellDef {
+            l,
+            exps: vec![exp],
+            coefs: vec![1.0],
+        }
+        .at(0, center)
+    }
+
+    #[test]
+    fn schwarz_bound_is_conservative() {
+        // |(ab|cd)| ≤ Q_ab · Q_cd for a grid of random-ish quartets.
+        let shells = [
+            shell(0, [0.0, 0.0, 0.0], 1.2),
+            shell(1, [1.0, 0.2, -0.3], 0.8),
+            shell(2, [-0.6, 0.9, 0.4], 0.6),
+            shell(0, [0.3, -0.8, 1.1], 2.0),
+        ];
+        let pairs: Vec<ShellPairData> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .map(|(i, j)| shell_pair(&shells[i], &shells[j]))
+            .collect();
+        let bounds: Vec<f64> = pairs.iter().map(schwarz_bound).collect();
+        for (pi, pab) in pairs.iter().enumerate() {
+            for (qi, pcd) in pairs.iter().enumerate() {
+                let t = eri_quartet_mmd(pab, pcd);
+                assert!(
+                    t.max_abs() <= bounds[pi] * bounds[qi] * (1.0 + 1e-10),
+                    "pair {pi},{qi}: {} > {}",
+                    t.max_abs(),
+                    bounds[pi] * bounds[qi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distant_pairs_are_screened_out() {
+        let shells = vec![
+            shell(0, [0.0; 3], 1.5),
+            shell(0, [40.0, 0.0, 0.0], 1.5), // 40 Bohr away
+        ];
+        let pairs = build_screened_pairs(&shells, 1e-10);
+        // (0,0) and (1,1) survive; the distant cross pair is dropped.
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|p| p.i == p.j));
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything() {
+        let shells = vec![shell(0, [0.0; 3], 1.0), shell(1, [1.0, 0.0, 0.0], 0.7)];
+        let pairs = build_screened_pairs(&shells, 0.0);
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn classify_thresholds() {
+        assert_eq!(
+            classify(1.0, 1.0, 1.0, 1e-4, 1e-10),
+            ImportanceClass::Critical
+        );
+        assert_eq!(
+            classify(1e-3, 1e-3, 1.0, 1e-4, 1e-10),
+            ImportanceClass::Moderate
+        );
+        assert_eq!(
+            classify(1e-6, 1e-6, 1.0, 1e-4, 1e-10),
+            ImportanceClass::Negligible
+        );
+    }
+}

@@ -1,0 +1,637 @@
+//! The KernelMako execution pipelines: real quartet numerics + simulated
+//! device cost, per ERI-class batch.
+
+use crate::mixed_gemm::{gemm_rounded, QuantizedGemmSpec};
+use mako_accel::{
+    avg_column_conflict, CostModel, KernelProfile, SmemLayout,
+};
+use mako_eri::batch::{EriClass, QuartetBatch};
+use mako_eri::mmd::{pq_matrix, PqIndex};
+use mako_eri::screening::ScreenedPair;
+use mako_eri::tensor::Tensor4;
+use mako_chem::cart::{nherm, nsph};
+use mako_linalg::Matrix;
+use mako_precision::{Precision, ScalePolicy};
+use rayon::prelude::*;
+
+/// Kernel-fusion strategies of the KernelMako design space (§3.1 / §3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusionStrategy {
+    /// Every stage (r, pq, two transforms) is a separate kernel with
+    /// global-memory intermediates — the LibintX-like baseline.
+    Unfused,
+    /// r-integrals and `[p|q]` assembly fused; transform GEMMs separate.
+    FuseRPq,
+    /// One fully fused kernel; intermediates live in shared memory.
+    FuseAll,
+    /// Fully fused plus back-to-back GEMM coalescing: the `(ab|q]`
+    /// intermediate stays in warp-local registers. Valid only when
+    /// `K_AB = K_CD = 1` (paper §3.1.3).
+    FuseAllCoalesced,
+}
+
+/// Configuration of a pipeline run — the tunables CompilerMako sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Fusion strategy.
+    pub fusion: FusionStrategy,
+    /// Shared-memory layout for the r→pq transpose.
+    pub layout: SmemLayout,
+    /// Implicit-ILP factor applied to the non-MatMul operators (1..=32).
+    pub ilp: usize,
+    /// Threads per threadblock.
+    pub threads_per_block: usize,
+    /// Input precision of the basis-transformation GEMMs.
+    pub precision: Precision,
+    /// Operand scaling policy for reduced-precision runs.
+    pub scale_policy: ScalePolicy,
+    /// GEMM tile edge for the fused pipelines' shared-memory staging — the
+    /// unified N-dimension tiling of the paper's Figure 4. `usize::MAX`
+    /// models an untiled kernel that must hold whole operands resident.
+    pub tile: usize,
+}
+
+impl PipelineConfig {
+    /// KernelMako's hand-reasonable FP64 configuration (before autotuning).
+    pub fn kernel_mako_fp64() -> PipelineConfig {
+        PipelineConfig {
+            fusion: FusionStrategy::FuseAll,
+            layout: SmemLayout::Swizzled,
+            ilp: 4,
+            threads_per_block: 256,
+            precision: Precision::Fp64,
+            scale_policy: ScalePolicy::Unscaled,
+            tile: 16,
+        }
+    }
+
+    /// The QuantMako quantized configuration (FP16 inputs, group scaling).
+    pub fn quant_mako() -> PipelineConfig {
+        PipelineConfig {
+            precision: Precision::Fp16,
+            scale_policy: ScalePolicy::PerGroup,
+            ..PipelineConfig::kernel_mako_fp64()
+        }
+    }
+
+    /// Unscaled reduced-precision baseline (Table 2's "Baseline FP16").
+    pub fn baseline_low_precision(p: Precision) -> PipelineConfig {
+        PipelineConfig {
+            precision: p,
+            scale_policy: ScalePolicy::Unscaled,
+            ..PipelineConfig::kernel_mako_fp64()
+        }
+    }
+}
+
+/// Effective efficiency of the non-MatMul operators after implicit-ILP
+/// restructuring (Eq. 8): aligning them to MatMul granularity costs a 4×
+/// parallelism deficit that ILP recovers, until register pressure bites.
+pub fn ilp_efficiency(fusion: FusionStrategy, ilp: usize) -> f64 {
+    match fusion {
+        // Separate kernels run each operator at its own optimal granularity.
+        FusionStrategy::Unfused => 1.0,
+        _ => {
+            let gain = 0.25 * ilp as f64;
+            let pressure = if ilp > 8 {
+                let r = 8.0 / ilp as f64;
+                r * r
+            } else {
+                1.0
+            };
+            (gain * pressure).clamp(0.05, 1.0)
+        }
+    }
+}
+
+/// Live shared-memory footprint per threadblock (one quartet in flight),
+/// bytes — the `S(F)` of CompilerMako's Eq. (12).
+///
+/// Fused pipelines stage their GEMM operands through `cfg.tile`-edge tiles
+/// (the unified N-dimension tiling of the paper's Figure 4), so the
+/// footprint of a class grows with its Hermite dimensions only through the
+/// always-resident r tensor and the output accumulator — which is what
+/// keeps even (gg|gg) fusable.
+pub fn smem_footprint(class: &EriClass, cfg: &PipelineConfig) -> usize {
+    let (hb, hk) = class.herm_dims();
+    let nab = nsph(class.la) * nsph(class.lb);
+    let ncd = nsph(class.lc) * nsph(class.ld);
+    let in_size = cfg.precision.size_bytes();
+    let l_sum = class.l_bra() + class.l_ket();
+    let kt = hb.min(cfg.tile); // K-dim tile over bra Hermite
+    let nt = hk.min(cfg.tile); // N-dim tile over ket Hermite
+    let r_tile = nherm(l_sum) * 8; // r stays FP64 (numerically fragile)
+    // First GEMM tiles: E_AB (nab×kt), [p|q] (kt×nt), (ab|q] (nab×nt, FP32).
+    let gemm1 = (nab * kt + kt * nt) * in_size + nab * nt * 4;
+    // Second GEMM tile: E_CDᵀ (nt×ncd).
+    let gemm2 = nt * ncd * in_size;
+    // Output accumulator spans all n-tiles: nab×ncd in FP32.
+    let out_tile = nab * ncd * 4;
+    match cfg.fusion {
+        FusionStrategy::Unfused => 0, // streaming stages, negligible SMEM
+        FusionStrategy::FuseRPq => r_tile + (kt * nt) * in_size,
+        FusionStrategy::FuseAll => r_tile + gemm1 + gemm2 + out_tile,
+        // Coalescing keeps (ab|q] in registers instead of SMEM.
+        FusionStrategy::FuseAllCoalesced => r_tile + gemm1 - nab * nt * 4 + gemm2 + out_tile,
+    }
+}
+
+/// The kernel profiles one batch emits under a configuration. Multiple
+/// profiles = multiple kernel launches whose times add.
+pub fn batch_profiles(class: &EriClass, n: usize, cfg: &PipelineConfig) -> Vec<KernelProfile> {
+    let nf = n as f64;
+    let (hb, hk) = class.herm_dims();
+    let nab = nsph(class.la) * nsph(class.lb);
+    let l_sum = class.l_bra() + class.l_ket();
+    let in_size = cfg.precision.size_bytes() as f64;
+    let kprod = (class.kab * class.kcd) as f64;
+
+    let t_flops = class.transform_flops() * nf;
+    let r_flops = class.rpq_flops() * nf * 0.6;
+    let pq_flops = class.rpq_flops() * nf * 0.4;
+
+    let input_bytes = nf
+        * ((class.kab * nab * hb + class.kcd * nsph(class.lc) * nsph(class.ld) * hk) as f64 * in_size
+            + 96.0);
+    let out_bytes = nf * class.out_size() as f64 * 8.0;
+    let r_bytes = nf * kprod * nherm(l_sum) as f64 * 8.0;
+    let pq_bytes = nf * kprod * (hb * hk) as f64 * in_size;
+    let abq_bytes = nf * class.kcd as f64 * (nab * hk) as f64 * 4.0;
+
+    let ilp_eff = ilp_efficiency(cfg.fusion, cfg.ilp);
+    let conflict = avg_column_conflict(cfg.layout, 32, 32, 8, 32).max(1.0)
+        / avg_column_conflict(SmemLayout::Swizzled, 32, 32, 8, 32).max(1.0);
+    let smem = smem_footprint(class, cfg);
+    let base = |name: &str| {
+        let mut p = KernelProfile::named(format!("{name} {}", class.label()));
+        p.threads_per_block = cfg.threads_per_block;
+        p.smem_per_block = smem;
+        p.ilp_efficiency = ilp_eff;
+        p
+    };
+
+    match cfg.fusion {
+        FusionStrategy::Unfused => {
+            // Four streaming kernels; intermediates round-trip global
+            // memory, and the r→pq transpose is an explicit extra pass.
+            let mut r = base("r_integrals");
+            r.cuda_flops.push((Precision::Fp64, r_flops));
+            r.global_read = input_bytes * 0.3;
+            r.global_write = r_bytes;
+            r.smem_per_block = 0;
+
+            let mut transpose = base("transpose_r");
+            transpose.cuda_flops.push((Precision::Fp64, r_bytes / 8.0));
+            transpose.global_read = r_bytes;
+            transpose.global_write = r_bytes;
+            transpose.bank_conflict_factor = conflict;
+            transpose.smem_per_block = 32 * 1024;
+
+            let mut pq = base("pq_integrals");
+            pq.cuda_flops.push((Precision::Fp64, pq_flops));
+            pq.global_read = r_bytes;
+            pq.global_write = pq_bytes;
+            pq.smem_per_block = 0;
+
+            let mut gemm1 = base("transform_1");
+            gemm1.tensor_flops.push((cfg.precision, t_flops * 0.7));
+            gemm1.global_read = pq_bytes + input_bytes * 0.35;
+            gemm1.global_write = abq_bytes;
+            gemm1.smem_per_block = 48 * 1024;
+
+            let mut gemm2 = base("transform_2");
+            gemm2.tensor_flops.push((cfg.precision, t_flops * 0.3));
+            gemm2.global_read = abq_bytes + input_bytes * 0.35;
+            gemm2.global_write = out_bytes;
+            gemm2.smem_per_block = 48 * 1024;
+
+            vec![r, transpose, pq, gemm1, gemm2]
+        }
+        FusionStrategy::FuseRPq => {
+            let mut rpq = base("fused_r_pq");
+            rpq.cuda_flops.push((Precision::Fp64, r_flops + pq_flops));
+            rpq.global_read = input_bytes * 0.3;
+            rpq.global_write = pq_bytes;
+            rpq.bank_conflict_factor = conflict;
+
+            let mut gemms = base("transforms");
+            gemms.tensor_flops.push((cfg.precision, t_flops));
+            gemms.global_read = pq_bytes + input_bytes * 0.7;
+            gemms.global_write = out_bytes + abq_bytes;
+            gemms.smem_per_block = 48 * 1024;
+            vec![rpq, gemms]
+        }
+        FusionStrategy::FuseAll | FusionStrategy::FuseAllCoalesced => {
+            let mut fused = base("fused_eri");
+            fused.tensor_flops.push((cfg.precision, t_flops));
+            fused
+                .cuda_flops
+                .push((Precision::Fp64, r_flops + pq_flops));
+            fused.global_read = input_bytes;
+            fused.global_write = out_bytes;
+            fused.bank_conflict_factor = conflict;
+            vec![fused]
+        }
+    }
+}
+
+/// Simulated seconds to run a batch of `n` quartets of `class` under `cfg`
+/// on the device of `model`. Returns `f64::INFINITY` when the configuration
+/// cannot launch (SMEM footprint exceeds the device).
+pub fn simulate_batch_cost(class: &EriClass, n: usize, cfg: &PipelineConfig, model: &CostModel) -> f64 {
+    if cfg.fusion == FusionStrategy::FuseAllCoalesced && (class.kab != 1 || class.kcd != 1) {
+        return f64::INFINITY;
+    }
+    let mut total = 0.0;
+    for p in batch_profiles(class, n, cfg) {
+        let rec = model.evaluate(&p);
+        if !rec.total_s.is_finite() {
+            return f64::INFINITY;
+        }
+        total += rec.total_s;
+    }
+    total
+}
+
+/// Sweep the fusion strategies and ILP factors for a class at the given
+/// precision and return the cheapest legal configuration with its cost —
+/// a lightweight preview of CompilerMako's Algorithm 2 used by tests and
+/// baselines (the full tuner in `mako-compiler` also sweeps threadblock
+/// shapes and layouts).
+pub fn best_config_cost(
+    class: &EriClass,
+    n: usize,
+    precision: Precision,
+    scale_policy: ScalePolicy,
+    model: &CostModel,
+) -> (PipelineConfig, f64) {
+    let mut best = (PipelineConfig::kernel_mako_fp64(), f64::INFINITY);
+    for fusion in [
+        FusionStrategy::FuseAllCoalesced,
+        FusionStrategy::FuseAll,
+        FusionStrategy::FuseRPq,
+        FusionStrategy::Unfused,
+    ] {
+        for ilp in [1usize, 2, 4, 8, 16] {
+            let cfg = PipelineConfig {
+                fusion,
+                layout: SmemLayout::Swizzled,
+                ilp,
+                threads_per_block: 256,
+                precision,
+                scale_policy,
+                tile: 16,
+            };
+            let cost = simulate_batch_cost(class, n, &cfg, model);
+            if cost < best.1 {
+                best = (cfg, cost);
+            }
+        }
+    }
+    best
+}
+
+/// Output of a numerically executed batch.
+#[derive(Debug)]
+pub struct BatchOutput {
+    /// The class that ran.
+    pub class: EriClass,
+    /// One spherical quartet tensor per batch entry (same order).
+    pub tensors: Vec<Tensor4>,
+    /// Simulated device seconds for the batch.
+    pub seconds: f64,
+    /// The emitted kernel profiles (for SimTimer aggregation).
+    pub profiles: Vec<KernelProfile>,
+}
+
+/// Execute a quartet batch: real ERI numerics under the configured
+/// precision/scaling, plus simulated cost under the device model.
+pub fn run_batch(
+    batch: &QuartetBatch,
+    pairs: &[ScreenedPair],
+    cfg: &PipelineConfig,
+    model: &CostModel,
+) -> BatchOutput {
+    let class = batch.class;
+    let idx = PqIndex::new(class.l_bra(), class.l_ket());
+
+    // Group scale for the E operands: one scale per ERI class (angular-
+    // momentum-aware grouping, §3.2.1), from the batch-wide max magnitude.
+    let target = Precision::Fp16.max_finite().sqrt() / 4.0;
+    let e_scale = match cfg.scale_policy {
+        ScalePolicy::PerGroup => {
+            let mut m = 0.0f64;
+            for &(pi, qi) in &batch.quartets {
+                for pp in &pairs[pi].data.prims {
+                    m = m.max(pp.e_sph.max_abs());
+                }
+                for pp in &pairs[qi].data.prims {
+                    m = m.max(pp.e_sph.max_abs());
+                }
+            }
+            if m > 0.0 {
+                target / m
+            } else {
+                1.0
+            }
+        }
+        _ => 1.0,
+    };
+
+    let tensors: Vec<Tensor4> = batch
+        .quartets
+        .par_iter()
+        .map(|&(pi, qi)| quartet_numerics(&pairs[pi], &pairs[qi], &idx, cfg, e_scale, target))
+        .collect();
+
+    let profiles = batch_profiles(&class, batch.len(), cfg);
+    let seconds: f64 = profiles.iter().map(|p| model.evaluate(p).total_s).sum();
+
+    BatchOutput {
+        class,
+        tensors,
+        seconds,
+        profiles,
+    }
+}
+
+fn quartet_numerics(
+    pab: &ScreenedPair,
+    pcd: &ScreenedPair,
+    idx: &PqIndex,
+    cfg: &PipelineConfig,
+    e_scale: f64,
+    target: f64,
+) -> Tensor4 {
+    let ab = &pab.data;
+    let cd = &pcd.data;
+    let na = nsph(ab.la);
+    let nb = nsph(ab.lb);
+    let nc = nsph(cd.la);
+    let nd = nsph(cd.lb);
+    let mut out = Matrix::zeros(ab.nsph_pair, cd.nsph_pair);
+    let mut abq = Matrix::zeros(ab.nsph_pair, cd.nherm);
+
+    for ket in &cd.prims {
+        for x in abq.as_mut_slice() {
+            *x = 0.0;
+        }
+        for bra in &ab.prims {
+            let pq = pq_matrix(bra, ket, ab.l_total(), cd.l_total(), idx);
+            let spec = spec_for(cfg, e_scale, &pq, target);
+            gemm_rounded(&bra.e_sph, &pq, &spec, &mut abq);
+        }
+        // Second transform: (ab|cd) += (ab|q] · E_CDᵀ.
+        let e_cd_t = ket.e_sph.transpose();
+        let spec = spec_for(cfg, scale_for(cfg, &abq, target), &e_cd_t, target);
+        let spec = QuantizedGemmSpec {
+            scale_a: spec.scale_a,
+            scale_b: e_scale,
+            ..spec
+        };
+        gemm_rounded(&abq, &e_cd_t, &spec, &mut out);
+    }
+
+    let mut t = Tensor4::zeros([na, nb, nc, nd]);
+    for ia in 0..na {
+        for ib in 0..nb {
+            for ic in 0..nc {
+                for id in 0..nd {
+                    t.set(ia, ib, ic, id, out[(ia * nb + ib, ic * nd + id)]);
+                }
+            }
+        }
+    }
+    t
+}
+
+fn scale_for(cfg: &PipelineConfig, m: &Matrix, target: f64) -> f64 {
+    match cfg.scale_policy {
+        ScalePolicy::PerGroup => {
+            let mx = m.max_abs();
+            if mx > 0.0 {
+                target / mx
+            } else {
+                1.0
+            }
+        }
+        _ => 1.0,
+    }
+}
+
+fn spec_for(cfg: &PipelineConfig, a_scale: f64, b: &Matrix, target: f64) -> QuantizedGemmSpec {
+    if cfg.precision == Precision::Fp64 {
+        return QuantizedGemmSpec::fp64();
+    }
+    let b_scale = scale_for(cfg, b, target);
+    QuantizedGemmSpec {
+        input: cfg.precision,
+        accumulate: Precision::Fp32,
+        scale_a: a_scale,
+        scale_b: b_scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mako_accel::DeviceSpec;
+    use mako_eri::batch::batch_quartets;
+    use mako_eri::mmd::{eri_quartet_mmd, shell_pair};
+    use mako_eri::screening::build_screened_pairs;
+    use mako_chem::basis::ShellDef;
+    use mako_chem::Shell;
+
+    fn shell(l: usize, center: [f64; 3], exp: f64) -> Shell {
+        ShellDef {
+            l,
+            exps: vec![exp],
+            coefs: vec![1.0],
+        }
+        .at(0, center)
+    }
+
+    fn small_system() -> (Vec<ScreenedPair>, Vec<QuartetBatch>) {
+        let shells = vec![
+            shell(0, [0.0; 3], 1.1),
+            shell(1, [0.8, 0.1, -0.2], 0.7),
+            shell(2, [-0.4, 0.6, 0.3], 0.5),
+        ];
+        let pairs = build_screened_pairs(&shells, 1e-12);
+        let batches = batch_quartets(&pairs, 1e-12);
+        (pairs, batches)
+    }
+
+    #[test]
+    fn fp64_pipeline_matches_reference_exactly() {
+        let (pairs, batches) = small_system();
+        let model = CostModel::new(DeviceSpec::a100());
+        let cfg = PipelineConfig::kernel_mako_fp64();
+        for b in &batches {
+            let out = run_batch(b, &pairs, &cfg, &model);
+            for (k, &(pi, qi)) in b.quartets.iter().enumerate() {
+                let reference = eri_quartet_mmd(&pairs[pi].data, &pairs[qi].data);
+                let d = out.tensors[k].max_abs_diff(&reference);
+                assert!(d < 1e-13, "class {} diff {d}", b.class.label());
+            }
+            assert!(out.seconds > 0.0 && out.seconds.is_finite());
+        }
+    }
+
+    #[test]
+    fn quantized_pipeline_small_relative_error() {
+        let (pairs, batches) = small_system();
+        let model = CostModel::new(DeviceSpec::a100());
+        let quant = PipelineConfig::quant_mako();
+        for b in &batches {
+            let out = run_batch(b, &pairs, &quant, &model);
+            for (k, &(pi, qi)) in b.quartets.iter().enumerate() {
+                let reference = eri_quartet_mmd(&pairs[pi].data, &pairs[qi].data);
+                let scale = reference.max_abs().max(1e-6);
+                let d = out.tensors[k].max_abs_diff(&reference);
+                assert!(
+                    d / scale < 5e-3,
+                    "class {} relative error {}",
+                    b.class.label(),
+                    d / scale
+                );
+                assert!(d > 0.0, "quantized path must differ from FP64");
+            }
+        }
+    }
+
+    #[test]
+    fn group_scaling_beats_unscaled_fp16() {
+        // Tight, high-l shells: normalization makes the E operands large,
+        // so the unscaled FP16 path overflows/saturates while group scaling
+        // keeps operands in range.
+        let shells = vec![
+            shell(2, [0.0; 3], 60.0),
+            shell(2, [0.3, 0.1, -0.2], 45.0),
+        ];
+        let pairs = build_screened_pairs(&shells, 0.0);
+        let batches = batch_quartets(&pairs, 0.0);
+        let model = CostModel::new(DeviceSpec::a100());
+        let scaled = PipelineConfig::quant_mako();
+        let unscaled = PipelineConfig::baseline_low_precision(Precision::Fp16);
+        let mut err_scaled = 0.0f64;
+        let mut err_unscaled = 0.0f64;
+        for b in &batches {
+            let so = run_batch(b, &pairs, &scaled, &model);
+            let uo = run_batch(b, &pairs, &unscaled, &model);
+            for (k, &(pi, qi)) in b.quartets.iter().enumerate() {
+                let reference = eri_quartet_mmd(&pairs[pi].data, &pairs[qi].data);
+                err_scaled += so.tensors[k].max_abs_diff(&reference);
+                err_unscaled += uo.tensors[k].max_abs_diff(&reference);
+            }
+        }
+        assert!(
+            err_scaled < err_unscaled,
+            "scaled {err_scaled} vs unscaled {err_unscaled}"
+        );
+    }
+
+    #[test]
+    fn fused_is_faster_than_unfused() {
+        let model = CostModel::new(DeviceSpec::a100());
+        let class = EriClass {
+            la: 2,
+            lb: 2,
+            lc: 2,
+            ld: 2,
+            kab: 1,
+            kcd: 1,
+        };
+        let unfused = simulate_batch_cost(
+            &class,
+            100_000,
+            &PipelineConfig {
+                fusion: FusionStrategy::Unfused,
+                layout: SmemLayout::Linear,
+                ilp: 1,
+                ..PipelineConfig::kernel_mako_fp64()
+            },
+            &model,
+        );
+        let fused = simulate_batch_cost(&class, 100_000, &PipelineConfig::kernel_mako_fp64(), &model);
+        assert!(fused < unfused, "fused {fused} unfused {unfused}");
+        assert!(unfused / fused > 1.5, "speedup {}", unfused / fused);
+    }
+
+    #[test]
+    fn quantized_is_faster_than_fp64() {
+        let model = CostModel::new(DeviceSpec::a100());
+        let class = EriClass {
+            la: 3,
+            lb: 3,
+            lc: 3,
+            ld: 3,
+            kab: 1,
+            kcd: 1,
+        };
+        let f = simulate_batch_cost(&class, 100_000, &PipelineConfig::kernel_mako_fp64(), &model);
+        let q = simulate_batch_cost(&class, 100_000, &PipelineConfig::quant_mako(), &model);
+        let speedup = f / q;
+        assert!(speedup > 2.0, "quantization speedup {speedup}");
+        assert!(speedup < 16.0, "bounded by the tensor-core ratio");
+    }
+
+    #[test]
+    fn coalescing_requires_k1() {
+        let model = CostModel::new(DeviceSpec::a100());
+        let cfg = PipelineConfig {
+            fusion: FusionStrategy::FuseAllCoalesced,
+            ..PipelineConfig::kernel_mako_fp64()
+        };
+        let k5 = EriClass {
+            la: 1,
+            lb: 1,
+            lc: 1,
+            ld: 1,
+            kab: 5,
+            kcd: 5,
+        };
+        assert!(simulate_batch_cost(&k5, 10, &cfg, &model).is_infinite());
+        let k1 = EriClass { kab: 1, kcd: 1, ..k5 };
+        assert!(simulate_batch_cost(&k1, 10, &cfg, &model).is_finite());
+    }
+
+    #[test]
+    fn gggg_fusion_needs_tiling_and_quantization_shrinks_it() {
+        // Untiled, the (gg|gg) FP64 pq operand alone is 165·165·8 B ≈
+        // 218 KB > 164 KB: full fusion cannot launch. The Figure 4 N-dim
+        // tiling brings the footprint back under the SM budget, and
+        // quantization shrinks it further (enabling higher occupancy).
+        let class = EriClass {
+            la: 4,
+            lb: 4,
+            lc: 4,
+            ld: 4,
+            kab: 1,
+            kcd: 1,
+        };
+        let model = CostModel::new(DeviceSpec::a100());
+        let untiled = PipelineConfig {
+            tile: usize::MAX,
+            ..PipelineConfig::kernel_mako_fp64()
+        };
+        assert!(
+            simulate_batch_cost(&class, 10, &untiled, &model).is_infinite(),
+            "untiled FP64 (gg|gg) full fusion must not fit"
+        );
+        let tiled = PipelineConfig::kernel_mako_fp64();
+        assert!(simulate_batch_cost(&class, 10, &tiled, &model).is_finite());
+        let f64_foot = smem_footprint(&class, &tiled);
+        let f16_foot = smem_footprint(&class, &PipelineConfig::quant_mako());
+        assert!(f16_foot < f64_foot, "{f16_foot} !< {f64_foot}");
+    }
+
+    #[test]
+    fn ilp_efficiency_peaks_in_midrange() {
+        let f = |i| ilp_efficiency(FusionStrategy::FuseAll, i);
+        assert!(f(1) < f(4));
+        assert!(f(4) <= f(8));
+        assert!(f(32) < f(8), "register pressure: {} vs {}", f(32), f(8));
+        assert_eq!(ilp_efficiency(FusionStrategy::Unfused, 1), 1.0);
+    }
+}

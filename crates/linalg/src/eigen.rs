@@ -1,0 +1,325 @@
+//! Symmetric eigensolver: Householder tridiagonalization followed by the
+//! implicit-shift QL iteration.
+//!
+//! This is the dense diagonalization used for the Fock matrix and for Löwdin
+//! orthogonalization. The implementation follows the classic EISPACK
+//! `tred2`/`tql2` pair (also Numerical Recipes §11.2–11.3), written 0-indexed
+//! with an explicit iteration budget.
+
+use crate::{LinalgError, Matrix};
+
+/// Result of [`eigh`]: `a = V diag(λ) Vᵀ` with eigenvalues ascending and
+/// eigenvectors in the *columns* of `vectors`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted ascending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, column `k` pairing with `values[k]`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Reconstruct `V diag(λ) Vᵀ` (used by tests and matrix functions).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut scaled = self.vectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                scaled[(i, j)] *= self.values[j];
+            }
+        }
+        crate::gemm(&scaled, crate::Transpose::No, &self.vectors, crate::Transpose::Yes)
+    }
+}
+
+/// Eigendecomposition of a real symmetric matrix.
+///
+/// Only the lower triangle is read. Cost is O(n³) with a small constant; the
+/// QL iteration virtually always converges in ≤ 4 sweeps per eigenvalue, and
+/// a budget of 64 guards against pathological input.
+pub fn eigh(a: &Matrix) -> Result<EigenDecomposition, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::ShapeMismatch {
+            context: "eigh requires a square matrix",
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(EigenDecomposition {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+
+    let mut z = a.clone();
+    z.symmetrize();
+    let mut d = vec![0.0f64; n];
+    let mut e = vec![0.0f64; n];
+    tred2(&mut z, &mut d, &mut e);
+    tql2(&mut d, &mut e, &mut z)?;
+
+    // Sort ascending, permuting eigenvector columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| z[(i, order[j])]);
+
+    Ok(EigenDecomposition { values, vectors })
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form,
+/// accumulating the orthogonal transformation in `a`.
+fn tred2(a: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += a[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = a[(i, l)];
+            } else {
+                for k in 0..=l {
+                    a[(i, k)] /= scale;
+                    h += a[(i, k)] * a[(i, k)];
+                }
+                let f = a[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                a[(i, l)] = f - g;
+                let mut f_acc = 0.0;
+                for j in 0..=l {
+                    a[(j, i)] = a[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += a[(j, k)] * a[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += a[(k, j)] * a[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f_acc += e[j] * a[(i, j)];
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    let f = a[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        a[(j, k)] -= f * e[k] + g * a[(i, k)];
+                    }
+                }
+            }
+        } else {
+            e[i] = a[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += a[(i, k)] * a[(k, j)];
+                }
+                for k in 0..i {
+                    a[(k, j)] -= g * a[(k, i)];
+                }
+            }
+        }
+        d[i] = a[(i, i)];
+        a[(i, i)] = 1.0;
+        for j in 0..i {
+            a[(j, i)] = 0.0;
+            a[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// QL iteration with implicit shifts on a tridiagonal matrix, accumulating
+/// eigenvectors in `z` (which enters holding the tred2 transformation).
+fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), LinalgError> {
+    let n = d.len();
+    if n == 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Look for a single small subdiagonal element to split the matrix.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 64 {
+                return Err(LinalgError::NoConvergence { index: l });
+            }
+            // Form the implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(if g >= 0.0 { 1.0 } else { -1.0 }));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow by deflating.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gemm, Transpose};
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let mut a = Matrix::zeros(4, 4);
+        for (i, &v) in [3.0, -1.0, 2.0, 0.5].iter().enumerate() {
+            a[(i, i)] = v;
+        }
+        let ed = eigh(&a).unwrap();
+        assert_eq!(ed.values, vec![-1.0, 0.5, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn two_by_two_analytic() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let ed = eigh(&a).unwrap();
+        assert!((ed.values[0] - 1.0).abs() < 1e-14);
+        assert!((ed.values[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        for &n in &[1usize, 2, 3, 5, 10, 30, 60] {
+            let a = random_symmetric(n, n as u64 * 7 + 1);
+            let ed = eigh(&a).unwrap();
+            // A ≈ V Λ Vᵀ
+            let recon = ed.reconstruct();
+            assert!(
+                recon.sub(&a).max_abs() < 1e-10 * (1.0 + a.max_abs()),
+                "n={n} reconstruction error {}",
+                recon.sub(&a).max_abs()
+            );
+            // VᵀV = I
+            let vtv = gemm(&ed.vectors, Transpose::Yes, &ed.vectors, Transpose::No);
+            assert!(vtv.sub(&Matrix::identity(n)).max_abs() < 1e-12, "n={n}");
+            // Eigenvalues ascending.
+            for w in ed.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace() {
+        let a = random_symmetric(25, 99);
+        let ed = eigh(&a).unwrap();
+        let sum: f64 = ed.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_eigenvalues() {
+        // I ⊗ scaled blocks: eigenvalues {1,1,1,5}.
+        let mut a = Matrix::identity(4);
+        a[(3, 3)] = 5.0;
+        let ed = eigh(&a).unwrap();
+        assert!((ed.values[0] - 1.0).abs() < 1e-14);
+        assert!((ed.values[2] - 1.0).abs() < 1e-14);
+        assert!((ed.values[3] - 5.0).abs() < 1e-14);
+        let recon = ed.reconstruct();
+        assert!(recon.sub(&a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(eigh(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let ed = eigh(&Matrix::zeros(0, 0)).unwrap();
+        assert!(ed.values.is_empty());
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        // v vᵀ with v = (1,2,3): single nonzero eigenvalue |v|² = 14.
+        let v = [1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(3, 3, |i, j| v[i] * v[j]);
+        let ed = eigh(&a).unwrap();
+        assert!(ed.values[0].abs() < 1e-12);
+        assert!(ed.values[1].abs() < 1e-12);
+        assert!((ed.values[2] - 14.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Symmetric matrix functions via eigendecomposition.
+//!
+//! The SCF driver needs `S^{-1/2}` (Löwdin symmetric orthogonalization) and
+//! occasionally `S^{1/2}`; both are instances of applying a scalar function
+//! to the eigenvalues: `f(A) = V f(Λ) Vᵀ`.
+
+use crate::{eigh, gemm, LinalgError, Matrix, Transpose};
+
+/// Apply a scalar function to the spectrum of a symmetric matrix:
+/// `f(A) = V diag(f(λ)) Vᵀ`.
+pub fn sym_func(a: &Matrix, f: impl Fn(f64) -> f64) -> Result<Matrix, LinalgError> {
+    let ed = eigh(a)?;
+    let n = ed.values.len();
+    let mut scaled = ed.vectors.clone();
+    for j in 0..n {
+        let fj = f(ed.values[j]);
+        for i in 0..n {
+            scaled[(i, j)] *= fj;
+        }
+    }
+    Ok(gemm(&scaled, Transpose::No, &ed.vectors, Transpose::Yes))
+}
+
+/// `A^{-1/2}` for a symmetric positive-definite matrix.
+///
+/// Eigenvalues below `threshold` are projected out (their inverse square
+/// root set to zero) — the canonical-orthogonalization guard against
+/// near-linear-dependent basis sets.
+pub fn sym_inv_sqrt(a: &Matrix, threshold: f64) -> Result<Matrix, LinalgError> {
+    sym_func(a, |l| if l > threshold { 1.0 / l.sqrt() } else { 0.0 })
+}
+
+/// `A^{1/2}` for a symmetric positive-semidefinite matrix (negative
+/// eigenvalues from roundoff are clamped to zero).
+pub fn sym_sqrt(a: &Matrix) -> Result<Matrix, LinalgError> {
+    sym_func(a, |l| if l > 0.0 { l.sqrt() } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let g = Matrix::from_fn(n, n, |_, _| next());
+        let mut a = gemm(&g, Transpose::Yes, &g, Transpose::No);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn inv_sqrt_whitens() {
+        let a = spd(10, 42);
+        let x = sym_inv_sqrt(&a, 1e-10).unwrap();
+        // X A X = I
+        let xax = gemm(&gemm(&x, Transpose::No, &a, Transpose::No), Transpose::No, &x, Transpose::No);
+        assert!(xax.sub(&Matrix::identity(10)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let a = spd(8, 7);
+        let r = sym_sqrt(&a).unwrap();
+        let rr = gemm(&r, Transpose::No, &r, Transpose::No);
+        assert!(rr.sub(&a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn identity_function_is_identity() {
+        let a = spd(6, 3);
+        let same = sym_func(&a, |l| l).unwrap();
+        assert!(same.sub(&a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn threshold_projects_singular_directions() {
+        // Singular matrix: rank 1.
+        let v = [2.0, 0.0, 1.0];
+        let a = Matrix::from_fn(3, 3, |i, j| v[i] * v[j]);
+        let x = sym_inv_sqrt(&a, 1e-8).unwrap();
+        // X should be finite (no division by ~0).
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+        // X A X equals the projector onto the nonzero eigenspace (trace 1).
+        let xax = gemm(&gemm(&x, Transpose::No, &a, Transpose::No), Transpose::No, &x, Transpose::No);
+        assert!((xax.trace() - 1.0).abs() < 1e-10);
+    }
+}

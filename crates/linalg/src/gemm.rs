@@ -1,0 +1,303 @@
+//! General matrix multiplication: naive reference, cache-tiled, and
+//! Rayon-parallel variants.
+//!
+//! The tiled kernel mirrors the threadblock-tile structure of a CUTLASS GEMM
+//! (fixed `MC × NC × KC` tiles accumulated in registers); it is the numerical
+//! executor behind the simulated tensor-core pipelines in `mako-kernels`.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Whether an operand participates transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the operand's transpose.
+    Yes,
+}
+
+/// Tile edge for the cache-blocked kernel. 64×64 f64 tiles (32 KiB) fit L1/L2
+/// comfortably on commodity CPUs; this deliberately matches the shared-memory
+/// tile budget the device model assigns to threadblocks.
+const TILE: usize = 64;
+
+/// Naive triple-loop reference GEMM: `C = alpha * op(A) op(B) + beta * C`.
+///
+/// Kept simple and obviously correct; every other variant is tested against
+/// it.
+pub fn gemm_naive(
+    alpha: f64,
+    a: &Matrix,
+    ta: Transpose,
+    b: &Matrix,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, k1) = op_shape(a, ta);
+    let (k2, n) = op_shape(b, tb);
+    assert_eq!(k1, k2, "gemm inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..k1 {
+                s += get(a, ta, i, k) * get(b, tb, k, j);
+            }
+            c[(i, j)] = alpha * s + beta * c[(i, j)];
+        }
+    }
+}
+
+/// Cache-tiled GEMM, no transposes taken literally: operands are packed into
+/// contiguous tiles first (the equivalent of CUTLASS's global→shared staging).
+pub fn gemm_tiled(
+    alpha: f64,
+    a: &Matrix,
+    ta: Transpose,
+    b: &Matrix,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, kk) = op_shape(a, ta);
+    let (k2, n) = op_shape(b, tb);
+    assert_eq!(kk, k2, "gemm inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
+
+    if beta != 1.0 {
+        for x in c.as_mut_slice() {
+            *x *= beta;
+        }
+    }
+
+    let mut a_tile = vec![0.0f64; TILE * TILE];
+    let mut b_tile = vec![0.0f64; TILE * TILE];
+
+    let cols = c.cols();
+    for i0 in (0..m).step_by(TILE) {
+        let ib = TILE.min(m - i0);
+        for k0 in (0..kk).step_by(TILE) {
+            let kb = TILE.min(kk - k0);
+            pack(a, ta, i0, k0, ib, kb, &mut a_tile);
+            for j0 in (0..n).step_by(TILE) {
+                let jb = TILE.min(n - j0);
+                pack(b, tb, k0, j0, kb, jb, &mut b_tile);
+                let cdata = c.as_mut_slice();
+                for i in 0..ib {
+                    let arow = &a_tile[i * TILE..i * TILE + kb];
+                    let crow = &mut cdata[(i0 + i) * cols + j0..(i0 + i) * cols + j0 + jb];
+                    for (k, &aik) in arow.iter().enumerate() {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &b_tile[k * TILE..k * TILE + jb];
+                        let aik = alpha * aik;
+                        for (cij, &bkj) in crow.iter_mut().zip(brow) {
+                            *cij += aik * bkj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rayon-parallel GEMM: rows of `C` are distributed across the thread pool,
+/// each worker running the tiled kernel over its row band.
+pub fn gemm_par(
+    alpha: f64,
+    a: &Matrix,
+    ta: Transpose,
+    b: &Matrix,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, kk) = op_shape(a, ta);
+    let (k2, n) = op_shape(b, tb);
+    assert_eq!(kk, k2, "gemm inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
+
+    // Small problems are not worth the fork/join overhead.
+    if m * n * kk < 64 * 64 * 64 {
+        gemm_tiled(alpha, a, ta, b, tb, beta, c);
+        return;
+    }
+
+    let cols = c.cols();
+    c.as_mut_slice()
+        .par_chunks_mut(TILE * cols)
+        .enumerate()
+        .for_each(|(band, c_band)| {
+            let i0 = band * TILE;
+            let ib = TILE.min(m - i0);
+            let mut a_tile = vec![0.0f64; TILE * TILE];
+            let mut b_tile = vec![0.0f64; TILE * TILE];
+            if beta != 1.0 {
+                for x in c_band.iter_mut() {
+                    *x *= beta;
+                }
+            }
+            for k0 in (0..kk).step_by(TILE) {
+                let kb = TILE.min(kk - k0);
+                pack(a, ta, i0, k0, ib, kb, &mut a_tile);
+                for j0 in (0..n).step_by(TILE) {
+                    let jb = TILE.min(n - j0);
+                    pack(b, tb, k0, j0, kb, jb, &mut b_tile);
+                    for i in 0..ib {
+                        let arow = &a_tile[i * TILE..i * TILE + kb];
+                        let crow = &mut c_band[i * cols + j0..i * cols + j0 + jb];
+                        for (k, &aik) in arow.iter().enumerate() {
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            let brow = &b_tile[k * TILE..k * TILE + jb];
+                            let aik = alpha * aik;
+                            for (cij, &bkj) in crow.iter_mut().zip(brow) {
+                                *cij += aik * bkj;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Convenience wrapper: `op(A) op(B)` as a fresh matrix via the tiled kernel.
+pub fn gemm(a: &Matrix, ta: Transpose, b: &Matrix, tb: Transpose) -> Matrix {
+    let (m, _) = op_shape(a, ta);
+    let (_, n) = op_shape(b, tb);
+    let mut c = Matrix::zeros(m, n);
+    gemm_tiled(1.0, a, ta, b, tb, 0.0, &mut c);
+    c
+}
+
+#[inline(always)]
+fn op_shape(a: &Matrix, t: Transpose) -> (usize, usize) {
+    match t {
+        Transpose::No => (a.rows(), a.cols()),
+        Transpose::Yes => (a.cols(), a.rows()),
+    }
+}
+
+#[inline(always)]
+fn get(a: &Matrix, t: Transpose, i: usize, j: usize) -> f64 {
+    match t {
+        Transpose::No => a[(i, j)],
+        Transpose::Yes => a[(j, i)],
+    }
+}
+
+/// Pack the logical block `[r0..r0+nr) × [c0..c0+nc)` of `op(a)` into a
+/// TILE-strided contiguous buffer (zero-padded tail columns are left stale
+/// but never read because loop bounds use the true block sizes).
+fn pack(a: &Matrix, t: Transpose, r0: usize, c0: usize, nr: usize, nc: usize, buf: &mut [f64]) {
+    match t {
+        Transpose::No => {
+            for i in 0..nr {
+                let src = &a.row(r0 + i)[c0..c0 + nc];
+                buf[i * TILE..i * TILE + nc].copy_from_slice(src);
+            }
+        }
+        Transpose::Yes => {
+            for i in 0..nr {
+                for j in 0..nc {
+                    buf[i * TILE + j] = a[(c0 + j, r0 + i)];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deterministic(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        let d = a.sub(b).max_abs();
+        assert!(d < tol, "matrices differ by {d}");
+    }
+
+    #[test]
+    fn tiled_matches_naive_all_transposes() {
+        for &(m, k, n) in &[(3, 4, 5), (64, 64, 64), (65, 33, 127), (1, 100, 1)] {
+            for &ta in &[Transpose::No, Transpose::Yes] {
+                for &tb in &[Transpose::No, Transpose::Yes] {
+                    let a = match ta {
+                        Transpose::No => deterministic(m, k, 1),
+                        Transpose::Yes => deterministic(k, m, 1),
+                    };
+                    let b = match tb {
+                        Transpose::No => deterministic(k, n, 2),
+                        Transpose::Yes => deterministic(n, k, 2),
+                    };
+                    let mut c1 = deterministic(m, n, 3);
+                    let mut c2 = c1.clone();
+                    gemm_naive(1.3, &a, ta, &b, tb, 0.7, &mut c1);
+                    gemm_tiled(1.3, &a, ta, &b, tb, 0.7, &mut c2);
+                    assert_close(&c1, &c2, 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_matches_naive() {
+        let a = deterministic(130, 90, 11);
+        let b = deterministic(90, 70, 12);
+        let mut c1 = Matrix::zeros(130, 70);
+        let mut c2 = Matrix::zeros(130, 70);
+        gemm_naive(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c1);
+        gemm_par(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c2);
+        assert_close(&c1, &c2, 1e-10);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = deterministic(17, 17, 5);
+        let c = gemm(&a, Transpose::No, &Matrix::identity(17), Transpose::No);
+        assert_close(&c, &a, 1e-14);
+        let c2 = gemm(&Matrix::identity(17), Transpose::No, &a, Transpose::No);
+        assert_close(&c2, &a, 1e-14);
+    }
+
+    #[test]
+    fn transpose_identity_abt() {
+        // (A Bᵀ)ᵀ = B Aᵀ
+        let a = deterministic(12, 9, 21);
+        let b = deterministic(15, 9, 22);
+        let left = gemm(&a, Transpose::No, &b, Transpose::Yes).transpose();
+        let right = gemm(&b, Transpose::No, &a, Transpose::Yes);
+        assert_close(&left, &right, 1e-12);
+    }
+
+    #[test]
+    fn beta_accumulation() {
+        let a = deterministic(8, 8, 31);
+        let b = deterministic(8, 8, 32);
+        let mut c = Matrix::identity(8);
+        // C = 0*AB + 2*I
+        gemm_tiled(0.0, &a, Transpose::No, &b, Transpose::No, 2.0, &mut c);
+        assert_close(&c, &Matrix::identity(8).scale(2.0), 1e-14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 5);
+        let mut c = Matrix::zeros(2, 5);
+        gemm_tiled(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+    }
+}

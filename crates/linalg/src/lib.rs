@@ -1,0 +1,66 @@
+//! # mako-linalg
+//!
+//! Dense linear-algebra substrate for the Mako quantum-chemistry system,
+//! implemented from scratch (no BLAS/LAPACK).
+//!
+//! The Mako paper rearchitects DFT so that its heavy phases are matrix
+//! multiplications executed by tensor cores; the surrounding workflow still
+//! needs a dense toolbox: GEMM (the host-side reference used to validate the
+//! simulated-accelerator kernels), a symmetric eigensolver (Fock matrix
+//! diagonalization), Cholesky factorization, and symmetric matrix functions
+//! (Löwdin orthogonalization `S^{-1/2}`).
+//!
+//! Everything operates on the row-major [`Matrix`] type. GEMMs come in naive,
+//! cache-tiled, and Rayon-parallel flavors; the tiled kernel is also the
+//! numerical executor behind the simulated tensor-core GEMMs in
+//! `mako-kernels` (with operand rounding applied by the caller).
+
+pub mod cholesky;
+pub mod eigen;
+pub mod funcs;
+pub mod gemm;
+pub mod lobpcg;
+pub mod matrix;
+
+pub use cholesky::{cholesky, solve_cholesky};
+pub use eigen::{eigh, EigenDecomposition};
+pub use funcs::{sym_func, sym_inv_sqrt, sym_sqrt};
+pub use gemm::{gemm, gemm_naive, gemm_par, gemm_tiled, Transpose};
+pub use lobpcg::{lobpcg, LobpcgResult};
+pub use matrix::Matrix;
+
+/// Errors surfaced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible with the requested operation.
+    ShapeMismatch {
+        /// Description of the expectation that was violated.
+        context: &'static str,
+    },
+    /// The QL iteration failed to converge within the iteration budget.
+    NoConvergence {
+        /// Eigenvalue index being worked on when the budget ran out.
+        index: usize,
+    },
+    /// A matrix required to be positive definite was not.
+    NotPositiveDefinite {
+        /// Pivot index at which the failure was detected.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            LinalgError::NoConvergence { index } => {
+                write!(f, "eigensolver failed to converge at index {index}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,320 @@
+//! IEEE 754 binary16 ("half precision") emulated in software.
+//!
+//! Conversions implement round-to-nearest-even exactly, including subnormal
+//! results and overflow to infinity, matching what an NVIDIA tensor core does
+//! when an FP32 value is stored into an FP16 operand register.
+
+/// A half-precision floating point number stored as its raw bit pattern.
+///
+/// Arithmetic is performed by widening to `f32` (exact: every f16 is exactly
+/// representable in f32) and rounding the result back — the same semantics as
+/// a hardware FP16 fused pipeline without FP32 accumulation. Tensor-core-style
+/// FP32 accumulation is modeled by the GEMM kernels, which keep the partial
+/// sums in `f32` and only round the *inputs*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct F16(pub u16);
+
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+
+impl F16 {
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value, 2^-24.
+    pub const MIN_POSITIVE_SUBNORMAL: F16 = F16(0x0001);
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+
+    /// Convert from `f32` with IEEE round-to-nearest-even.
+    pub fn from_f32(value: f32) -> F16 {
+        F16(f32_to_f16_bits(value))
+    }
+
+    /// Convert from `f64` (rounds twice: f64→f32→f16; double rounding error
+    /// is below the f16 ulp for all inputs of interest and matches how data
+    /// reaches tensor cores through an FP32 staging buffer).
+    pub fn from_f64(value: f64) -> F16 {
+        F16(f32_to_f16_bits(value as f32))
+    }
+
+    /// Widen to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Widen to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Construct from a raw bit pattern.
+    pub const fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// True for ±∞.
+    pub const fn is_infinite(self) -> bool {
+        self.0 & 0x7FFF == 0x7C00
+    }
+
+    /// True for any NaN payload.
+    pub const fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True for zero, subnormal, or normal values.
+    pub const fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// True for nonzero values with a zero exponent field.
+    pub const fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl From<F16> for f64 {
+    fn from(v: F16) -> Self {
+        v.to_f64()
+    }
+}
+
+impl std::ops::Add for F16 {
+    type Output = F16;
+    fn add(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl std::ops::Sub for F16 {
+    type Output = F16;
+    fn sub(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl std::ops::Mul for F16 {
+    type Output = F16;
+    fn mul(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl std::ops::Neg for F16 {
+    type Output = F16;
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Convert an `f32` bit pattern to the nearest `f16` bit pattern
+/// (round-to-nearest, ties-to-even).
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let x = value.to_bits();
+    let sign = ((x >> 16) & 0x8000) as u16;
+    let abs = x & 0x7FFF_FFFF;
+
+    // NaN / infinity.
+    if abs >= 0x7F80_0000 {
+        return if abs > 0x7F80_0000 {
+            // Quiet NaN, preserving the sign; force a nonzero payload.
+            sign | 0x7E00
+        } else {
+            sign | 0x7C00
+        };
+    }
+
+    let unbiased_exp = ((abs >> 23) as i32) - 127;
+    let man = abs & 0x007F_FFFF;
+
+    if unbiased_exp >= 16 {
+        // Magnitude ≥ 2^16: rounds to infinity (max finite f16 is 65504).
+        return sign | 0x7C00;
+    }
+
+    if unbiased_exp >= -14 {
+        // Normal range. Keep the top 10 mantissa bits, round on bit 12.
+        let half_exp = ((unbiased_exp + 15) as u16) << 10;
+        let half_man = (man >> 13) as u16;
+        let mut out = sign | half_exp | half_man;
+        let round_bit = 0x0000_1000u32;
+        if (man & round_bit) != 0 && ((man & (round_bit - 1)) != 0 || (half_man & 1) != 0) {
+            // Carry may propagate into the exponent; for 65504 < |x| < 65536
+            // this correctly produces infinity.
+            out += 1;
+        }
+        return out;
+    }
+
+    if unbiased_exp < -25 {
+        // Below half of the smallest subnormal quantum: flush to signed zero.
+        return sign;
+    }
+
+    // Subnormal result: value = (implicit1.man) * 2^unbiased_exp, quantum 2^-24.
+    let man = man | 0x0080_0000;
+    let shift = (-1 - unbiased_exp) as u32; // in 14..=24
+    let half_man = (man >> shift) as u16;
+    let round_bit = 1u32 << (shift - 1);
+    let mut out = sign | half_man;
+    if (man & round_bit) != 0 && ((man & (round_bit - 1)) != 0 || (half_man & 1) != 0) {
+        out += 1; // may promote the smallest normal, which is correct
+    }
+    out
+}
+
+/// Convert an `f16` bit pattern to `f32` exactly.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1F;
+    let man = (h & MAN_MASK) as u32;
+    if exp == 0 {
+        if man == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal: man * 2^-24.
+        let v = man as f32 * f32::from_bits(0x3380_0000);
+        return f32::from_bits(v.to_bits() | sign);
+    }
+    if exp == 0x1F {
+        return f32::from_bits(sign | 0x7F80_0000 | (man << 13));
+    }
+    f32::from_bits(sign | ((exp as u32 + 112) << 23) | (man << 13))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048i32 {
+            let f = i as f32;
+            assert_eq!(F16::from_f32(f).to_f32(), f, "integer {i}");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).to_bits(), 0xC000);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(F16::from_f32(f32::INFINITY).to_bits(), 0x7C00);
+        assert_eq!(F16::from_f32(-f32::INFINITY).to_bits(), 0xFC00);
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        // 2^-24 = smallest subnormal
+        assert_eq!(F16::from_f32(5.9604645e-8).to_bits(), 0x0001);
+        // 2^-14 = smallest normal
+        assert_eq!(F16::from_f32(6.103515625e-5).to_bits(), 0x0400);
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        // 65520 is exactly halfway between 65504 and 65536 → ties to even →
+        // rounds up to "65536" which is infinity.
+        assert!(F16::from_f32(65520.0).is_infinite());
+        // Just below the halfway point stays at MAX.
+        assert_eq!(F16::from_f32(65519.0).to_bits(), 0x7BFF);
+        assert!(F16::from_f32(1e9).is_infinite());
+    }
+
+    #[test]
+    fn underflow_flushes_to_zero() {
+        // Half of the smallest subnormal is a tie → even → zero.
+        assert_eq!(F16::from_f32(2.9802322e-8).to_bits(), 0x0000);
+        // Slightly above the tie rounds to the smallest subnormal.
+        assert_eq!(F16::from_f32(3.0e-8).to_bits(), 0x0001);
+        assert_eq!(F16::from_f32(1e-20).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-1e-20).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16 (1+2^-10):
+        // ties to even keeps 1.0.
+        assert_eq!(F16::from_f32(1.0 + 0.00048828125).to_bits(), 0x3C00);
+        // (1 + 2^-10) + 2^-11 is halfway and the lower neighbor is odd →
+        // rounds up to 1 + 2^-9.
+        let x = 1.0 + 0.0009765625 + 0.00048828125;
+        assert_eq!(F16::from_f32(x).to_bits(), 0x3C02);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn roundtrip_all_finite_f16_bit_patterns() {
+        // Every finite f16 is exactly representable in f32 and must survive
+        // the round trip bit-for-bit.
+        for bits in 0u16..=0xFFFF {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_via_f32() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((a - b).to_f32(), -0.75);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_ulp() {
+        // Relative error of normal-range rounding is at most 2^-11.
+        let mut x = 1.000123f32;
+        for _ in 0..200 {
+            let r = F16::from_f32(x).to_f32();
+            let rel = ((r - x) / x).abs();
+            assert!(rel <= 1.0 / 2048.0, "x={x} r={r} rel={rel}");
+            x *= 1.37;
+            if x > 60000.0 {
+                break;
+            }
+        }
+    }
+}

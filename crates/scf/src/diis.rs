@@ -1,0 +1,190 @@
+//! Pulay DIIS (direct inversion in the iterative subspace) convergence
+//! acceleration.
+//!
+//! The error vector is the orthonormal-basis commutator `Xᵀ(FDS − SDF)X`;
+//! the extrapolated Fock matrix minimizes the norm of the linear combination
+//! of stored error vectors subject to Σc = 1, solved via the augmented
+//! B-matrix system.
+
+use mako_linalg::{gemm, Matrix, Transpose};
+
+/// DIIS accelerator state.
+pub struct Diis {
+    max_vectors: usize,
+    focks: Vec<Matrix>,
+    errors: Vec<Matrix>,
+}
+
+impl Diis {
+    /// New accelerator keeping up to `max_vectors` history entries.
+    pub fn new(max_vectors: usize) -> Diis {
+        Diis {
+            max_vectors: max_vectors.max(2),
+            focks: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// The DIIS error `Xᵀ (F D S − S D F) X`.
+    pub fn error_vector(f: &Matrix, d: &Matrix, s: &Matrix, x: &Matrix) -> Matrix {
+        let fds = gemm(&gemm(f, Transpose::No, d, Transpose::No), Transpose::No, s, Transpose::No);
+        let sdf = gemm(&gemm(s, Transpose::No, d, Transpose::No), Transpose::No, f, Transpose::No);
+        let comm = fds.sub(&sdf);
+        let half = gemm(x, Transpose::Yes, &comm, Transpose::No);
+        gemm(&half, Transpose::No, x, Transpose::No)
+    }
+
+    /// Push a (Fock, error) pair and return the extrapolated Fock matrix.
+    /// Falls back to the raw Fock while the history is too short or the
+    /// B system is singular.
+    pub fn extrapolate(&mut self, f: Matrix, error: Matrix) -> Matrix {
+        self.focks.push(f);
+        self.errors.push(error);
+        if self.focks.len() > self.max_vectors {
+            self.focks.remove(0);
+            self.errors.remove(0);
+        }
+        let m = self.focks.len();
+        if m < 2 {
+            return self.focks.last().unwrap().clone();
+        }
+
+        // Augmented B system: [B 1; 1 0][c; λ] = [0; 1].
+        let dim = m + 1;
+        let mut b = Matrix::zeros(dim, dim);
+        for i in 0..m {
+            for j in 0..m {
+                b[(i, j)] = self.errors[i].dot(&self.errors[j]);
+            }
+            b[(i, m)] = 1.0;
+            b[(m, i)] = 1.0;
+        }
+        let mut rhs = vec![0.0; dim];
+        rhs[m] = 1.0;
+
+        match solve_dense(&b, &rhs) {
+            Some(c) => {
+                let shape = &self.focks[0];
+                let mut out = Matrix::zeros(shape.rows(), shape.cols());
+                for (ci, fi) in c.iter().take(m).zip(&self.focks) {
+                    out.axpy(*ci, fi);
+                }
+                out
+            }
+            None => self.focks.last().unwrap().clone(),
+        }
+    }
+
+    /// RMS of the latest error vector (convergence measure).
+    pub fn last_error_norm(&self) -> f64 {
+        self.errors
+            .last()
+            .map(|e| e.norm_fro() / (e.rows() as f64))
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Dense Gaussian elimination with partial pivoting (the DIIS B system is
+/// tiny and possibly indefinite, so Cholesky doesn't apply).
+fn solve_dense(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in (col + 1)..n {
+            if m[(r, col)].abs() > m[(piv, col)].abs() {
+                piv = r;
+            }
+        }
+        if m[(piv, col)].abs() < 1e-14 {
+            return None;
+        }
+        if piv != col {
+            for c in 0..n {
+                let t = m[(col, c)];
+                m[(col, c)] = m[(piv, c)];
+                m[(piv, c)] = t;
+            }
+            x.swap(col, piv);
+        }
+        let inv = 1.0 / m[(col, col)];
+        for r in (col + 1)..n {
+            let f = m[(r, col)] * inv;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[(r, c)] -= f * m[(col, c)];
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let mut s = x[col];
+        for c in (col + 1)..n {
+            s -= m[(col, c)] * x[c];
+        }
+        x[col] = s / m[(col, col)];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_dense_recovers_solution() {
+        let a = Matrix::from_vec(3, 3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0]);
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = solve_dense(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_dense_rejects_singular() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(solve_dense(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn first_fock_passes_through() {
+        let mut diis = Diis::new(6);
+        let f = Matrix::identity(3);
+        let e = Matrix::zeros(3, 3);
+        let out = diis.extrapolate(f.clone(), e);
+        assert_eq!(out, f);
+    }
+
+    #[test]
+    fn extrapolation_weights_sum_to_one() {
+        // Two Focks F1 and F2 with opposite errors: DIIS should return
+        // close to the mean (the combination canceling the errors).
+        let mut diis = Diis::new(6);
+        let f1 = Matrix::identity(2);
+        let f2 = Matrix::identity(2).scale(3.0);
+        let mut e1 = Matrix::zeros(2, 2);
+        e1[(0, 0)] = 1.0;
+        let e2 = e1.scale(-1.0);
+        let _ = diis.extrapolate(f1, e1);
+        let out = diis.extrapolate(f2, e2);
+        // c = (0.5, 0.5) exactly.
+        assert!((out[(0, 0)] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn error_vector_vanishes_at_convergence() {
+        // If F and D commute through S (e.g. all diagonal), error is zero.
+        let f = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]);
+        let d = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 0.0]);
+        let s = Matrix::identity(2);
+        let x = Matrix::identity(2);
+        let e = Diis::error_vector(&f, &d, &s, &x);
+        assert!(e.norm_fro() < 1e-14);
+    }
+}

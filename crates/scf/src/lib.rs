@@ -1,0 +1,42 @@
+//! # mako-scf
+//!
+//! The self-consistent-field / density-functional-theory driver of the Mako
+//! reproduction: the end-to-end workflow the paper's Figures 8–10 measure.
+//!
+//! A DFT iteration has three stages (paper §2.1): ERI evaluation (via the
+//! Mako pipelines of `mako-kernels`, scheduled by `mako-quant`), the
+//! exchange-correlation treatment (numerical quadrature assembled as
+//! triple-product MatMuls), and Fock-matrix diagonalization (the dense
+//! symmetric eigensolver of `mako-linalg`). This crate provides:
+//!
+//! * [`fock`] — Coulomb/exchange (J/K) builds from screened shell-quartet
+//!   batches with full 8-fold permutational symmetry, dual-stage
+//!   accumulation into FP64 Fock buffers, and per-batch FP64/quantized/
+//!   pruned scheduling;
+//! * [`grid`] + [`xc`] — a molecular quadrature grid (Becke partitioning,
+//!   Gauss-Chebyshev radial, Gauss-Legendre × uniform-φ angular) and the
+//!   B3LYP exchange-correlation stack (Slater, VWN5, Becke88, LYP) with
+//!   MatMul-style matrix assembly;
+//! * [`diis`] — Pulay DIIS convergence acceleration;
+//! * [`scf`] — restricted Hartree–Fock and restricted Kohn–Sham drivers
+//!   with simulated-device timing per iteration;
+//! * [`parallel`] — the multi-GPU execution model for the Figure 10
+//!   scalability experiment.
+
+pub mod diis;
+pub mod fock;
+pub mod grid;
+pub mod mp2;
+pub mod properties;
+pub mod parallel;
+pub mod scf;
+pub mod xc;
+
+pub use diis::Diis;
+pub use fock::{build_jk, FockBuildStats, JkMatrices};
+pub use grid::MolecularGrid;
+pub use mp2::{mp2_from_orbitals, Mp2Result};
+pub use parallel::build_jk_distributed;
+pub use properties::{dipole_moment, mulliken_charges, Dipole};
+pub use scf::{ScfConfig, ScfDriver, ScfMethod, ScfResult};
+pub use xc::{b3lyp, XcFunctional};

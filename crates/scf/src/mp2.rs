@@ -1,0 +1,310 @@
+//! MP2 correlation energy on top of a converged RHF reference.
+//!
+//! Second-order Møller–Plesset theory is the natural "next rung" for a
+//! matrix-aligned stack (the paper's related work runs biomolecular MP2 on
+//! GPUs): the dominant cost is the AO→MO four-index transformation, four
+//! successive GEMM-shaped contractions — exactly the execution pattern Mako
+//! targets. This implementation stores the AO tensor densely, so it is meant
+//! for the validation-scale systems (STO-3G suite), not production sizes.
+//!
+//! `E(2) = Σ_{ijab} (ia|jb) · [2 (ia|jb) − (ib|ja)] / (εᵢ + εⱼ − εₐ − ε_b)`.
+
+use mako_chem::{AoLayout, Molecule, Shell};
+use mako_eri::mmd::{eri_quartet_mmd, shell_pair};
+use mako_linalg::Matrix;
+
+/// Result of an MP2 evaluation.
+#[derive(Debug, Clone)]
+pub struct Mp2Result {
+    /// The correlation energy (negative).
+    pub e_corr: f64,
+    /// Same-spin (triplet-like) component.
+    pub e_ss: f64,
+    /// Opposite-spin component.
+    pub e_os: f64,
+}
+
+/// Compute the closed-shell MP2 correlation energy.
+///
+/// * `c` — MO coefficients (AO × MO, columns ordered by `eps`),
+/// * `eps` — orbital energies ascending,
+/// * `n_occ` — doubly occupied orbital count.
+///
+/// Builds the dense AO ERI tensor via the MMD engine (O(N⁴) memory — small
+/// systems only) and performs the quarter transformations as explicit
+/// loops-over-GEMM-shaped contractions.
+pub fn mp2_energy(
+    shells: &[Shell],
+    layout: &AoLayout,
+    _mol: &Molecule,
+    c: &Matrix,
+    eps: &[f64],
+    n_occ: usize,
+) -> Mp2Result {
+    let n = layout.nao;
+    assert_eq!(c.rows(), n);
+    let n_virt = n - n_occ;
+    if n_virt == 0 {
+        return Mp2Result {
+            e_corr: 0.0,
+            e_ss: 0.0,
+            e_os: 0.0,
+        };
+    }
+
+    // Dense AO tensor (μν|λσ).
+    let idx = |a: usize, b: usize, cc: usize, d: usize| ((a * n + b) * n + cc) * n + d;
+    let mut ao = vec![0.0f64; n * n * n * n];
+    for (si, sh_i) in shells.iter().enumerate() {
+        for (sj, sh_j) in shells.iter().enumerate() {
+            let pab = shell_pair(sh_i, sh_j);
+            for (sk, sh_k) in shells.iter().enumerate() {
+                for (sl, sh_l) in shells.iter().enumerate() {
+                    let pcd = shell_pair(sh_k, sh_l);
+                    let t = eri_quartet_mmd(&pab, &pcd);
+                    let (oi, oj, ok, ol) = (
+                        layout.shell_offsets[si],
+                        layout.shell_offsets[sj],
+                        layout.shell_offsets[sk],
+                        layout.shell_offsets[sl],
+                    );
+                    for a in 0..t.dims[0] {
+                        for b in 0..t.dims[1] {
+                            for cc in 0..t.dims[2] {
+                                for d in 0..t.dims[3] {
+                                    ao[idx(oi + a, oj + b, ok + cc, ol + d)] =
+                                        t.get(a, b, cc, d);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Quarter transformations: (μν|λσ) → (iν|λσ) → (ia|λσ) → (ia|jσ) → (ia|jb).
+    // Each step is a GEMM over one index; written as explicit contractions
+    // on the flattened tensor for clarity at validation scale.
+    let occ = |o: usize| o; // MO columns 0..n_occ
+    let virt = |v: usize| n_occ + v;
+
+    // Step 1+2: half-transform the bra pair to (ia|λσ).
+    let mut half = vec![0.0f64; n_occ * n_virt * n * n];
+    let hidx = |i: usize, a: usize, l: usize, s: usize| ((i * n_virt + a) * n + l) * n + s;
+    for i in 0..n_occ {
+        for a in 0..n_virt {
+            for l in 0..n {
+                for s in 0..n {
+                    let mut acc = 0.0;
+                    for mu in 0..n {
+                        let ci = c[(mu, occ(i))];
+                        if ci == 0.0 {
+                            continue;
+                        }
+                        let mut inner = 0.0;
+                        for nu in 0..n {
+                            inner += c[(nu, virt(a))] * ao[idx(mu, nu, l, s)];
+                        }
+                        acc += ci * inner;
+                    }
+                    half[hidx(i, a, l, s)] = acc;
+                }
+            }
+        }
+    }
+    drop(ao);
+
+    // Step 3+4: transform the ket pair, accumulating the MP2 sum on the fly
+    // (no (ia|jb) tensor is materialized).
+    let mut e_os = 0.0f64;
+    let mut e_ss = 0.0f64;
+    let mut iajb = Matrix::zeros(n_virt, n_virt);
+    for i in 0..n_occ {
+        for j in 0..n_occ {
+            // (ia|jb) for all a, b at fixed (i, j).
+            for a in 0..n_virt {
+                for b in 0..n_virt {
+                    let mut acc = 0.0;
+                    for l in 0..n {
+                        let cj = c[(l, occ(j))];
+                        if cj == 0.0 {
+                            continue;
+                        }
+                        let mut inner = 0.0;
+                        for s in 0..n {
+                            inner += c[(s, virt(b))] * half[hidx(i, a, l, s)];
+                        }
+                        acc += cj * inner;
+                    }
+                    iajb[(a, b)] = acc;
+                }
+            }
+            for a in 0..n_virt {
+                for b in 0..n_virt {
+                    let v = iajb[(a, b)];
+                    let w = iajb[(b, a)]; // (ib|ja)
+                    let denom = eps[occ(i)] + eps[occ(j)] - eps[virt(a)] - eps[virt(b)];
+                    e_os += v * v / denom;
+                    e_ss += v * (v - w) / denom;
+                }
+            }
+        }
+    }
+
+    Mp2Result {
+        e_corr: e_os + e_ss,
+        e_ss,
+        e_os,
+    }
+}
+
+/// Convenience: run MP2 from a converged [`crate::ScfResult`]-style pair of
+/// orbital data.
+pub fn mp2_from_orbitals(
+    shells: &[Shell],
+    mol: &Molecule,
+    c: &Matrix,
+    eps: &[f64],
+) -> Mp2Result {
+    let layout = AoLayout::new(shells);
+    let n_occ = mol.n_electrons() / 2;
+    mp2_energy(shells, &layout, mol, c, eps, n_occ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scf::{ScfConfig, ScfDriver};
+    use mako_chem::basis::sto3g::sto3g;
+    use mako_chem::builders;
+    use mako_eri::one_electron_matrices;
+    use mako_linalg::{eigh, gemm, sym_inv_sqrt, Transpose};
+
+    /// Recover MO coefficients from a converged density via one extra Fock
+    /// diagonalization of H within the SCF machinery — here we simply rerun
+    /// the driver and rebuild C from the final density-consistent Fock.
+    fn orbitals_for(mol: &Molecule) -> (Vec<Shell>, Matrix, Vec<f64>) {
+        let basis = sto3g();
+        let shells = basis.shells_for(mol);
+        let res = ScfDriver::new(mol, &basis, ScfConfig::default()).run();
+        assert!(res.converged);
+        // Rebuild C by diagonalizing the converged Fock implied by D:
+        // use the generalized eigenproblem of the *core* + J/K of D via the
+        // driver's own result: simplest faithful route is to rediagonalize
+        // the Fock built from the converged density.
+        let layout = mako_chem::AoLayout::new(&shells);
+        let (s, t, v) = one_electron_matrices(&shells, mol);
+        let h = t.add(&v);
+        let x = sym_inv_sqrt(&s, 1e-10).unwrap();
+        // Dense J/K from the converged density (small system).
+        let n = layout.nao;
+        let mut f = h.clone();
+        for (si, sh_i) in shells.iter().enumerate() {
+            for (sj, sh_j) in shells.iter().enumerate() {
+                let pab = shell_pair(sh_i, sh_j);
+                for (sk, sh_k) in shells.iter().enumerate() {
+                    for (sl, sh_l) in shells.iter().enumerate() {
+                        let pcd = shell_pair(sh_k, sh_l);
+                        let tq = eri_quartet_mmd(&pab, &pcd);
+                        let (oi, oj, ok, ol) = (
+                            layout.shell_offsets[si],
+                            layout.shell_offsets[sj],
+                            layout.shell_offsets[sk],
+                            layout.shell_offsets[sl],
+                        );
+                        for a in 0..tq.dims[0] {
+                            for b in 0..tq.dims[1] {
+                                for cc in 0..tq.dims[2] {
+                                    for d in 0..tq.dims[3] {
+                                        let val = tq.get(a, b, cc, d);
+                                        // F += D_{λσ} [2 (μν|λσ) − (μλ|νσ)]
+                                        f[(oi + a, oj + b)] +=
+                                            2.0 * res.density[(ok + cc, ol + d)] * val;
+                                        f[(oi + a, ok + cc)] -=
+                                            res.density[(oj + b, ol + d)] * val;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        f.symmetrize();
+        let fp = gemm(&gemm(&x, Transpose::Yes, &f, Transpose::No), Transpose::No, &x, Transpose::No);
+        let ed = eigh(&fp).unwrap();
+        let c = gemm(&x, Transpose::No, &ed.vectors, Transpose::No);
+        let _ = n;
+        (shells, c, ed.values)
+    }
+
+    #[test]
+    fn water_mp2_correlation_is_negative_and_sane() {
+        let mol = builders::water();
+        let (shells, c, eps) = orbitals_for(&mol);
+        let mp2 = mp2_from_orbitals(&shells, &mol, &c, &eps);
+        // H2O/STO-3G MP2 correlation energy is ≈ −0.049 Ha (Crawford
+        // programming-project reference ballpark: −0.049150).
+        assert!(mp2.e_corr < -0.02 && mp2.e_corr > -0.10, "E(2) = {}", mp2.e_corr);
+        assert!(mp2.e_os < 0.0 && mp2.e_ss < 0.0);
+        assert!(
+            (mp2.e_corr - (mp2.e_os + mp2.e_ss)).abs() < 1e-14,
+            "components sum"
+        );
+        // Opposite-spin dominates in closed-shell MP2.
+        assert!(mp2.e_os.abs() > mp2.e_ss.abs());
+    }
+
+    #[test]
+    fn h2_mp2_size_consistency() {
+        // MP2 is size-consistent: E(2) of two distant H2 equals twice one.
+        let mut h2 = Molecule::new("H2");
+        h2.atoms.push(mako_chem::Atom {
+            element: mako_chem::Element::H,
+            position: [0.0, 0.0, 0.0],
+        });
+        h2.atoms.push(mako_chem::Atom {
+            element: mako_chem::Element::H,
+            position: [0.0, 0.0, 1.4],
+        });
+        let (shells, c, eps) = orbitals_for(&h2);
+        let one = mp2_from_orbitals(&shells, &h2, &c, &eps);
+
+        let mut dimer = h2.clone();
+        for atom in &h2.atoms {
+            let mut a = *atom;
+            a.position[0] += 60.0;
+            dimer.atoms.push(a);
+        }
+        let (shells2, c2, eps2) = orbitals_for(&dimer);
+        let two = mp2_from_orbitals(&shells2, &dimer, &c2, &eps2);
+        assert!(
+            (two.e_corr - 2.0 * one.e_corr).abs() < 1e-6,
+            "{} vs 2×{}",
+            two.e_corr,
+            one.e_corr
+        );
+    }
+
+    #[test]
+    fn minimal_basis_h2_has_single_pair_excitation() {
+        // H2/STO-3G: 1 occupied, 1 virtual → E(2) = (ia|ia)² ·
+        // [2−1] / denom; the same-spin part vanishes identically.
+        let mut h2 = Molecule::new("H2");
+        h2.atoms.push(mako_chem::Atom {
+            element: mako_chem::Element::H,
+            position: [0.0, 0.0, 0.0],
+        });
+        h2.atoms.push(mako_chem::Atom {
+            element: mako_chem::Element::H,
+            position: [0.0, 0.0, 1.4],
+        });
+        let (shells, c, eps) = orbitals_for(&h2);
+        let mp2 = mp2_from_orbitals(&shells, &h2, &c, &eps);
+        assert!(mp2.e_ss.abs() < 1e-14, "same-spin must vanish: {}", mp2.e_ss);
+        assert!(mp2.e_corr < -0.005 && mp2.e_corr > -0.05, "E(2) = {}", mp2.e_corr);
+    }
+
+    use mako_eri::mmd::{eri_quartet_mmd, shell_pair};
+}

@@ -1,0 +1,48 @@
+//! Water clusters with and without QuantMako: accuracy and device-time
+//! comparison on a compact, globular workload (the paper's (H₂O)ₙ family).
+//!
+//! ```sh
+//! cargo run --release -p mako --example water_cluster_quantized
+//! ```
+
+use mako::prelude::*;
+
+fn main() {
+    println!("QuantMako on water clusters — FP64 vs quantized SCF");
+    println!(
+        "{:<10} {:>5} {:>16} {:>16} {:>12} {:>9} {:>9}",
+        "system", "nao", "E(FP64)/Ha", "E(quant)/Ha", "|ΔE|/mHa", "quant%", "speedup"
+    );
+
+    for n in [1usize, 2, 3] {
+        let mol = mako::chem::builders::water_cluster(n);
+        let fp64 = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g);
+        let quant = MakoEngine::new()
+            .with_quantization(true)
+            .run_rhf(&mol, BasisFamily::Sto3g);
+        let total_q = quant.stats.fp64_quartets + quant.stats.quantized_quartets;
+        let quant_frac = if total_q > 0 {
+            100.0 * quant.stats.quantized_quartets as f64 / total_q as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:>5} {:>16.8} {:>16.8} {:>12.4} {:>8.1}% {:>8.2}x",
+            mol.name,
+            fp64.density.rows(),
+            fp64.energy,
+            quant.energy,
+            (quant.energy - fp64.energy).abs() * 1e3,
+            quant_frac,
+            fp64.avg_iteration_seconds / quant.avg_iteration_seconds,
+        );
+        assert!(
+            (quant.energy - fp64.energy).abs() < 1e-3,
+            "chemical accuracy must hold"
+        );
+    }
+
+    println!("\nAll quantized energies agree with FP64 within 1 mHartree —");
+    println!("the paper's accuracy criterion (Table 3) — while the quantized");
+    println!("iterations run faster on the simulated tensor cores.");
+}

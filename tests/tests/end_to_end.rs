@@ -1,0 +1,99 @@
+//! Integration tests spanning the whole Mako workspace through the facade
+//! crate: molecule → basis → screening → tuned kernels → SCF → energy.
+
+use mako::prelude::*;
+
+#[test]
+fn water_rhf_full_stack() {
+    let res = MakoEngine::new().run_rhf(&mako::chem::builders::water(), BasisFamily::Sto3g);
+    assert!(res.converged);
+    assert!((res.energy - (-74.963)).abs() < 0.02, "E = {}", res.energy);
+    // Energy decomposition sanity.
+    assert!(res.e_nuclear > 0.0);
+    assert!(res.energy - res.e_nuclear < -80.0, "electronic energy strongly negative");
+}
+
+#[test]
+fn methane_and_ammonia_rhf() {
+    // CH4/STO-3G ≈ −39.73 Ha, NH3/STO-3G ≈ −55.45 Ha (textbook values).
+    let engine = MakoEngine::new();
+    let ch4 = engine.run_rhf(&mako::chem::builders::methane(), BasisFamily::Sto3g);
+    assert!(ch4.converged);
+    assert!((ch4.energy - (-39.73)).abs() < 0.05, "E(CH4) = {}", ch4.energy);
+
+    let nh3 = engine.run_rhf(&mako::chem::builders::ammonia(), BasisFamily::Sto3g);
+    assert!(nh3.converged);
+    assert!((nh3.energy - (-55.45)).abs() < 0.05, "E(NH3) = {}", nh3.energy);
+}
+
+#[test]
+fn size_consistency_of_distant_waters() {
+    // Two waters 100 Å apart must give twice the monomer energy.
+    let engine = MakoEngine::new();
+    let mono = engine.run_rhf(&mako::chem::builders::water(), BasisFamily::Sto3g);
+
+    let mut dimer = mako::chem::builders::water();
+    let far = mako::chem::builders::water();
+    for mut atom in far.atoms {
+        atom.position[2] += 100.0 * mako::chem::BOHR_PER_ANGSTROM;
+        dimer.atoms.push(atom);
+    }
+    dimer.name = "2 x H2O (far)".into();
+    let res = engine.run_rhf(&dimer, BasisFamily::Sto3g);
+    assert!(res.converged);
+    assert!(
+        (res.energy - 2.0 * mono.energy).abs() < 1e-6,
+        "size consistency violated: {} vs 2×{}",
+        res.energy,
+        mono.energy
+    );
+}
+
+#[test]
+fn quantized_path_is_chemically_accurate_on_dimer() {
+    let mol = mako::chem::builders::water_cluster(2);
+    let fp64 = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g);
+    let quant = MakoEngine::new()
+        .with_quantization(true)
+        .run_rhf(&mol, BasisFamily::Sto3g);
+    assert!(fp64.converged && quant.converged);
+    assert!(
+        (fp64.energy - quant.energy).abs() < 1e-3,
+        "Δ = {} Ha",
+        (fp64.energy - quant.energy).abs()
+    );
+    assert!(quant.stats.quantized_quartets > 0);
+}
+
+#[test]
+fn rotation_invariance_of_total_energy() {
+    // Rigidly rotating the molecule must not change the energy — exercises
+    // the solid-harmonic machinery across all shells.
+    let engine = MakoEngine::new();
+    let base = mako::chem::builders::ammonia();
+    let e0 = engine.run_rhf(&base, BasisFamily::Sto3g).energy;
+
+    let (s, c) = (0.6f64.sin(), 0.6f64.cos());
+    let mut rotated = base.clone();
+    for atom in &mut rotated.atoms {
+        let [x, y, z] = atom.position;
+        atom.position = [c * x - s * y, s * x + c * y, z];
+    }
+    let e1 = engine.run_rhf(&rotated, BasisFamily::Sto3g).energy;
+    assert!((e0 - e1).abs() < 1e-9, "rotation changed E by {}", (e0 - e1).abs());
+}
+
+#[test]
+fn virial_ratio_near_two() {
+    // At the SCF minimum ⟨V⟩/⟨T⟩ ≈ −2 (virial theorem; basis-set error
+    // keeps it within a few percent).
+    let mol = mako::chem::builders::water();
+    let basis = BasisFamily::Sto3g.basis_for(&mol.elements());
+    let shells = basis.shells_for(&mol);
+    let res = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g);
+    let (_, t, _) = mako::eri::one_electron_matrices(&shells, &mol);
+    let kinetic = 2.0 * res.density.dot(&t);
+    let potential = res.energy - kinetic;
+    let ratio = potential / kinetic;
+    assert!((ratio + 2.0).abs() < 0.05, "virial ratio {ratio}");
+}
