@@ -14,11 +14,10 @@ pub fn blocks_per_sm(device: &DeviceSpec, smem_per_block: usize, threads_per_blo
     if smem_per_block > device.smem_per_sm || threads_per_block == 0 {
         return 0;
     }
-    let by_smem = if smem_per_block == 0 {
-        usize::MAX
-    } else {
-        device.smem_per_sm / smem_per_block
-    };
+    let by_smem = device
+        .smem_per_sm
+        .checked_div(smem_per_block)
+        .unwrap_or(usize::MAX);
     let by_threads = device.max_threads_per_sm / threads_per_block.max(1);
     by_smem.min(by_threads).min(32)
 }

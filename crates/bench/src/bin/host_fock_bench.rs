@@ -1,0 +1,182 @@
+//! Host-side Fock assembly benchmark: serial single-buffer build vs the
+//! parallel assembly engine at 1/2/4/8 threads on `sample/water60.xyz`
+//! (STO-3G), verifying along the way that every parallel run is **bitwise
+//! identical** to the serial baseline — J, K, the two-electron energy, the
+//! scheduler stats, and the simulated `device_seconds` may not drift by a
+//! single bit (host parallelism must never touch the device clock).
+//!
+//! Results land in `BENCH_fock.json`. Wall-clock speedup is bounded by the
+//! host's actual core count (recorded as `host_cpus`); the bitwise checks
+//! hold regardless.
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin host_fock_bench
+//! ```
+//!
+//! Knobs: `MAKO_BENCH_SCREEN` (Schwarz threshold, default 1e-5),
+//! `MAKO_BENCH_MAX_QUARTETS` (deterministic workload cap, default 40000).
+
+use mako_accel::{CostModel, DeviceSpec};
+use mako_chem::basis::sto3g::sto3g;
+use mako_chem::{AoLayout, Molecule};
+use mako_eri::batch::batch_quartets;
+use mako_eri::screening::build_screened_pairs;
+use mako_kernels::pipeline::PipelineConfig;
+use mako_linalg::Matrix;
+use mako_quant::QuantSchedule;
+use mako_scf::fock::{build_jk, build_jk_serial, FockBuildStats, JkMatrices};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.as_slice().len() == b.as_slice().len()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Two-electron energy `Tr[D(J - K/2)]` — a single scalar that fingerprints
+/// both matrices.
+fn two_electron_energy(d: &Matrix, jk: &JkMatrices) -> f64 {
+    d.dot(&jk.j) - 0.5 * d.dot(&jk.k)
+}
+
+fn main() {
+    let xyz = std::fs::read_to_string("sample/water60.xyz")
+        .expect("run from the workspace root: sample/water60.xyz not found");
+    let mol = Molecule::from_xyz(&xyz).expect("parse water60.xyz");
+    let shells = sto3g().shells_for(&mol);
+    let layout = AoLayout::new(&shells);
+
+    let screen = env_f64("MAKO_BENCH_SCREEN", 1e-5);
+    let cap = env_usize("MAKO_BENCH_MAX_QUARTETS", 40_000);
+
+    let pairs = build_screened_pairs(&shells, screen);
+    let mut batches = batch_quartets(&pairs, 1e-10);
+    // Deterministic workload cap so the benchmark fits a single-core CI box:
+    // trim every batch proportionally (keeping each class represented, since
+    // batches are grouped by angular-momentum class). The cap changes how
+    // much work is timed, never what any given build computes.
+    let total: usize = batches.iter().map(|b| b.quartets.len()).sum();
+    if total > cap {
+        for b in &mut batches {
+            let keep = (b.quartets.len() * cap / total).max(1);
+            b.quartets.truncate(keep);
+        }
+    }
+    batches.retain(|b| !b.quartets.is_empty());
+    let quartets: usize = batches.iter().map(|b| b.quartets.len()).sum();
+
+    // A mixed FP64/quantized schedule, as a mid-SCF iteration would see.
+    let schedule = QuantSchedule::for_iteration(1.0, 1e-7);
+    let model = CostModel::new(DeviceSpec::a100());
+    let fp64_cfg = PipelineConfig::kernel_mako_fp64();
+    let quant_cfg = PipelineConfig::quant_mako();
+    let n = layout.nao;
+    let mut density = Matrix::from_fn(n, n, |i, j| 0.3 / (1.0 + (i as f64 - j as f64).abs()));
+    density.symmetrize();
+
+    println!(
+        "host_fock_bench: water60 STO-3G  nao={n}  pairs={}  quartets={quartets} (screen {screen:.0e}, cap {cap})",
+        pairs.len()
+    );
+
+    let t0 = Instant::now();
+    let (jk_serial, st_serial) = build_jk_serial(
+        &density, &pairs, &batches, &layout, &schedule, &fp64_cfg, &quant_cfg, &model,
+    );
+    let serial_wall = t0.elapsed().as_secs_f64();
+    let e_serial = two_electron_energy(&density, &jk_serial);
+    println!(
+        "  serial baseline: {serial_wall:.3} s  (device clock {:.6} s, E2 {e_serial:.12} Ha)",
+        st_serial.device_seconds
+    );
+    println!(
+        "  schedule split: {} fp64 / {} quantized / {} pruned",
+        st_serial.fp64_quartets, st_serial.quantized_quartets, st_serial.pruned_quartets
+    );
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut rows: Vec<(usize, f64, bool)> = Vec::new();
+    let mut all_bitwise = true;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let t0 = Instant::now();
+        let (jk, st): (JkMatrices, FockBuildStats) = pool.install(|| {
+            build_jk(
+                &density, &pairs, &batches, &layout, &schedule, &fp64_cfg, &quant_cfg, &model,
+            )
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let bitwise = bits_equal(&jk.j, &jk_serial.j)
+            && bits_equal(&jk.k, &jk_serial.k)
+            && st == st_serial
+            && st.device_seconds.to_bits() == st_serial.device_seconds.to_bits()
+            && two_electron_energy(&density, &jk).to_bits() == e_serial.to_bits();
+        all_bitwise &= bitwise;
+        println!(
+            "  {threads} thread(s): {wall:.3} s  speedup {:.2}x  bitwise_identical={bitwise}",
+            serial_wall / wall
+        );
+        rows.push((threads, wall, bitwise));
+    }
+
+    assert!(
+        all_bitwise,
+        "parallel Fock build drifted from the serial baseline"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"host_fock_bench\",");
+    let _ = writeln!(json, "  \"molecule\": \"water60 (STO-3G)\",");
+    let _ = writeln!(json, "  \"nao\": {n},");
+    let _ = writeln!(json, "  \"screened_pairs\": {},", pairs.len());
+    let _ = writeln!(json, "  \"quartets\": {quartets},");
+    let _ = writeln!(json, "  \"schwarz_threshold\": {screen:e},");
+    let _ = writeln!(json, "  \"quartet_cap\": {cap},");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"fp64_quartets\": {},", st_serial.fp64_quartets);
+    let _ = writeln!(
+        json,
+        "  \"quantized_quartets\": {},",
+        st_serial.quantized_quartets
+    );
+    let _ = writeln!(json, "  \"pruned_quartets\": {},", st_serial.pruned_quartets);
+    let _ = writeln!(json, "  \"serial_wall_s\": {serial_wall:.6},");
+    let _ = writeln!(json, "  \"device_seconds\": {:.9},", st_serial.device_seconds);
+    let _ = writeln!(json, "  \"two_electron_energy_ha\": {e_serial:.12},");
+    let _ = writeln!(json, "  \"device_seconds_unchanged\": true,");
+    let _ = writeln!(json, "  \"bitwise_identical_all\": {all_bitwise},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, (threads, wall, bitwise)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"wall_s\": {wall:.6}, \"speedup\": {:.4}, \"bitwise_identical\": {bitwise}}}{comma}",
+            serial_wall / wall
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_fock.json", &json).expect("write BENCH_fock.json");
+    println!("\nwrote BENCH_fock.json");
+}

@@ -18,6 +18,8 @@
 //! Run one with `cargo run --release -p mako-bench --bin <target>`.
 //! The `benches/` directory adds Criterion microbenchmarks of the real
 //! (CPU-executed) numerical kernels.
+#![deny(rust_2018_idioms)]
+
 
 use mako_chem::basis::ShellDef;
 use mako_chem::Shell;
@@ -115,7 +117,7 @@ pub fn random_class_batch(
 
 fn factor(k: usize) -> (usize, usize) {
     let mut a = (k as f64).sqrt() as usize;
-    while a > 1 && k % a != 0 {
+    while a > 1 && !k.is_multiple_of(a) {
         a -= 1;
     }
     (a.max(1), k / a.max(1))

@@ -106,7 +106,7 @@ pub fn polyglycine(n: usize) -> Molecule {
     m.atoms.push(Atom::new_angstrom(Element::H, [-0.55, -0.55, -0.5]));
     // C-terminal OH.
     let xe = (n - 1) as f64 * pitch;
-    let flip = if (n - 1) % 2 == 0 { 1.0 } else { -1.0 };
+    let flip = if (n - 1).is_multiple_of(2) { 1.0 } else { -1.0 };
     m.atoms
         .push(Atom::new_angstrom(Element::O, [xe + 3.2, -0.35 * flip, -0.6]));
     m.atoms
@@ -186,7 +186,7 @@ pub fn synthetic_protein(natoms: usize, seed: u64) -> Molecule {
 
     let mut elements = Vec::with_capacity(natoms);
     for &(e, c) in &counts {
-        elements.extend(std::iter::repeat(e).take(c));
+        elements.extend(std::iter::repeat_n(e, c));
     }
     elements.truncate(natoms);
     // Deterministic interleave so chemistry is spatially mixed.

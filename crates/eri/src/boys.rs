@@ -177,8 +177,8 @@ mod tests {
         // F_m(0) = 1/(2m+1).
         let mut out = [0.0; M_MAX + 1];
         boys_reference(M_MAX, 0.0, &mut out);
-        for m in 0..=M_MAX {
-            assert!((out[m] - 1.0 / (2 * m + 1) as f64).abs() < 1e-15, "m={m}");
+        for (m, &f) in out.iter().enumerate() {
+            assert!((f - 1.0 / (2 * m + 1) as f64).abs() < 1e-15, "m={m}");
         }
     }
 

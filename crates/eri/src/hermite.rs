@@ -55,7 +55,7 @@ impl ETable {
                         v += t_buf[idx(i, j, t - 1)] / (2.0 * p);
                     }
                     v += x_pb * t_buf[idx(i, j, t)];
-                    if t + 1 <= i + j {
+                    if t < i + j {
                         v += (t + 1) as f64 * t_buf[idx(i, j, t + 1)];
                     }
                     t_buf[idx(i, j + 1, t)] = v;
@@ -230,7 +230,7 @@ mod tests {
         let row_xx = 0usize;
         assert_eq!(m[row_xx * 10 + 2], 0.0);
         assert_eq!(m[row_xx * 10 + 3], 0.0);
-        assert!(m[row_xx * 10 + 0] != 0.0);
+        assert!(m[row_xx * 10] != 0.0);
     }
 
     #[test]

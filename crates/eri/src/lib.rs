@@ -16,6 +16,8 @@
 //! ([`boys`]), Hermite expansion coefficients and Coulomb integrals
 //! ([`hermite`]), one-electron integrals ([`one_electron`]), Schwarz
 //! screening ([`screening`]), and ERI-class batching ([`batch`]).
+#![deny(rust_2018_idioms)]
+
 
 pub mod batch;
 pub mod boys;

@@ -7,6 +7,7 @@
 
 use crate::mmd::{eri_quartet_mmd, shell_pair, ShellPairData};
 use mako_chem::Shell;
+use rayon::prelude::*;
 
 /// A shell pair with its Schwarz bound and originating shell indices.
 #[derive(Debug, Clone)]
@@ -36,21 +37,25 @@ pub fn schwarz_bound(pair: &ShellPairData) -> f64 {
 
 /// Build all shell pairs `(i, j)` with `i ≥ j`, dropping those whose Schwarz
 /// bound falls below `threshold` (no quartet containing them can matter).
+///
+/// Pair construction and the O(nshell²) Schwarz bounds are embarrassingly
+/// parallel, so the (i, j) list fans out over the rayon pool; the output
+/// order is exactly the serial `i ≥ j` enumeration regardless of thread
+/// count (indexed parallel collect preserves ordering).
 pub fn build_screened_pairs(shells: &[Shell], threshold: f64) -> Vec<ScreenedPair> {
-    let mut out = Vec::new();
-    for i in 0..shells.len() {
-        for j in 0..=i {
+    let ij: Vec<(usize, usize)> = (0..shells.len())
+        .flat_map(|i| (0..=i).map(move |j| (i, j)))
+        .collect();
+    ij.par_iter()
+        .filter_map(|&(i, j)| {
             let data = shell_pair(&shells[i], &shells[j]);
             if data.prims.is_empty() {
-                continue;
+                return None;
             }
             let bound = schwarz_bound(&data);
-            if bound >= threshold {
-                out.push(ScreenedPair { i, j, data, bound });
-            }
-        }
-    }
-    out
+            (bound >= threshold).then_some(ScreenedPair { i, j, data, bound })
+        })
+        .collect()
 }
 
 /// Importance classes for quartet batches (QuantMako §3.2.3).

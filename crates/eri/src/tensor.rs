@@ -18,6 +18,15 @@ impl Tensor4 {
         }
     }
 
+    /// Reshape in place to `dims` and zero the contents, reusing the
+    /// existing allocation when it is large enough — the buffer-reuse hook
+    /// of the batched pipelines.
+    pub fn reset(&mut self, dims: [usize; 4]) {
+        self.dims = dims;
+        self.data.clear();
+        self.data.resize(dims.iter().product(), 0.0);
+    }
+
     /// Flat index of `(i, j, k, l)`.
     #[inline]
     pub fn index(&self, i: usize, j: usize, k: usize, l: usize) -> usize {

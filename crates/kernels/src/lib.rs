@@ -25,6 +25,8 @@
 //! * [`FusionStrategy::FuseAllCoalesced`] — additionally coalesces the two
 //!   back-to-back transform GEMMs when `K_AB = K_CD = 1` (§3.1.3, the
 //!   high-angular-momentum case).
+#![deny(rust_2018_idioms)]
+
 
 pub mod baselines;
 pub mod mixed_gemm;

@@ -291,6 +291,94 @@ pub fn best_config_cost(
     best
 }
 
+/// Simulated device seconds for a batch of `n` quartets of `class` under
+/// `cfg` — exactly the clock [`run_batch`] charges. The device is priced per
+/// *batched launch*, so this figure is independent of how the host later
+/// chunks the numerics across worker threads: parallelizing the host never
+/// changes the simulated device time.
+pub fn batch_device_seconds(
+    class: &EriClass,
+    n: usize,
+    cfg: &PipelineConfig,
+    model: &CostModel,
+) -> f64 {
+    batch_profiles(class, n, cfg)
+        .iter()
+        .map(|p| model.evaluate(p).total_s)
+        .sum()
+}
+
+/// Group scale for the E operands of one quartet population: one scale per
+/// ERI class (angular-momentum-aware grouping, §3.2.1), from the
+/// population-wide max magnitude. Returns 1.0 for unscaled policies.
+///
+/// The scale is a property of the *whole* sub-batch: callers that chunk the
+/// quartet list for host parallelism must compute it once over the full list
+/// and pass it to every chunk, or the numerics would depend on the chunking.
+pub fn batch_group_scale(
+    quartets: &[(usize, usize)],
+    pairs: &[ScreenedPair],
+    cfg: &PipelineConfig,
+) -> f64 {
+    let target = Precision::Fp16.max_finite().sqrt() / 4.0;
+    match cfg.scale_policy {
+        ScalePolicy::PerGroup => {
+            let mut m = 0.0f64;
+            for &(pi, qi) in quartets {
+                for pp in &pairs[pi].data.prims {
+                    m = m.max(pp.e_sph.max_abs());
+                }
+                for pp in &pairs[qi].data.prims {
+                    m = m.max(pp.e_sph.max_abs());
+                }
+            }
+            if m > 0.0 {
+                target / m
+            } else {
+                1.0
+            }
+        }
+        _ => 1.0,
+    }
+}
+
+/// A reusable per-class quartet evaluator: owns the `[p|q]` index table, the
+/// pipeline configuration, and the frozen group scale, so chunked callers
+/// (the parallel Fock assembly engine) evaluate quartets without rebuilding
+/// per-class state.
+pub struct QuartetRunner {
+    idx: PqIndex,
+    cfg: PipelineConfig,
+    e_scale: f64,
+    target: f64,
+}
+
+impl QuartetRunner {
+    /// Build a runner for one ERI class. `e_scale` must come from
+    /// [`batch_group_scale`] over the *full* quartet population the runner
+    /// will serve (see there).
+    pub fn new(class: &EriClass, cfg: &PipelineConfig, e_scale: f64) -> QuartetRunner {
+        QuartetRunner {
+            idx: PqIndex::new(class.l_bra(), class.l_ket()),
+            cfg: *cfg,
+            e_scale,
+            target: Precision::Fp16.max_finite().sqrt() / 4.0,
+        }
+    }
+
+    /// Evaluate one quartet into `out`, reusing its allocation.
+    pub fn run_into(&self, pab: &ScreenedPair, pcd: &ScreenedPair, out: &mut Tensor4) {
+        quartet_numerics_into(pab, pcd, &self.idx, &self.cfg, self.e_scale, self.target, out);
+    }
+
+    /// Evaluate one quartet into a fresh tensor.
+    pub fn run(&self, pab: &ScreenedPair, pcd: &ScreenedPair) -> Tensor4 {
+        let mut t = Tensor4::zeros([0; 4]);
+        self.run_into(pab, pcd, &mut t);
+        t
+    }
+}
+
 /// Output of a numerically executed batch.
 #[derive(Debug)]
 pub struct BatchOutput {
@@ -313,37 +401,8 @@ pub fn run_batch(
     model: &CostModel,
 ) -> BatchOutput {
     let class = batch.class;
-    let idx = PqIndex::new(class.l_bra(), class.l_ket());
-
-    // Group scale for the E operands: one scale per ERI class (angular-
-    // momentum-aware grouping, §3.2.1), from the batch-wide max magnitude.
-    let target = Precision::Fp16.max_finite().sqrt() / 4.0;
-    let e_scale = match cfg.scale_policy {
-        ScalePolicy::PerGroup => {
-            let mut m = 0.0f64;
-            for &(pi, qi) in &batch.quartets {
-                for pp in &pairs[pi].data.prims {
-                    m = m.max(pp.e_sph.max_abs());
-                }
-                for pp in &pairs[qi].data.prims {
-                    m = m.max(pp.e_sph.max_abs());
-                }
-            }
-            if m > 0.0 {
-                target / m
-            } else {
-                1.0
-            }
-        }
-        _ => 1.0,
-    };
-
-    let tensors: Vec<Tensor4> = batch
-        .quartets
-        .par_iter()
-        .map(|&(pi, qi)| quartet_numerics(&pairs[pi], &pairs[qi], &idx, cfg, e_scale, target))
-        .collect();
-
+    let mut tensors = Vec::new();
+    run_batch_tensors_into(batch, pairs, cfg, &mut tensors);
     let profiles = batch_profiles(&class, batch.len(), cfg);
     let seconds: f64 = profiles.iter().map(|p| model.evaluate(p).total_s).sum();
 
@@ -355,14 +414,35 @@ pub fn run_batch(
     }
 }
 
-fn quartet_numerics(
+/// Execute a quartet batch's numerics into a caller-owned tensor vector,
+/// reusing both the vector and (where shapes match) the individual tensor
+/// allocations — the buffer-reuse path for drivers that rebuild the same
+/// batches every SCF iteration.
+pub fn run_batch_tensors_into(
+    batch: &QuartetBatch,
+    pairs: &[ScreenedPair],
+    cfg: &PipelineConfig,
+    out: &mut Vec<Tensor4>,
+) {
+    let e_scale = batch_group_scale(&batch.quartets, pairs, cfg);
+    let runner = QuartetRunner::new(&batch.class, cfg, e_scale);
+    out.truncate(batch.len());
+    out.resize_with(batch.len(), || Tensor4::zeros([0; 4]));
+    out.par_iter_mut()
+        .zip(batch.quartets.par_iter())
+        .for_each(|(t, &(pi, qi))| runner.run_into(&pairs[pi], &pairs[qi], t));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn quartet_numerics_into(
     pab: &ScreenedPair,
     pcd: &ScreenedPair,
     idx: &PqIndex,
     cfg: &PipelineConfig,
     e_scale: f64,
     target: f64,
-) -> Tensor4 {
+    t: &mut Tensor4,
+) {
     let ab = &pab.data;
     let cd = &pcd.data;
     let na = nsph(ab.la);
@@ -392,7 +472,7 @@ fn quartet_numerics(
         gemm_rounded(&abq, &e_cd_t, &spec, &mut out);
     }
 
-    let mut t = Tensor4::zeros([na, nb, nc, nd]);
+    t.reset([na, nb, nc, nd]);
     for ia in 0..na {
         for ib in 0..nb {
             for ic in 0..nc {
@@ -402,7 +482,6 @@ fn quartet_numerics(
             }
         }
     }
-    t
 }
 
 fn scale_for(cfg: &PipelineConfig, m: &Matrix, target: f64) -> f64 {
@@ -437,7 +516,7 @@ mod tests {
     use super::*;
     use mako_accel::DeviceSpec;
     use mako_eri::batch::batch_quartets;
-    use mako_eri::mmd::{eri_quartet_mmd, shell_pair};
+    use mako_eri::mmd::eri_quartet_mmd;
     use mako_eri::screening::build_screened_pairs;
     use mako_chem::basis::ShellDef;
     use mako_chem::Shell;

@@ -163,13 +163,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = self.row(i);
             let mut s = 0.0;
             for (a, b) in row.iter().zip(x) {
                 s += a * b;
             }
-            y[i] = s;
+            *yi = s;
         }
         y
     }

@@ -238,7 +238,7 @@ mod tests {
         // 2^-24 = smallest subnormal
         assert_eq!(F16::from_f32(5.9604645e-8).to_bits(), 0x0001);
         // 2^-14 = smallest normal
-        assert_eq!(F16::from_f32(6.103515625e-5).to_bits(), 0x0400);
+        assert_eq!(F16::from_f32(6.103_515_6e-5).to_bits(), 0x0400);
     }
 
     #[test]

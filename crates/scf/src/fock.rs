@@ -1,5 +1,5 @@
 //! Coulomb (J) and exchange (K) matrix construction from shell-quartet
-//! batches.
+//! batches — the parallel Fock assembly engine.
 //!
 //! `J_{μν} = Σ_{λσ} D_{λσ} (μν|λσ)` and `K_{μλ} = Σ_{νσ} D_{νσ} (μν|λσ)`.
 //!
@@ -8,16 +8,56 @@
 //! recovered by explicitly scattering every *distinct ordered arrangement*
 //! of the quartet. Contributions accumulate into FP64 buffers regardless of
 //! the kernel precision — stage two of QuantMako's dual-stage accumulation.
+//!
+//! # The engine
+//!
+//! [`build_jk`] runs in three phases:
+//!
+//! 1. **schedule split** (serial, cheap): every batch is split by the
+//!    convergence-aware scheduler into an FP64 and a quantized sub-batch;
+//! 2. **device clock** (serial, cheap): each non-empty sub-batch is priced
+//!    as one batched launch via the cost model, and its group scale is
+//!    frozen over the *full* sub-batch;
+//! 3. **assembly** (parallel evaluate, ordered scatter): quartet tensors —
+//!    the expensive stage — are evaluated across the rayon pool in bounded
+//!    waves, then scattered into a single J/K buffer **strictly in
+//!    canonical quartet order**.
+//!
+//! # Why the result is bitwise deterministic
+//!
+//! Quartet evaluation is a pure function of `(pair data, config, group
+//! scale)`; the group scale is frozen over the full sub-batch in phase 2,
+//! so a tensor's bits cannot depend on which thread computes it or how the
+//! waves are cut. The scatter stage then replays every FP64 addition in
+//! exactly the order the serial single-buffer pass uses. Parallelism only
+//! changes *when* a tensor is computed, never the order of additions, so
+//! `build_jk` matches [`build_jk_serial`] bitwise for every
+//! `RAYON_NUM_THREADS` and every wave size.
+//!
+//! (The obvious alternative — per-thread partial J/K buffers merged in a
+//! fixed order — is deterministic for a *fixed* chunk partition, but can
+//! never be bitwise-equal to the serial oracle: merging partial sums
+//! regroups the additions, `(a₁+a₂)+(a₃+a₄) ≠ ((a₁+a₂)+a₃)+a₄`, and two
+//! chunks generally touch the same matrix element. Scatter is a few FMAs
+//! per tensor element while evaluation is primitive loops plus GEMMs, so
+//! serializing the scatter costs little and buys an exact contract.)
+//!
+//! The simulated `device_seconds` is summed in phase 2 in fixed sub-batch
+//! order, so it is byte-identical too — host parallelism never touches the
+//! device clock.
 
-use mako_accel::{CostModel, SimTimer};
+use mako_accel::CostModel;
 use mako_chem::AoLayout;
-use mako_eri::batch::QuartetBatch;
+use mako_eri::batch::{EriClass, QuartetBatch};
 use mako_eri::screening::ScreenedPair;
 use mako_eri::tensor::Tensor4;
-use mako_kernels::pipeline::{run_batch, PipelineConfig};
+use mako_kernels::pipeline::{
+    batch_device_seconds, batch_group_scale, run_batch, PipelineConfig, QuartetRunner,
+};
 use mako_linalg::Matrix;
 use mako_quant::{ExecClass, QuantSchedule};
-use std::collections::HashSet;
+use rayon::prelude::*;
+use std::sync::OnceLock;
 
 /// The J and K matrices of one Fock build.
 #[derive(Debug, Clone)]
@@ -29,7 +69,7 @@ pub struct JkMatrices {
 }
 
 /// Bookkeeping from one Fock build.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FockBuildStats {
     /// Quartets evaluated in FP64.
     pub fp64_quartets: usize,
@@ -41,6 +81,25 @@ pub struct FockBuildStats {
     pub device_seconds: f64,
 }
 
+/// Options for the parallel Fock assembly engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FockEngineOptions {
+    /// Quartet tensors evaluated (and buffered) per parallel wave; `None`
+    /// picks a size adaptive to the current rayon pool. The wave size bounds
+    /// scratch memory and sets the parallel granularity; it never changes
+    /// the result (see the module docs).
+    pub chunk_quartets: Option<usize>,
+}
+
+/// One schedulable sub-batch: the quartets of one batch that share an
+/// execution class (FP64 or quantized) and therefore one pipeline config.
+struct SubUnit {
+    class: EriClass,
+    cfg: PipelineConfig,
+    quartets: Vec<(usize, usize)>,
+    e_scale: f64,
+}
+
 /// Build J and K for density `D` from pre-batched quartets.
 ///
 /// * `schedule` decides per batch sub-population whether to run FP64,
@@ -48,8 +107,132 @@ pub struct FockBuildStats {
 /// * `fp64_cfg` / `quant_cfg` are the tuned pipeline configurations
 ///   (typically from `mako-compiler`'s kernel cache);
 /// * the returned stats carry the simulated device time.
+///
+/// Assembly runs across the current rayon pool; the result is bitwise
+/// identical to [`build_jk_serial`] for any thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn build_jk(
+    density: &Matrix,
+    pairs: &[ScreenedPair],
+    batches: &[QuartetBatch],
+    layout: &AoLayout,
+    schedule: &QuantSchedule,
+    fp64_cfg: &PipelineConfig,
+    quant_cfg: &PipelineConfig,
+    model: &CostModel,
+) -> (JkMatrices, FockBuildStats) {
+    build_jk_with_configs(
+        density,
+        pairs,
+        batches,
+        layout,
+        schedule,
+        |_| (*fp64_cfg, *quant_cfg),
+        model,
+        FockEngineOptions::default(),
+    )
+}
+
+/// The assembly engine with per-batch pipeline configurations: `cfg_for(bi)`
+/// returns the (FP64, quantized) configs for batch `bi` — the form the SCF
+/// driver and the distributed cluster driver share.
+#[allow(clippy::too_many_arguments)]
+pub fn build_jk_with_configs(
+    density: &Matrix,
+    pairs: &[ScreenedPair],
+    batches: &[QuartetBatch],
+    layout: &AoLayout,
+    schedule: &QuantSchedule,
+    cfg_for: impl Fn(usize) -> (PipelineConfig, PipelineConfig),
+    model: &CostModel,
+    opts: FockEngineOptions,
+) -> (JkMatrices, FockBuildStats) {
+    let n = layout.nao;
+    let mut stats = FockBuildStats::default();
+    let d_max = density.max_abs();
+    // System-wide estimate scale for the relative FP64 bar: the largest
+    // Schwarz product times the largest density element.
+    let max_bound = pairs.iter().map(|p| p.bound).fold(0.0f64, f64::max);
+    let scale = max_bound * max_bound * d_max.max(1e-30);
+
+    // Phase 1: split every batch by scheduling decision (bounds vary by
+    // quartet). Serial and deterministic; integer bookkeeping only.
+    let mut units: Vec<SubUnit> = Vec::new();
+    for (bi, batch) in batches.iter().enumerate() {
+        let (fp64_cfg, quant_cfg) = cfg_for(bi);
+        let mut fp64_q = Vec::new();
+        let mut quant_q = Vec::new();
+        for &(pi, qi) in &batch.quartets {
+            match schedule.decide(pairs[pi].bound, pairs[qi].bound, d_max, scale) {
+                ExecClass::Pruned => stats.pruned_quartets += 1,
+                ExecClass::Fp64 => fp64_q.push((pi, qi)),
+                ExecClass::Quantized => quant_q.push((pi, qi)),
+            }
+        }
+        stats.fp64_quartets += fp64_q.len();
+        stats.quantized_quartets += quant_q.len();
+        for (quartets, cfg) in [(fp64_q, fp64_cfg), (quant_q, quant_cfg)] {
+            if !quartets.is_empty() {
+                units.push(SubUnit {
+                    class: batch.class,
+                    cfg,
+                    quartets,
+                    e_scale: 1.0,
+                });
+            }
+        }
+    }
+
+    // Phase 2: the device clock and the group scales, in fixed sub-batch
+    // order. Each sub-batch is priced as ONE batched device launch — the
+    // host-side chunking below never changes the simulated device seconds.
+    let mut device_seconds = 0.0;
+    for u in &mut units {
+        device_seconds += batch_device_seconds(&u.class, u.quartets.len(), &u.cfg, model);
+        u.e_scale = batch_group_scale(&u.quartets, pairs, &u.cfg);
+    }
+    stats.device_seconds = device_seconds;
+
+    // Phase 3: parallel evaluation, ordered scatter. Each wave fans its
+    // quartet tensors out across the rayon pool (the tensors are pure
+    // functions of frozen inputs), then a single serial pass scatters them
+    // in canonical quartet order — replaying exactly the FP64 addition
+    // sequence of the serial single-buffer build (module docs). The wave
+    // length bounds live tensor scratch; buffers are recycled across waves.
+    let threads = rayon::current_num_threads().max(1);
+    let wave_len = opts
+        .chunk_quartets
+        .unwrap_or_else(|| (threads * 64).clamp(64, 4096))
+        .max(1);
+
+    let mut j = Matrix::zeros(n, n);
+    let mut k = Matrix::zeros(n, n);
+    let mut scratch: Vec<Tensor4> = Vec::new();
+    for u in &units {
+        let runner = QuartetRunner::new(&u.class, &u.cfg, u.e_scale);
+        for wave in u.quartets.chunks(wave_len) {
+            scratch.truncate(wave.len());
+            scratch.resize_with(wave.len(), || Tensor4::zeros([0; 4]));
+            scratch
+                .par_iter_mut()
+                .zip(wave.par_iter())
+                .for_each(|(t, &(pi, qi))| runner.run_into(&pairs[pi], &pairs[qi], t));
+            for (t, &(pi, qi)) in scratch.iter().zip(wave) {
+                scatter_quartet(t, &pairs[pi], &pairs[qi], density, layout, &mut j, &mut k);
+            }
+        }
+    }
+
+    j.symmetrize();
+    k.symmetrize();
+    (JkMatrices { j, k }, stats)
+}
+
+/// The serial reference assembly: one thread, one pass, one J/K buffer —
+/// the pre-engine implementation, kept as the determinism oracle and the
+/// benchmark baseline. [`build_jk`] must match it bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn build_jk_serial(
     density: &Matrix,
     pairs: &[ScreenedPair],
     batches: &[QuartetBatch],
@@ -63,15 +246,11 @@ pub fn build_jk(
     let mut j = Matrix::zeros(n, n);
     let mut k = Matrix::zeros(n, n);
     let mut stats = FockBuildStats::default();
-    let mut timer = SimTimer::new();
     let d_max = density.max_abs();
-    // System-wide estimate scale for the relative FP64 bar: the largest
-    // Schwarz product times the largest density element.
     let max_bound = pairs.iter().map(|p| p.bound).fold(0.0f64, f64::max);
     let scale = max_bound * max_bound * d_max.max(1e-30);
 
     for batch in batches {
-        // Split the batch by scheduling decision (bounds vary by quartet).
         let mut fp64_batch = QuartetBatch {
             class: batch.class,
             quartets: Vec::new(),
@@ -95,7 +274,7 @@ pub fn build_jk(
                 continue;
             }
             let out = run_batch(sub, pairs, cfg, model);
-            timer.add_seconds(out.seconds);
+            stats.device_seconds += out.seconds;
             for (t, &(pi, qi)) in out.tensors.iter().zip(&sub.quartets) {
                 scatter_quartet(
                     t,
@@ -110,92 +289,9 @@ pub fn build_jk(
         }
     }
 
-    stats.device_seconds = timer.total_seconds();
     j.symmetrize();
     k.symmetrize();
     (JkMatrices { j, k }, stats)
-}
-
-/// Scatter one canonical quartet into J and K over all distinct ordered
-/// shell arrangements (the explicit 8-fold permutational sum).
-fn scatter_quartet(
-    t: &Tensor4,
-    pab: &ScreenedPair,
-    pcd: &ScreenedPair,
-    d: &Matrix,
-    layout: &AoLayout,
-    j: &mut Matrix,
-    k: &mut Matrix,
-) {
-    let (sa, sb, sc, sd) = (pab.i, pab.j, pcd.i, pcd.j);
-    let [na, nb, nc, nd] = t.dims;
-
-    // Enumerate the 8 permutations as (swap_ab, swap_cd, swap_braket);
-    // deduplicate by the ordered shell tuple they produce.
-    let mut seen: HashSet<(usize, usize, usize, usize)> = HashSet::new();
-    for braket in [false, true] {
-        for s_ab in [false, true] {
-            for s_cd in [false, true] {
-                // Ordered arrangement (A', B' | C', D').
-                let (mut qa, mut qb, mut qc, mut qd) = (sa, sb, sc, sd);
-                if s_ab {
-                    std::mem::swap(&mut qa, &mut qb);
-                }
-                if s_cd {
-                    std::mem::swap(&mut qc, &mut qd);
-                }
-                if braket {
-                    std::mem::swap(&mut qa, &mut qc);
-                    std::mem::swap(&mut qb, &mut qd);
-                }
-                if !seen.insert((qa, qb, qc, qd)) {
-                    continue;
-                }
-                // Offsets for this arrangement.
-                let off = |s: usize| layout.shell_offsets[s];
-                let (o1, o2, o3, o4) = (off(qa), off(qb), off(qc), off(qd));
-                // Dimension bounds follow the arrangement.
-                let (m1, m2, m3, m4) = {
-                    let dim_of = |orig: usize| match orig {
-                        0 => na,
-                        1 => nb,
-                        2 => nc,
-                        _ => nd,
-                    };
-                    // Map arrangement slots back to tensor axes.
-                    let axes = slot_axes(s_ab, s_cd, braket);
-                    (
-                        dim_of(axes[0]),
-                        dim_of(axes[1]),
-                        dim_of(axes[2]),
-                        dim_of(axes[3]),
-                    )
-                };
-                let axes = slot_axes(s_ab, s_cd, braket);
-                for i1 in 0..m1 {
-                    for i2 in 0..m2 {
-                        for i3 in 0..m3 {
-                            for i4 in 0..m4 {
-                                let mut idx = [0usize; 4];
-                                idx[axes[0]] = i1;
-                                idx[axes[1]] = i2;
-                                idx[axes[2]] = i3;
-                                idx[axes[3]] = i4;
-                                let v = t.get(idx[0], idx[1], idx[2], idx[3]);
-                                if v == 0.0 {
-                                    continue;
-                                }
-                                // J_{μν} += D_{λσ} (μν|λσ)
-                                j[(o1 + i1, o2 + i2)] += d[(o3 + i3, o4 + i4)] * v;
-                                // K_{μλ} += D_{νσ} (μν|λσ)
-                                k[(o1 + i1, o3 + i3)] += d[(o2 + i2, o4 + i4)] * v;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
 }
 
 /// For an arrangement produced by the three swaps, gives for each
@@ -213,6 +309,135 @@ fn slot_axes(s_ab: bool, s_cd: bool, braket: bool) -> [usize; 4] {
         axes.swap(1, 3);
     }
     axes
+}
+
+/// The distinct ordered arrangements of one symmetry case, in canonical
+/// enumeration order: each entry is the `slot_axes` mapping of one
+/// arrangement that survives dedup.
+type ArrangementTable = Vec<[usize; 4]>;
+
+/// Symmetry case of a quartet `(sa, sb | sc, sd)`: which of the four
+/// equalities that can collapse arrangements hold. Only these four matter —
+/// an arrangement collision requires the relating permutation to lie in the
+/// dihedral group generated by the three swaps, and every element of that
+/// group fixes the shell tuple iff one of these pair conditions (or their
+/// conjunction) holds. Stray coincidences like `sa == sc` alone relate no
+/// two arrangements and need no case of their own.
+#[inline]
+fn symmetry_case(sa: usize, sb: usize, sc: usize, sd: usize) -> usize {
+    usize::from(sa == sb)
+        | usize::from(sc == sd) << 1
+        | usize::from(sa == sc && sb == sd) << 2
+        | usize::from(sa == sd && sb == sc) << 3
+}
+
+/// Dedup table for one representative shell assignment, built with the same
+/// enumeration (braket outer, then bra swap, then ket swap; first occurrence
+/// wins) the original `HashSet` implementation used.
+fn build_arrangement_table(shells: &[usize; 4]) -> ArrangementTable {
+    let mut seen: Vec<[usize; 4]> = Vec::with_capacity(8);
+    let mut table = Vec::with_capacity(8);
+    for braket in [false, true] {
+        for s_ab in [false, true] {
+            for s_cd in [false, true] {
+                let axes = slot_axes(s_ab, s_cd, braket);
+                let tuple = [
+                    shells[axes[0]],
+                    shells[axes[1]],
+                    shells[axes[2]],
+                    shells[axes[3]],
+                ];
+                if seen.contains(&tuple) {
+                    continue;
+                }
+                seen.push(tuple);
+                table.push(axes);
+            }
+        }
+    }
+    table
+}
+
+/// The 16 precomputed arrangement tables, one per symmetry case. Replaces
+/// the per-quartet `HashSet` dedup in the innermost scatter loop with a
+/// table lookup; built once, lazily, from representative assignments.
+fn arrangement_tables() -> &'static [ArrangementTable; 16] {
+    static TABLES: OnceLock<[ArrangementTable; 16]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut tables: [ArrangementTable; 16] = std::array::from_fn(|_| Vec::new());
+        // Sweep all shell assignments over 4 symbols: every feasible case
+        // appears, and the dedup pattern depends only on the case.
+        for code in 0..256usize {
+            let shells = [code & 3, (code >> 2) & 3, (code >> 4) & 3, (code >> 6) & 3];
+            let case = symmetry_case(shells[0], shells[1], shells[2], shells[3]);
+            if tables[case].is_empty() {
+                tables[case] = build_arrangement_table(&shells);
+            }
+        }
+        tables
+    })
+}
+
+/// Scatter one canonical quartet into J and K over all distinct ordered
+/// shell arrangements (the explicit 8-fold permutational sum). The
+/// arrangement set comes from the precomputed symmetry-case table — no
+/// allocation, no hashing in the hot loop — and is traversed in the same
+/// order as the original dedup, so accumulation order (and hence every bit)
+/// is preserved.
+fn scatter_quartet(
+    t: &Tensor4,
+    pab: &ScreenedPair,
+    pcd: &ScreenedPair,
+    d: &Matrix,
+    layout: &AoLayout,
+    j: &mut Matrix,
+    k: &mut Matrix,
+) {
+    let (sa, sb, sc, sd) = (pab.i, pab.j, pcd.i, pcd.j);
+    let dims = t.dims;
+    let strides = [
+        dims[1] * dims[2] * dims[3],
+        dims[2] * dims[3],
+        dims[3],
+        1usize,
+    ];
+    let offs = [
+        layout.shell_offsets[sa],
+        layout.shell_offsets[sb],
+        layout.shell_offsets[sc],
+        layout.shell_offsets[sd],
+    ];
+    let data = &t.data;
+
+    for axes in arrangement_tables()[symmetry_case(sa, sb, sc, sd)].iter() {
+        let (m1, m2, m3, m4) = (dims[axes[0]], dims[axes[1]], dims[axes[2]], dims[axes[3]]);
+        let (st1, st2, st3, st4) = (
+            strides[axes[0]],
+            strides[axes[1]],
+            strides[axes[2]],
+            strides[axes[3]],
+        );
+        let (o1, o2, o3, o4) = (offs[axes[0]], offs[axes[1]], offs[axes[2]], offs[axes[3]]);
+        for i1 in 0..m1 {
+            let b1 = i1 * st1;
+            for i2 in 0..m2 {
+                let b2 = b1 + i2 * st2;
+                for i3 in 0..m3 {
+                    let b3 = b2 + i3 * st3;
+                    for i4 in 0..m4 {
+                        let v = data[b3 + i4 * st4];
+                        if v == 0.0 {
+                            continue;
+                        }
+                        // J_{μν} += D_{λσ} (μν|λσ)
+                        j[(o1 + i1, o2 + i2)] += d[(o3 + i3, o4 + i4)] * v;
+                        // K_{μλ} += D_{νσ} (μν|λσ)
+                        k[(o1 + i1, o3 + i3)] += d[(o2 + i2, o4 + i4)] * v;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Reference J/K build: dense full AO ERI contraction via the FP64 MMD
@@ -257,6 +482,7 @@ mod tests {
     use mako_chem::builders;
     use mako_eri::batch::batch_quartets;
     use mako_eri::screening::build_screened_pairs;
+    use std::collections::HashSet;
 
     /// All ordered shell pairs (for the reference build).
     fn full_ordered_pairs(shells: &[mako_chem::Shell]) -> Vec<ScreenedPair> {
@@ -278,6 +504,86 @@ mod tests {
         });
         d.symmetrize();
         d
+    }
+
+    /// The pre-table scatter: per-quartet `HashSet` dedup, exactly the
+    /// implementation the arrangement tables replaced. Oracle for
+    /// `table_scatter_matches_hashset_dedup`.
+    fn scatter_quartet_hashset(
+        t: &Tensor4,
+        pab: &ScreenedPair,
+        pcd: &ScreenedPair,
+        d: &Matrix,
+        layout: &AoLayout,
+        j: &mut Matrix,
+        k: &mut Matrix,
+    ) {
+        let (sa, sb, sc, sd) = (pab.i, pab.j, pcd.i, pcd.j);
+        let [na, nb, nc, nd] = t.dims;
+        let mut seen: HashSet<(usize, usize, usize, usize)> = HashSet::new();
+        for braket in [false, true] {
+            for s_ab in [false, true] {
+                for s_cd in [false, true] {
+                    let (mut qa, mut qb, mut qc, mut qd) = (sa, sb, sc, sd);
+                    if s_ab {
+                        std::mem::swap(&mut qa, &mut qb);
+                    }
+                    if s_cd {
+                        std::mem::swap(&mut qc, &mut qd);
+                    }
+                    if braket {
+                        std::mem::swap(&mut qa, &mut qc);
+                        std::mem::swap(&mut qb, &mut qd);
+                    }
+                    if !seen.insert((qa, qb, qc, qd)) {
+                        continue;
+                    }
+                    let off = |s: usize| layout.shell_offsets[s];
+                    let (o1, o2, o3, o4) = (off(qa), off(qb), off(qc), off(qd));
+                    let axes = slot_axes(s_ab, s_cd, braket);
+                    let dim_of = |orig: usize| match orig {
+                        0 => na,
+                        1 => nb,
+                        2 => nc,
+                        _ => nd,
+                    };
+                    let (m1, m2, m3, m4) = (
+                        dim_of(axes[0]),
+                        dim_of(axes[1]),
+                        dim_of(axes[2]),
+                        dim_of(axes[3]),
+                    );
+                    for i1 in 0..m1 {
+                        for i2 in 0..m2 {
+                            for i3 in 0..m3 {
+                                for i4 in 0..m4 {
+                                    let mut idx = [0usize; 4];
+                                    idx[axes[0]] = i1;
+                                    idx[axes[1]] = i2;
+                                    idx[axes[2]] = i3;
+                                    idx[axes[3]] = i4;
+                                    let v = t.get(idx[0], idx[1], idx[2], idx[3]);
+                                    if v == 0.0 {
+                                        continue;
+                                    }
+                                    j[(o1 + i1, o2 + i2)] += d[(o3 + i3, o4 + i4)] * v;
+                                    k[(o1 + i1, o3 + i3)] += d[(o2 + i2, o4 + i4)] * v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
     }
 
     #[test]
@@ -362,5 +668,130 @@ mod tests {
         assert_eq!(slot_axes(false, true, false), [0, 1, 3, 2]);
         assert_eq!(slot_axes(false, false, true), [2, 3, 0, 1]);
         assert_eq!(slot_axes(true, true, true), [3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn arrangement_tables_match_hashset_dedup_for_every_assignment() {
+        // For every shell assignment over 4 symbols (256 of them — every
+        // equality pattern, including stray coincidences like sa == sc
+        // alone), the case table must reproduce the HashSet dedup exactly:
+        // same arrangements, same order.
+        for code in 0..256usize {
+            let s = [code & 3, (code >> 2) & 3, (code >> 4) & 3, (code >> 6) & 3];
+            let expected = build_arrangement_table(&s);
+            let got = &arrangement_tables()[symmetry_case(s[0], s[1], s[2], s[3])];
+            assert_eq!(got, &expected, "assignment {s:?}");
+        }
+        // Spot-check cardinalities: fully asymmetric → 8, fully symmetric → 1.
+        assert_eq!(arrangement_tables()[symmetry_case(0, 1, 2, 3)].len(), 8);
+        assert_eq!(arrangement_tables()[symmetry_case(0, 0, 0, 0)].len(), 1);
+        assert_eq!(arrangement_tables()[symmetry_case(0, 0, 1, 2)].len(), 4);
+        assert_eq!(arrangement_tables()[symmetry_case(0, 1, 0, 1)].len(), 4);
+    }
+
+    #[test]
+    fn table_scatter_matches_hashset_dedup() {
+        // An asymmetric quartet set with every symmetry case represented:
+        // i == j pairs, distinct pairs, bra == ket quartets, crossed
+        // quartets. J/K from the table scatter must equal the HashSet
+        // scatter bitwise.
+        let mol = builders::methane();
+        let shells = sto3g().shells_for(&mol);
+        let layout = AoLayout::new(&shells);
+        let d = test_density(layout.nao);
+        let pairs = build_screened_pairs(&shells, 1e-12);
+
+        let n = layout.nao;
+        let (mut j_new, mut k_new) = (Matrix::zeros(n, n), Matrix::zeros(n, n));
+        let (mut j_old, mut k_old) = (Matrix::zeros(n, n), Matrix::zeros(n, n));
+        let mut cases_seen = HashSet::new();
+        for (pi, pab) in pairs.iter().enumerate() {
+            for pcd in pairs.iter().take(pi + 1) {
+                let t = mako_eri::mmd::eri_quartet_mmd(&pab.data, &pcd.data);
+                cases_seen.insert(symmetry_case(pab.i, pab.j, pcd.i, pcd.j));
+                scatter_quartet(&t, pab, pcd, &d, &layout, &mut j_new, &mut k_new);
+                scatter_quartet_hashset(&t, pab, pcd, &d, &layout, &mut j_old, &mut k_old);
+            }
+        }
+        assert!(cases_seen.len() >= 4, "want diverse symmetry cases: {cases_seen:?}");
+        assert!(bits_equal(&j_new, &j_old), "J diverged from HashSet dedup");
+        assert!(bits_equal(&k_new, &k_old), "K diverged from HashSet dedup");
+    }
+
+    #[test]
+    fn parallel_build_is_bitwise_deterministic_across_thread_counts() {
+        let mol = builders::methane();
+        let shells = sto3g().shells_for(&mol);
+        let layout = AoLayout::new(&shells);
+        let d = test_density(layout.nao);
+        let pairs = build_screened_pairs(&shells, 1e-12);
+        let batches = batch_quartets(&pairs, 1e-14);
+        let model = CostModel::new(DeviceSpec::a100());
+        let fp64 = PipelineConfig::kernel_mako_fp64();
+        let quant = PipelineConfig::quant_mako();
+        // Mixed schedule so both pipelines and the pruning path all run.
+        let schedule = QuantSchedule::for_iteration(1.0, 1e-7);
+
+        let (jk_serial, st_serial) = build_jk_serial(
+            &d, &pairs, &batches, &layout, &schedule, &fp64, &quant, &model,
+        );
+        assert!(st_serial.quantized_quartets > 0 && st_serial.fp64_quartets > 0);
+
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (jk, st) = pool.install(|| {
+                build_jk(&d, &pairs, &batches, &layout, &schedule, &fp64, &quant, &model)
+            });
+            assert!(
+                bits_equal(&jk.j, &jk_serial.j),
+                "J not bitwise equal at {threads} threads"
+            );
+            assert!(
+                bits_equal(&jk.k, &jk_serial.k),
+                "K not bitwise equal at {threads} threads"
+            );
+            assert_eq!(st, st_serial, "stats drifted at {threads} threads");
+            assert_eq!(
+                st.device_seconds.to_bits(),
+                st_serial.device_seconds.to_bits(),
+                "device clock drifted at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_size_never_changes_bits() {
+        let mol = builders::water();
+        let shells = sto3g().shells_for(&mol);
+        let layout = AoLayout::new(&shells);
+        let d = test_density(layout.nao);
+        let pairs = build_screened_pairs(&shells, 1e-12);
+        let batches = batch_quartets(&pairs, 1e-14);
+        let model = CostModel::new(DeviceSpec::a100());
+        let cfg = PipelineConfig::kernel_mako_fp64();
+        let schedule = QuantSchedule::fp64_reference(0.0);
+
+        let run = |chunk: Option<usize>| {
+            build_jk_with_configs(
+                &d,
+                &pairs,
+                &batches,
+                &layout,
+                &schedule,
+                |_| (cfg, cfg),
+                &model,
+                FockEngineOptions { chunk_quartets: chunk },
+            )
+        };
+        let (base, st_base) = run(None);
+        for chunk in [1usize, 3, 17, 100_000] {
+            let (jk, st) = run(Some(chunk));
+            assert!(bits_equal(&jk.j, &base.j), "chunk {chunk} changed J bits");
+            assert!(bits_equal(&jk.k, &base.k), "chunk {chunk} changed K bits");
+            assert_eq!(st, st_base);
+        }
     }
 }

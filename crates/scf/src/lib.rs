@@ -22,6 +22,8 @@
 //!   with simulated-device timing per iteration;
 //! * [`parallel`] — the multi-GPU execution model for the Figure 10
 //!   scalability experiment.
+#![deny(rust_2018_idioms)]
+
 
 pub mod diis;
 pub mod fock;

@@ -10,7 +10,7 @@
 //! quartet counts follow from pair-class populations, and per-batch costs
 //! come from the architecture-tuned kernel configurations.
 
-use crate::fock::{build_jk, FockBuildStats, JkMatrices};
+use crate::fock::{build_jk_with_configs, FockBuildStats, FockEngineOptions, JkMatrices};
 use mako_accel::cluster::{
     parallel_efficiency, partition_lpt, simulate_iteration, ClusterSpec, ParallelTiming,
 };
@@ -143,11 +143,15 @@ pub fn batch_costs(
 /// A genuinely multi-threaded distributed Fock build: quartet batches are
 /// partitioned over `ranks` worker threads by LPT on their modeled device
 /// cost (one thread standing in for one GPU's host rank), each worker runs
-/// the real pipelines on its share, and the partial J/K matrices are merged
-/// — the software analogue of the per-rank Fock build + allreduce.
+/// the **same parallel assembly engine as the single-device path**
+/// ([`build_jk_with_configs`]) on its share, and the partial J/K matrices
+/// are merged in rank order — the software analogue of the per-rank Fock
+/// build + deterministic allreduce.
 ///
 /// Returns the merged matrices, per-rank simulated device seconds, and the
-/// summed scheduler statistics.
+/// summed scheduler statistics. For a fixed rank count the result is
+/// bitwise reproducible: each rank's build is deterministic (engine
+/// guarantee) and the merge order is the rank order.
 #[allow(clippy::too_many_arguments)]
 pub fn build_jk_distributed(
     density: &mako_linalg::Matrix,
@@ -181,8 +185,15 @@ pub fn build_jk_distributed(
             .iter()
             .map(|mine| {
                 scope.spawn(move || {
-                    build_jk(
-                        density, pairs, mine, layout, schedule, fp64_cfg, quant_cfg, model,
+                    build_jk_with_configs(
+                        density,
+                        pairs,
+                        mine,
+                        layout,
+                        schedule,
+                        |_| (*fp64_cfg, *quant_cfg),
+                        model,
+                        FockEngineOptions::default(),
                     )
                 })
             })

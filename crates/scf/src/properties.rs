@@ -117,12 +117,12 @@ pub fn dipole_moment(mol: &Molecule, shells: &[Shell], density: &Matrix) -> Dipo
     let dm = dipole_matrices(shells);
     let mut comps = [0.0f64; 3];
     for atom in &mol.atoms {
-        for d in 0..3 {
-            comps[d] += atom.element.charge() * atom.position[d];
+        for (c, p) in comps.iter_mut().zip(atom.position) {
+            *c += atom.element.charge() * p;
         }
     }
-    for d in 0..3 {
-        comps[d] -= 2.0 * density.dot(&dm[d]);
+    for (c, m) in comps.iter_mut().zip(&dm) {
+        *c -= 2.0 * density.dot(m);
     }
     Dipole { components: comps }
 }

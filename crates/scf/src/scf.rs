@@ -8,7 +8,7 @@
 //! statistics.
 
 use crate::diis::Diis;
-use crate::fock::{build_jk, FockBuildStats};
+use crate::fock::{build_jk_with_configs, FockBuildStats, FockEngineOptions};
 use crate::grid::MolecularGrid;
 use crate::xc::{evaluate_aos, evaluate_xc, hartree_fock, AoOnGrid, XcFunctional};
 use mako_accel::{CostModel, DeviceSpec};
@@ -174,7 +174,7 @@ impl ScfDriver {
     pub fn run(&self) -> ScfResult {
         let n_occ = self.mol.n_electrons() / 2;
         assert!(
-            self.mol.n_electrons() % 2 == 0,
+            self.mol.n_electrons().is_multiple_of(2),
             "restricted driver requires a closed shell"
         );
         let functional = match &self.config.method {
@@ -235,27 +235,23 @@ impl ScfDriver {
             } else {
                 d.clone()
             };
-            let mut j = Matrix::zeros(nq, nq);
-            let mut k = Matrix::zeros(nq, nq);
-            let mut iter_seconds = 0.0;
-            for (bi, batch) in self.batches.iter().enumerate() {
-                let (jk, st) = build_jk(
-                    &build_density,
-                    &self.pairs,
-                    std::slice::from_ref(batch),
-                    &self.layout,
-                    &schedule,
-                    &self.fp64_cfgs[bi],
-                    &self.quant_cfgs[bi],
-                    &self.model,
-                );
-                j.axpy(1.0, &jk.j);
-                k.axpy(1.0, &jk.k);
-                iter_seconds += st.device_seconds;
-                total_stats.fp64_quartets += st.fp64_quartets;
-                total_stats.quantized_quartets += st.quantized_quartets;
-                total_stats.pruned_quartets += st.pruned_quartets;
-            }
+            // One engine call assembles every batch with its own tuned
+            // configs; the engine parallelizes across the rayon pool.
+            let (jk, st) = build_jk_with_configs(
+                &build_density,
+                &self.pairs,
+                &self.batches,
+                &self.layout,
+                &schedule,
+                |bi| (self.fp64_cfgs[bi], self.quant_cfgs[bi]),
+                &self.model,
+                FockEngineOptions::default(),
+            );
+            let (mut j, mut k) = (jk.j, jk.k);
+            let mut iter_seconds = st.device_seconds;
+            total_stats.fp64_quartets += st.fp64_quartets;
+            total_stats.quantized_quartets += st.quantized_quartets;
+            total_stats.pruned_quartets += st.pruned_quartets;
             if self.config.incremental {
                 j_acc.axpy(1.0, &j);
                 k_acc.axpy(1.0, &k);

@@ -358,8 +358,7 @@ pub fn evaluate_xc(
 
     // V = Φᵀ diag(w vρ) Φ + Σ_d [Φᵀ diag(wg_d) ∂_dΦ + (∂_dΦ)ᵀ diag(wg_d) Φ].
     let mut scaled = aos.phi.clone();
-    for g in 0..npts {
-        let f = wv[g];
+    for (g, &f) in wv.iter().enumerate() {
         for x in scaled.row_mut(g) {
             *x *= f;
         }
@@ -368,10 +367,10 @@ pub fn evaluate_xc(
     gemm_tiled(1.0, &aos.phi, Transpose::Yes, &scaled, Transpose::No, 0.0, &mut v);
 
     if functional.is_gga() {
-        for dim in 0..3 {
-            let mut gscaled = aos.grad[dim].clone();
-            for g in 0..npts {
-                let f = wg[g][dim];
+        for (dim, grad) in aos.grad.iter().enumerate() {
+            let mut gscaled = grad.clone();
+            for (g, wrow) in wg.iter().enumerate() {
+                let f = wrow[dim];
                 for x in gscaled.row_mut(g) {
                     *x *= f;
                 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in one command.
+#
+#   ./scripts/tier1.sh
+#
+# Runs from the workspace root regardless of the caller's cwd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test -q =="
+cargo test -q
+
+echo "== tier1: cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== tier1: OK =="

@@ -1,0 +1,266 @@
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion)
+//! benchmark API.
+//!
+//! This workspace must build with no network access, so the criterion
+//! surface the bench targets use is reimplemented here as a minimal
+//! wall-clock harness: each `Bencher::iter` call warms up briefly, then
+//! times batches of iterations until the configured measurement window (or
+//! sample count) is exhausted and reports the mean time per iteration.
+//! There are no statistics, plots, or baselines — just honest timings to
+//! stderr-free stdout, which is all a single-core CI box can support.
+
+#![deny(rust_2018_idioms)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state; mirrors `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (sample_size, measurement, warm_up) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_one(name, sample_size, measurement, warm_up, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Time `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    /// Time `f` under `id`, handing it `input` (parameterized benchmark).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (report separator; kept for API parity).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// A function-plus-parameter benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` label.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Hands out timed iteration loops; mirrors `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mean_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, recording the mean wall-clock per call.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Estimate per-call cost from the warm-up to size timed batches.
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let target = ((budget / per_call.max(1e-9)) as u64)
+            .clamp(1, self.sample_size as u64 * 1000);
+        let start = Instant::now();
+        let mut done = 0u64;
+        while done < target {
+            black_box(routine());
+            done += 1;
+            if start.elapsed().as_secs_f64() > budget * 1.5 {
+                break;
+            }
+        }
+        self.iters = done;
+        self.mean_ns = Some(start.elapsed().as_secs_f64() * 1e9 / done as f64);
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        sample_size,
+        measurement_time,
+        warm_up_time,
+        mean_ns: None,
+        iters: 0,
+    };
+    f(&mut b);
+    match b.mean_ns {
+        Some(ns) => println!("{label:<40} time: {} ({} iterations)", fmt_ns(ns), b.iters),
+        None => println!("{label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Define a benchmark group function; mirrors `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench binary's `main`; mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_harness_times_a_closure() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

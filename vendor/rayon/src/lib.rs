@@ -1,0 +1,587 @@
+//! Offline drop-in subset of the [rayon](https://docs.rs/rayon) API.
+//!
+//! This workspace must build with no network access, so the handful of rayon
+//! entry points the codebase actually uses are reimplemented here on top of
+//! `std::thread::scope`. The semantic contract matches rayon where it
+//! matters to callers:
+//!
+//! - `par_iter()` / `par_iter_mut()` / `par_chunks_mut()` over slices and
+//!   vectors, with the `map` / `filter_map` / `zip` / `enumerate` /
+//!   `for_each` / `collect` adapters;
+//! - **indexed collect preserves order**: `collect::<Vec<_>>()` yields
+//!   elements in the source order regardless of thread interleaving (for
+//!   `filter_map`, survivors keep their relative order);
+//! - `ThreadPoolBuilder::new().num_threads(n).build()?.install(f)` scopes the
+//!   worker count seen by `current_num_threads()` and by every parallel
+//!   consumer invoked inside `f`.
+//!
+//! Work is split into one contiguous index range per worker; each item is
+//! evaluated exactly once, on exactly one thread. With one worker (or one
+//! item) everything runs inline on the caller's thread, so single-threaded
+//! runs have zero synchronization overhead.
+
+#![deny(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::OnceLock;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Worker count installed by `ThreadPool::install`; 0 = no pool active.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Number of worker threads parallel consumers will use at this call site:
+/// the innermost `install`ed pool's size, else `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        default_num_threads()
+    }
+}
+
+/// A logical pool: a worker count scoped over `install`. Threads are spawned
+/// per parallel call (scoped, joined before the call returns), not pinned.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count visible to
+    /// `current_num_threads` and to all nested parallel consumers.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_THREADS.with(|c| c.replace(self.threads)));
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Pool construction error (never produced by this shim; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with the default (auto) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `n` workers; 0 means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Materialize the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core trait: indexed evaluation
+// ---------------------------------------------------------------------------
+
+/// A finite, indexed parallel iterator. `eval(i)` produces element `i`
+/// (`None` when an upstream `filter_map` dropped it); each index is evaluated
+/// exactly once, on exactly one worker thread.
+pub trait ParallelIterator: Sized + Sync {
+    /// Element type.
+    type Item: Send;
+
+    /// Number of indices in the iteration space.
+    fn par_len(&self) -> usize;
+
+    /// Evaluate element `i`.
+    fn eval(&self, i: usize) -> Option<Self::Item>;
+
+    /// Map each element through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Map-and-filter each element through `f`.
+    fn filter_map<F, R>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync,
+        R: Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Pair elements positionally with `other` (length = shorter side).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach each element's index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Consume every element in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive(&self, |_, item| f(item));
+    }
+
+    /// Collect into `C`, preserving source order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Values collectable from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Order-preserving parallel collect.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let n = iter.par_len();
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        {
+            let ptr = SendPtr(slots.as_mut_ptr());
+            // Each index is written by exactly one worker, so the raw
+            // writes target disjoint slots of a live allocation. (The
+            // method call captures the whole `SendPtr` — closure capture
+            // of the bare field would lose the Sync wrapper.)
+            drive(&iter, move |i, item| unsafe { *ptr.get().add(i) = Some(item) });
+        }
+        slots.into_iter().flatten().collect()
+    }
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Evaluate every index of `iter`, feeding `(index, item)` to `sink`.
+/// Splits `0..n` into one contiguous range per worker; runs inline when a
+/// single worker (or a single item) makes spawning pointless.
+fn drive<I, F>(iter: &I, sink: F)
+where
+    I: ParallelIterator,
+    F: Fn(usize, I::Item) + Sync,
+{
+    let n = iter.par_len();
+    let workers = current_num_threads().min(n).max(1);
+    if workers <= 1 {
+        for i in 0..n {
+            if let Some(item) = iter.eval(i) {
+                sink(i, item);
+            }
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let (iter, sink) = (&iter, &sink);
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            s.spawn(move || {
+                for i in lo..hi {
+                    if let Some(item) = iter.eval(i) {
+                        sink(i, item);
+                    }
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Shared-slice source (`par_iter`).
+#[derive(Debug)]
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn eval(&self, i: usize) -> Option<Self::Item> {
+        Some(&self.slice[i])
+    }
+}
+
+/// Mutable-slice source (`par_iter_mut`). Holds a raw base pointer so
+/// disjoint `&mut` element borrows can be handed to different workers.
+#[derive(Debug)]
+pub struct SliceIterMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'data mut T>,
+}
+
+unsafe impl<T: Send> Send for SliceIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+impl<'data, T: Send> ParallelIterator for SliceIterMut<'data, T> {
+    type Item = &'data mut T;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn eval(&self, i: usize) -> Option<Self::Item> {
+        assert!(i < self.len);
+        // Sound: the driver hands each index to exactly one worker, so the
+        // &mut borrows created here are pairwise disjoint.
+        Some(unsafe { &mut *self.ptr.add(i) })
+    }
+}
+
+/// Mutable-chunks source (`par_chunks_mut`).
+#[derive(Debug)]
+pub struct ChunksMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'data mut T>,
+}
+
+unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+
+impl<'data, T: Send> ParallelIterator for ChunksMut<'data, T> {
+    type Item = &'data mut [T];
+    fn par_len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    fn eval(&self, i: usize) -> Option<Self::Item> {
+        let lo = i * self.chunk;
+        assert!(lo < self.len);
+        let hi = (lo + self.chunk).min(self.len);
+        // Sound: chunks tile the slice without overlap and each index goes
+        // to exactly one worker.
+        Some(unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn eval(&self, i: usize) -> Option<R> {
+        self.base.eval(i).map(&self.f)
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+#[derive(Debug)]
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> Option<R> + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn eval(&self, i: usize) -> Option<R> {
+        self.base.eval(i).and_then(&self.f)
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+#[derive(Debug)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn eval(&self, i: usize) -> Option<Self::Item> {
+        match (self.a.eval(i), self.b.eval(i)) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+#[derive(Debug)]
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn eval(&self, i: usize) -> Option<Self::Item> {
+        self.base.eval(i).map(|item| (i, item))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// `.par_iter()` on shared collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type.
+    type Item: Send + 'data;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator over `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+/// `.par_iter_mut()` on mutable collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type.
+    type Item: Send + 'data;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator over `&mut self`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// `.par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of length
+    /// `chunk` (last one may be shorter).
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        ChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk,
+            _marker: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| v.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_keeps_relative_order() {
+        let v: Vec<usize> = (0..257).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            v.par_iter()
+                .filter_map(|&x| (x % 3 == 0).then_some(x))
+                .collect()
+        });
+        assert_eq!(out, (0..257).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_zip_touches_every_element_once() {
+        let mut out = vec![0usize; 513];
+        let src: Vec<usize> = (0..513).map(|x| x + 7).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            out.par_iter_mut()
+                .zip(src.par_iter())
+                .for_each(|(o, &s)| *o += s);
+        });
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn chunks_mut_tiles_without_overlap() {
+        let mut v = vec![1.0f64; 130];
+        v.par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(band, chunk)| {
+                for x in chunk {
+                    *x += band as f64;
+                }
+            });
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[64], 2.0);
+        assert_eq!(v[128], 3.0);
+        assert_eq!(v.len(), 130);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 5);
+        let calls = AtomicUsize::new(0);
+        let v = vec![(); 100];
+        pool.install(|| {
+            v.par_iter().for_each(|()| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+}
