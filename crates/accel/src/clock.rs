@@ -1,0 +1,149 @@
+//! Per-iteration device-clock ledger.
+//!
+//! The simulated `device_seconds` is part of the numerical output of every
+//! experiment (see DESIGN.md §7 "Two clocks"), and with the incremental
+//! (ΔD) SCF engine the *amount of work priced* changes from iteration to
+//! iteration: quartets skipped by the difference-density Schwarz screen are
+//! removed from their sub-batches **before** the cost model prices the
+//! batched launches, so they never reach the device clock — smaller
+//! sub-batches also amortize launch overhead differently, which the pricing
+//! reflects honestly rather than charging `full_cost × fraction`.
+//!
+//! [`DeviceClock`] records that trajectory: one [`IterationLedger`] per SCF
+//! iteration with the simulated seconds actually charged and the
+//! evaluated / skipped / pruned quartet populations, so benchmarks
+//! (`incremental_scf_bench` → `BENCH_scf.json`) can report quartets per
+//! iteration alongside the clock, and tests can assert the two stay
+//! consistent (no seconds charged for skipped work).
+
+/// What one SCF iteration cost on the simulated device, and how much quartet
+/// work it actually ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IterationLedger {
+    /// Simulated device seconds of the ERI/Fock stage (the part the
+    /// incremental screen shrinks).
+    pub eri_seconds: f64,
+    /// Total simulated device seconds of the iteration (ERI + XC +
+    /// diagonalization).
+    pub total_seconds: f64,
+    /// Quartets evaluated (FP64 + quantized pipelines).
+    pub evaluated_quartets: usize,
+    /// Quartets skipped by the incremental ΔD Schwarz screen — never priced
+    /// on the device clock.
+    pub skipped_quartets: usize,
+    /// Quartets pruned by the convergence-aware scheduler.
+    pub pruned_quartets: usize,
+    /// Accumulated analytic bound on the Fock perturbation of everything
+    /// skipped this iteration (the drift the rebuild policy caps).
+    pub skipped_bound: f64,
+    /// Whether this iteration was a full rebuild (ΔD = D, fresh
+    /// accumulators).
+    pub rebuild: bool,
+}
+
+/// The device-clock ledger of a whole SCF run: one entry per iteration,
+/// appended in order.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceClock {
+    iterations: Vec<IterationLedger>,
+}
+
+impl DeviceClock {
+    /// Fresh, empty clock.
+    pub fn new() -> DeviceClock {
+        DeviceClock::default()
+    }
+
+    /// Append one completed iteration.
+    pub fn push(&mut self, ledger: IterationLedger) {
+        self.iterations.push(ledger);
+    }
+
+    /// All iterations, in execution order.
+    pub fn iterations(&self) -> &[IterationLedger] {
+        &self.iterations
+    }
+
+    /// Total simulated device seconds across all iterations.
+    pub fn total_seconds(&self) -> f64 {
+        self.iterations.iter().map(|l| l.total_seconds).sum()
+    }
+
+    /// Total quartets evaluated across all iterations.
+    pub fn total_evaluated(&self) -> usize {
+        self.iterations.iter().map(|l| l.evaluated_quartets).sum()
+    }
+
+    /// Total quartets the ΔD screen skipped across all iterations.
+    pub fn total_skipped(&self) -> usize {
+        self.iterations.iter().map(|l| l.skipped_quartets).sum()
+    }
+
+    /// Whether evaluated-quartet counts decline monotonically (weakly) from
+    /// iteration `from` on — the signature of a converging incremental SCF.
+    /// Full-rebuild iterations restart the accumulators but still ride the
+    /// shrinking ΔD of the *screen* only when the build density is ΔD; they
+    /// are excluded from the monotonicity check.
+    pub fn monotone_decline_from(&self, from: usize) -> bool {
+        let mut prev: Option<usize> = None;
+        for l in self.iterations.iter().skip(from) {
+            if l.rebuild {
+                prev = None;
+                continue;
+            }
+            if let Some(p) = prev {
+                if l.evaluated_quartets > p {
+                    return false;
+                }
+            }
+            prev = Some(l.evaluated_quartets);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(evaluated: usize, rebuild: bool) -> IterationLedger {
+        IterationLedger {
+            eri_seconds: 1e-3,
+            total_seconds: 2e-3,
+            evaluated_quartets: evaluated,
+            skipped_quartets: 10,
+            pruned_quartets: 1,
+            skipped_bound: 1e-12,
+            rebuild,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut c = DeviceClock::new();
+        c.push(ledger(100, true));
+        c.push(ledger(60, false));
+        c.push(ledger(30, false));
+        assert_eq!(c.iterations().len(), 3);
+        assert_eq!(c.total_evaluated(), 190);
+        assert_eq!(c.total_skipped(), 30);
+        assert!((c.total_seconds() - 6e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn monotone_decline_detection() {
+        let mut c = DeviceClock::new();
+        c.push(ledger(100, true));
+        c.push(ledger(60, false));
+        c.push(ledger(30, false));
+        c.push(ledger(90, true)); // rebuild resets the baseline
+        c.push(ledger(20, false));
+        assert!(c.monotone_decline_from(0));
+        let mut bad = DeviceClock::new();
+        bad.push(ledger(10, false));
+        bad.push(ledger(50, false));
+        assert!(!bad.monotone_decline_from(0));
+        // But ignored when the rise is before `from`.
+        assert!(bad.monotone_decline_from(1));
+    }
+}

@@ -20,6 +20,9 @@
 //!   a shared-memory bank-conflict counter used to price unswizzled layouts;
 //! * [`occupancy`] — threadblock residency derived from the shared-memory
 //!   constraint `S(F) ≤ SMEM_max/2` of CompilerMako §3.3.1;
+//! * [`clock`] — the per-iteration device-clock ledger: simulated seconds
+//!   charged per SCF iteration next to the evaluated / skipped / pruned
+//!   quartet populations, so incremental-SCF savings are accounted honestly;
 //! * [`cluster`] — the multi-GPU execution model: worklist partitioning,
 //!   NVLink/InfiniBand ring-allreduce timing, and parallel-efficiency
 //!   accounting for Figure 10.
@@ -28,12 +31,14 @@
 //! on the CPU; this crate only answers "how long would that launch have taken
 //! on the modeled device".
 
+pub mod clock;
 pub mod cluster;
 pub mod device;
 pub mod kernel;
 pub mod occupancy;
 pub mod swizzle;
 
+pub use clock::{DeviceClock, IterationLedger};
 pub use cluster::{ClusterSpec, InterconnectTier, RingAllreduce};
 pub use device::{DeviceKind, DeviceSpec};
 pub use kernel::{CostModel, KernelProfile, LaunchRecord, SimTimer};

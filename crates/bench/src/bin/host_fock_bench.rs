@@ -14,7 +14,11 @@
 //! ```
 //!
 //! Knobs: `MAKO_BENCH_SCREEN` (Schwarz threshold, default 1e-5),
-//! `MAKO_BENCH_MAX_QUARTETS` (deterministic workload cap, default 40000).
+//! `MAKO_BENCH_MAX_QUARTETS` (deterministic workload cap, default 40000),
+//! `MAKO_THREADS` (comma-separated thread counts to sweep, default
+//! `1,2,4,8` — e.g. `MAKO_THREADS=1,2` for a smoke run), `MAKO_BENCH_OUT`
+//! (output path, default `BENCH_fock.json` — smoke harnesses point this
+//! at scratch).
 
 use mako_accel::{CostModel, DeviceSpec};
 use mako_chem::basis::sto3g::sto3g;
@@ -40,6 +44,21 @@ fn env_usize(key: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Comma-separated thread-count list from the environment (`MAKO_THREADS`),
+/// e.g. `1,2,4`; falls back to `default` when unset or unparsable.
+fn env_thread_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| default.to_vec())
 }
 
 fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
@@ -112,9 +131,10 @@ fn main() {
     );
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let thread_list = env_thread_list("MAKO_THREADS", &[1, 2, 4, 8]);
     let mut rows: Vec<(usize, f64, bool)> = Vec::new();
     let mut all_bitwise = true;
-    for threads in [1usize, 2, 4, 8] {
+    for threads in thread_list {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
@@ -177,6 +197,8 @@ fn main() {
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
-    std::fs::write("BENCH_fock.json", &json).expect("write BENCH_fock.json");
-    println!("\nwrote BENCH_fock.json");
+    let out =
+        std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_fock.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
 }

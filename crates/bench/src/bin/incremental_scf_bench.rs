@@ -1,0 +1,281 @@
+//! Incremental direct-SCF benchmark: full-rebuild SCF vs the incremental
+//! (ΔD) engine on `sample/water60.xyz` (STO-3G), tracking the
+//! quartets-per-iteration trajectory, the wall and simulated-device clocks,
+//! and the final-energy agreement between the two engines — then re-running
+//! the incremental SCF at several thread counts to verify the whole
+//! trajectory (energies, ledgers, device clock) is **bitwise identical**
+//! regardless of host parallelism.
+//!
+//! Results land in `BENCH_scf.json` (schema documented in DESIGN.md §9).
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin incremental_scf_bench
+//! ```
+//!
+//! Knobs: `MAKO_SMOKE=1` (small molecule, fewer thread counts, relaxed
+//! assertions — for CI boxes), `MAKO_BENCH_WATERS=n` (replace water60 with
+//! a built-in n-water cluster, for weaker boxes / parameter probing),
+//! `MAKO_BENCH_SCREEN` (Schwarz threshold, default 1e-5), `MAKO_BENCH_QT`
+//! (quartet batching threshold, default 5e-1 — sized so the ten-iteration
+//! water60 run fits a single-core box), `MAKO_BENCH_TAU` (ΔD screen τ,
+//! default 3e-11 — engages two to three iterations before convergence;
+//! certified convergence keeps the final energy full-rebuild quality),
+//! `MAKO_BENCH_ETOL` (energy tolerance, default 1e-11), `MAKO_THREADS`
+//! (comma-separated thread counts, default `1,2,4,8`), `MAKO_BENCH_DRY=1`
+//! (print the workload shape and exit), `MAKO_BENCH_OUT` (output path,
+//! default `BENCH_scf.json` — smoke harnesses point this at scratch).
+
+use mako_chem::builders;
+use mako_chem::basis::sto3g::sto3g;
+use mako_chem::Molecule;
+use mako_scf::scf::{IncrementalPolicy, ScfConfig, ScfDriver, ScfResult};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Comma-separated thread-count list from the environment (`MAKO_THREADS`),
+/// e.g. `1,2,4`; falls back to `default` when unset or unparsable.
+fn env_thread_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Two SCF runs are bitwise identical when every energy, every ledger entry
+/// and the device clock agree to the bit (ledger floats compare exactly).
+fn runs_bitwise_equal(a: &ScfResult, b: &ScfResult) -> bool {
+    a.energy.to_bits() == b.energy.to_bits()
+        && a.total_seconds.to_bits() == b.total_seconds.to_bits()
+        && a.iterations == b.iterations
+        && a.clock.iterations() == b.clock.iterations()
+}
+
+fn main() {
+    let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let waters = std::env::var("MAKO_BENCH_WATERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let (mol, label): (Molecule, String) = if smoke {
+        (
+            builders::water_cluster(4),
+            "water4 (STO-3G, smoke)".to_string(),
+        )
+    } else if waters > 0 {
+        // Scaled-down workload for weaker boxes / parameter probing: a
+        // built-in water cluster instead of the water60 sample geometry.
+        (
+            builders::water_cluster(waters),
+            format!("water{waters} cluster (STO-3G)"),
+        )
+    } else {
+        let xyz = std::fs::read_to_string("sample/water60.xyz")
+            .expect("run from the workspace root: sample/water60.xyz not found");
+        (
+            Molecule::from_xyz(&xyz).expect("parse water60.xyz"),
+            "water60 (STO-3G)".to_string(),
+        )
+    };
+    let label = label.as_str();
+
+    let screen = env_f64("MAKO_BENCH_SCREEN", 1e-5);
+    let qt = env_f64("MAKO_BENCH_QT", 5e-1);
+    let tau = env_f64("MAKO_BENCH_TAU", 3e-11);
+    let e_tol = env_f64("MAKO_BENCH_ETOL", if smoke { 1e-9 } else { 1e-11 });
+    let base = ScfConfig {
+        e_tol,
+        max_iterations: 50,
+        screening: screen,
+        quartet_threshold: Some(qt),
+        ..ScfConfig::default()
+    };
+
+    // Full-rebuild reference: the classic direct SCF, every iteration a
+    // complete build.
+    let full_driver = ScfDriver::new(&mol, &sto3g(), base.clone());
+    println!(
+        "incremental_scf_bench: {label}  nao={}  batches={}  quartets={} (screen {screen:.0e}, quartet threshold {qt:.0e})",
+        full_driver.nao(),
+        full_driver.nbatches(),
+        full_driver.nquartets()
+    );
+    if std::env::var("MAKO_BENCH_DRY").map(|v| v == "1").unwrap_or(false) {
+        return;
+    }
+    let t0 = Instant::now();
+    let full = full_driver.run();
+    let full_wall = t0.elapsed().as_secs_f64();
+    assert!(full.converged, "full-rebuild SCF failed to converge");
+    let full_per_iter =
+        (full.stats.fp64_quartets + full.stats.quantized_quartets) / full.iterations;
+    println!(
+        "  full rebuild:  E = {:.12} Ha  ({} iterations, {full_wall:.2} s wall, {:.4} s device, {full_per_iter} quartets/iter)",
+        full.energy, full.iterations, full.total_seconds
+    );
+
+    // Incremental engine: ΔD builds under the dynamic Schwarz screen. The
+    // periodic rebuild is disabled so the trajectory cleanly shows the
+    // shrinking-ΔD effect; the drift cap stays as the guardrail.
+    let inc_cfg = ScfConfig {
+        incremental: true,
+        incremental_policy: IncrementalPolicy {
+            tau,
+            rebuild_period: 0,
+            drift_cap: 1e-2,
+            divergence_factor: 10.0,
+        },
+        ..base
+    };
+    let inc_driver = ScfDriver::new(&mol, &sto3g(), inc_cfg);
+    let t0 = Instant::now();
+    let inc = inc_driver.run();
+    let inc_wall = t0.elapsed().as_secs_f64();
+    assert!(inc.converged, "incremental SCF failed to converge");
+    println!(
+        "  incremental:   E = {:.12} Ha  ({} iterations, {inc_wall:.2} s wall, {:.4} s device)",
+        inc.energy, inc.iterations, inc.total_seconds
+    );
+
+    println!("  trajectory (evaluated / skipped quartets per iteration):");
+    for (i, l) in inc.clock.iterations().iter().enumerate() {
+        println!(
+            "    iter {i:>2}: {:>8} evaluated  {:>8} skipped  {:>7} pruned  {:.5} s eri  rebuild={}",
+            l.evaluated_quartets, l.skipped_quartets, l.pruned_quartets, l.eri_seconds, l.rebuild
+        );
+    }
+
+    let delta_e = (inc.energy - full.energy).abs();
+    let ledger = inc.clock.iterations();
+    // Quartet-work contraction: evaluated quartets of the first incremental
+    // iteration (iteration 1 — iteration 0 is the full build of the guess
+    // density) over the last *incremental* iteration's. Rebuild iterations
+    // (including the certification rebuild that ends every converged
+    // incremental run) deliberately do full work and are excluded.
+    let last_inc = ledger.iter().rev().find(|l| !l.rebuild);
+    let ratio = match last_inc {
+        Some(last) if ledger.len() > 2 => {
+            ledger[1].evaluated_quartets as f64 / last.evaluated_quartets.max(1) as f64
+        }
+        _ => 1.0,
+    };
+    let monotone = inc.clock.monotone_decline_from(2);
+    println!(
+        "  |E_inc - E_full| = {delta_e:.3e} Ha   quartets iter1/final = {ratio:.1}x   monotone after iter 2: {monotone}"
+    );
+
+    // Thread sweep: the incremental trajectory may not depend on host
+    // parallelism in any bit.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let default_threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let thread_list = env_thread_list("MAKO_THREADS", default_threads);
+    let mut rows: Vec<(usize, f64, bool)> = Vec::new();
+    let mut all_bitwise = true;
+    for &threads in &thread_list {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let t0 = Instant::now();
+        let run = pool.install(|| inc_driver.run());
+        let wall = t0.elapsed().as_secs_f64();
+        let bitwise = runs_bitwise_equal(&run, &inc);
+        all_bitwise &= bitwise;
+        println!("  {threads} thread(s): {wall:.2} s wall  bitwise_identical={bitwise}");
+        rows.push((threads, wall, bitwise));
+    }
+
+    assert!(
+        all_bitwise,
+        "incremental SCF trajectory drifted across thread counts"
+    );
+    if !smoke {
+        assert!(
+            delta_e <= 1e-10,
+            "incremental energy drifted {delta_e:e} Ha from the full rebuild (> 1e-10)"
+        );
+        assert!(
+            monotone,
+            "quartets/iteration did not fall monotonically after iteration 2"
+        );
+        assert!(
+            ratio >= 5.0,
+            "final iteration ran only {ratio:.1}x fewer quartets than iteration 1 (< 5x)"
+        );
+    } else {
+        assert!(delta_e <= 1e-7, "smoke-mode energy drift {delta_e:e} Ha");
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"incremental_scf_bench\",");
+    let _ = writeln!(json, "  \"molecule\": \"{label}\",");
+    let _ = writeln!(json, "  \"nao\": {},", full_driver.nao());
+    let _ = writeln!(json, "  \"schwarz_threshold\": {screen:e},");
+    let _ = writeln!(json, "  \"quartet_threshold\": {qt:e},");
+    let _ = writeln!(json, "  \"delta_tau\": {tau:e},");
+    let _ = writeln!(json, "  \"e_tol\": {e_tol:e},");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"full\": {{\"energy_ha\": {:.12}, \"iterations\": {}, \"wall_s\": {full_wall:.6}, \"device_seconds\": {:.9}, \"quartets_per_iteration\": {full_per_iter}}},",
+        full.energy, full.iterations, full.total_seconds
+    );
+    let _ = writeln!(
+        json,
+        "  \"incremental\": {{\"energy_ha\": {:.12}, \"iterations\": {}, \"wall_s\": {inc_wall:.6}, \"device_seconds\": {:.9}, \"evaluated_total\": {}, \"skipped_total\": {}, \"skipped_bound_total\": {:e}}},",
+        inc.energy,
+        inc.iterations,
+        inc.total_seconds,
+        inc.clock.total_evaluated(),
+        inc.clock.total_skipped(),
+        inc.stats.skipped_bound
+    );
+    let _ = writeln!(json, "  \"final_energy_delta_ha\": {delta_e:e},");
+    let _ = writeln!(json, "  \"quartet_ratio_iter1_vs_final\": {ratio:.4},");
+    let _ = writeln!(json, "  \"monotone_decline_after_iter2\": {monotone},");
+    let _ = writeln!(json, "  \"trajectory\": [");
+    for (i, l) in ledger.iter().enumerate() {
+        let comma = if i + 1 < ledger.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"iter\": {i}, \"evaluated\": {}, \"skipped\": {}, \"pruned\": {}, \"eri_device_s\": {:.9}, \"total_device_s\": {:.9}, \"skipped_bound\": {:e}, \"rebuild\": {}}}{comma}",
+            l.evaluated_quartets,
+            l.skipped_quartets,
+            l.pruned_quartets,
+            l.eri_seconds,
+            l.total_seconds,
+            l.skipped_bound,
+            l.rebuild
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"threads\": [");
+    for (i, (threads, wall, bitwise)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"wall_s\": {wall:.6}, \"bitwise_identical\": {bitwise}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"bitwise_identical_all\": {all_bitwise}");
+    let _ = writeln!(json, "}}");
+    let out =
+        std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_scf.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}

@@ -33,5 +33,8 @@ pub use boys::{boys_reference, boys_single, BoysTable};
 pub use mmd::{eri_quartet_mmd, eri_quartet_mmd_with, pq_matrix, shell_pair, PqIndex, PrimPair, ShellPairData};
 pub use one_electron::{kinetic_block, nuclear_block, one_electron_matrices, overlap_block};
 pub use os::{eri_quartet_os, EriError, OS_MAX_L};
-pub use screening::{build_screened_pairs, classify, schwarz_bound, ImportanceClass, ScreenedPair};
+pub use screening::{
+    build_screened_pairs, classify, schwarz_bound, schwarz_estimate, DensityBlockMax,
+    ImportanceClass, ScreenedPair,
+};
 pub use tensor::Tensor4;

@@ -75,6 +75,26 @@ impl Diis {
         }
     }
 
+    /// Drop the stored history — the DIIS *restart* the incremental SCF
+    /// driver issues when the iteration diverges (residual growth): stale
+    /// Fock/error pairs from before the divergence would otherwise keep
+    /// steering the extrapolation, and the incremental accumulators are
+    /// rebuilt at the same time so drift cannot survive the restart.
+    pub fn reset(&mut self) {
+        self.focks.clear();
+        self.errors.clear();
+    }
+
+    /// Number of stored (Fock, error) pairs.
+    pub fn len(&self) -> usize {
+        self.focks.len()
+    }
+
+    /// Whether the history is empty (fresh or just restarted).
+    pub fn is_empty(&self) -> bool {
+        self.focks.is_empty()
+    }
+
     /// RMS of the latest error vector (convergence measure).
     pub fn last_error_norm(&self) -> f64 {
         self.errors
@@ -175,6 +195,22 @@ mod tests {
         let out = diis.extrapolate(f2, e2);
         // c = (0.5, 0.5) exactly.
         assert!((out[(0, 0)] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut diis = Diis::new(6);
+        let mut e = Matrix::zeros(2, 2);
+        e[(0, 0)] = 0.5;
+        let _ = diis.extrapolate(Matrix::identity(2), e.clone());
+        let _ = diis.extrapolate(Matrix::identity(2).scale(2.0), e);
+        assert_eq!(diis.len(), 2);
+        diis.reset();
+        assert!(diis.is_empty());
+        // After a restart the next Fock passes through untouched.
+        let f = Matrix::identity(2).scale(7.0);
+        let out = diis.extrapolate(f.clone(), Matrix::zeros(2, 2));
+        assert_eq!(out, f);
     }
 
     #[test]

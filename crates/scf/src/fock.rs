@@ -11,8 +11,14 @@
 //!
 //! # The engine
 //!
-//! [`build_jk`] runs in three phases:
+//! [`build_jk`] runs in three phases (plus an optional phase 0):
 //!
+//! 0. **incremental screen** (serial, cheap, optional): with
+//!    [`FockEngineOptions::delta_tau`] set, quartets whose density-weighted
+//!    Schwarz estimate `Q_ab·Q_cd·max|D_block|` falls below τ are dropped
+//!    before scheduling — the direct-SCF difference-density screen. Skipped
+//!    quartets never reach the device clock; their neglected contribution is
+//!    bounded in [`FockBuildStats::skipped_bound`];
 //! 1. **schedule split** (serial, cheap): every batch is split by the
 //!    convergence-aware scheduler into an FP64 and a quantized sub-batch;
 //! 2. **device clock** (serial, cheap): each non-empty sub-batch is priced
@@ -47,9 +53,10 @@
 //! device clock.
 
 use mako_accel::CostModel;
+use mako_chem::cart::nsph;
 use mako_chem::AoLayout;
 use mako_eri::batch::{EriClass, QuartetBatch};
-use mako_eri::screening::ScreenedPair;
+use mako_eri::screening::{DensityBlockMax, ScreenedPair};
 use mako_eri::tensor::Tensor4;
 use mako_kernels::pipeline::{
     batch_device_seconds, batch_group_scale, run_batch, PipelineConfig, QuartetRunner,
@@ -77,8 +84,36 @@ pub struct FockBuildStats {
     pub quantized_quartets: usize,
     /// Quartets pruned by the scheduler.
     pub pruned_quartets: usize,
+    /// Quartets skipped by the incremental ΔD Schwarz screen (phase 0) —
+    /// dropped before scheduling and before the device clock prices any
+    /// launch, so they cost nothing on either clock.
+    pub skipped_quartets: usize,
+    /// Analytic bound on the max-norm perturbation of J (and of K) from
+    /// everything skipped: `Σ 8·n²·Q_ab·Q_cd·max|D_block|` over the skipped
+    /// quartets, where n bounds the block edge. The incremental driver's
+    /// drift cap and the conformance proptest both key on this.
+    pub skipped_bound: f64,
     /// Simulated device seconds spent in ERI kernels.
     pub device_seconds: f64,
+}
+
+impl FockBuildStats {
+    /// Quartets that actually ran (either pipeline).
+    pub fn evaluated_quartets(&self) -> usize {
+        self.fp64_quartets + self.quantized_quartets
+    }
+
+    /// Merge another build's counters (the distributed rank reduction). The
+    /// device clock is summed — callers modelling concurrent ranks take the
+    /// max separately.
+    pub fn absorb(&mut self, other: &FockBuildStats) {
+        self.fp64_quartets += other.fp64_quartets;
+        self.quantized_quartets += other.quantized_quartets;
+        self.pruned_quartets += other.pruned_quartets;
+        self.skipped_quartets += other.skipped_quartets;
+        self.skipped_bound += other.skipped_bound;
+        self.device_seconds += other.device_seconds;
+    }
 }
 
 /// Options for the parallel Fock assembly engine.
@@ -89,6 +124,16 @@ pub struct FockEngineOptions {
     /// scratch memory and sets the parallel granularity; it never changes
     /// the result (see the module docs).
     pub chunk_quartets: Option<usize>,
+    /// Incremental (direct-SCF) screen: with `Some(τ)`, any quartet whose
+    /// density-weighted Schwarz estimate `Q_ab·Q_cd·max|D_block|` falls
+    /// below τ is skipped before scheduling (phase 0). Pass the *difference*
+    /// density ΔD = D − D_ref as `density` and the estimates shrink as the
+    /// SCF converges, so quartet work falls iteration over iteration. The
+    /// neglected contributions are bounded in
+    /// [`FockBuildStats::skipped_bound`]. The screen is a pure function of
+    /// (density, bounds, τ), so determinism across thread counts is
+    /// unaffected. `None` (default) disables it.
+    pub delta_tau: Option<f64>,
 }
 
 /// One schedulable sub-batch: the quartets of one batch that share an
@@ -155,6 +200,10 @@ pub fn build_jk_with_configs(
     let max_bound = pairs.iter().map(|p| p.bound).fold(0.0f64, f64::max);
     let scale = max_bound * max_bound * d_max.max(1e-30);
 
+    // Phase 0 (incremental screen): per-shell-block density magnitudes,
+    // built once per call. Only paid for when the ΔD screen is on.
+    let block_max = opts.delta_tau.map(|_| DensityBlockMax::build(density, layout));
+
     // Phase 1: split every batch by scheduling decision (bounds vary by
     // quartet). Serial and deterministic; integer bookkeeping only.
     let mut units: Vec<SubUnit> = Vec::new();
@@ -163,6 +212,24 @@ pub fn build_jk_with_configs(
         let mut fp64_q = Vec::new();
         let mut quant_q = Vec::new();
         for &(pi, qi) in &batch.quartets {
+            if let (Some(tau), Some(bm)) = (opts.delta_tau, &block_max) {
+                let (pab, pcd) = (&pairs[pi], &pairs[qi]);
+                let est = pab.bound
+                    * pcd.bound
+                    * bm.quartet_max(pab.i, pab.j, pcd.i, pcd.j);
+                if est < tau {
+                    // A skipped quartet perturbs any one J/K element by at
+                    // most (arrangements ≤ 8) × (contracted elements ≤ n²)
+                    // × est, with n the largest spherical block edge.
+                    let nmax = nsph(batch.class.la)
+                        .max(nsph(batch.class.lb))
+                        .max(nsph(batch.class.lc))
+                        .max(nsph(batch.class.ld));
+                    stats.skipped_quartets += 1;
+                    stats.skipped_bound += 8.0 * (nmax * nmax) as f64 * est;
+                    continue;
+                }
+            }
             match schedule.decide(pairs[pi].bound, pairs[qi].bound, d_max, scale) {
                 ExecClass::Pruned => stats.pruned_quartets += 1,
                 ExecClass::Fp64 => fp64_q.push((pi, qi)),
@@ -296,7 +363,7 @@ pub fn build_jk_serial(
 
 /// For an arrangement produced by the three swaps, gives for each
 /// arrangement slot (A', B', C', D') the original tensor axis it reads.
-fn slot_axes(s_ab: bool, s_cd: bool, braket: bool) -> [usize; 4] {
+pub fn slot_axes(s_ab: bool, s_cd: bool, braket: bool) -> [usize; 4] {
     let mut axes = [0usize, 1, 2, 3];
     if s_ab {
         axes.swap(0, 1);
@@ -314,7 +381,7 @@ fn slot_axes(s_ab: bool, s_cd: bool, braket: bool) -> [usize; 4] {
 /// The distinct ordered arrangements of one symmetry case, in canonical
 /// enumeration order: each entry is the `slot_axes` mapping of one
 /// arrangement that survives dedup.
-type ArrangementTable = Vec<[usize; 4]>;
+pub type ArrangementTable = Vec<[usize; 4]>;
 
 /// Symmetry case of a quartet `(sa, sb | sc, sd)`: which of the four
 /// equalities that can collapse arrangements hold. Only these four matter —
@@ -324,7 +391,7 @@ type ArrangementTable = Vec<[usize; 4]>;
 /// conjunction) holds. Stray coincidences like `sa == sc` alone relate no
 /// two arrangements and need no case of their own.
 #[inline]
-fn symmetry_case(sa: usize, sb: usize, sc: usize, sd: usize) -> usize {
+pub fn symmetry_case(sa: usize, sb: usize, sc: usize, sd: usize) -> usize {
     usize::from(sa == sb)
         | usize::from(sc == sd) << 1
         | usize::from(sa == sc && sb == sd) << 2
@@ -334,7 +401,7 @@ fn symmetry_case(sa: usize, sb: usize, sc: usize, sd: usize) -> usize {
 /// Dedup table for one representative shell assignment, built with the same
 /// enumeration (braket outer, then bra swap, then ket swap; first occurrence
 /// wins) the original `HashSet` implementation used.
-fn build_arrangement_table(shells: &[usize; 4]) -> ArrangementTable {
+pub fn build_arrangement_table(shells: &[usize; 4]) -> ArrangementTable {
     let mut seen: Vec<[usize; 4]> = Vec::with_capacity(8);
     let mut table = Vec::with_capacity(8);
     for braket in [false, true] {
@@ -361,7 +428,7 @@ fn build_arrangement_table(shells: &[usize; 4]) -> ArrangementTable {
 /// The 16 precomputed arrangement tables, one per symmetry case. Replaces
 /// the per-quartet `HashSet` dedup in the innermost scatter loop with a
 /// table lookup; built once, lazily, from representative assignments.
-fn arrangement_tables() -> &'static [ArrangementTable; 16] {
+pub fn arrangement_tables() -> &'static [ArrangementTable; 16] {
     static TABLES: OnceLock<[ArrangementTable; 16]> = OnceLock::new();
     TABLES.get_or_init(|| {
         let mut tables: [ArrangementTable; 16] = std::array::from_fn(|_| Vec::new());
@@ -763,6 +830,125 @@ mod tests {
     }
 
     #[test]
+    fn delta_screen_zero_tau_is_bitwise_inert() {
+        // τ = 0 skips nothing (est < 0 is never true), so the build must be
+        // bitwise identical to the default-options engine.
+        let mol = builders::water();
+        let shells = sto3g().shells_for(&mol);
+        let layout = AoLayout::new(&shells);
+        let d = test_density(layout.nao);
+        let pairs = build_screened_pairs(&shells, 1e-12);
+        let batches = batch_quartets(&pairs, 1e-14);
+        let model = CostModel::new(DeviceSpec::a100());
+        let cfg = PipelineConfig::kernel_mako_fp64();
+        let schedule = QuantSchedule::fp64_reference(0.0);
+        let run = |tau: Option<f64>| {
+            build_jk_with_configs(
+                &d,
+                &pairs,
+                &batches,
+                &layout,
+                &schedule,
+                |_| (cfg, cfg),
+                &model,
+                FockEngineOptions { chunk_quartets: None, delta_tau: tau },
+            )
+        };
+        let (base, st_base) = run(None);
+        let (zero, st_zero) = run(Some(0.0));
+        assert!(bits_equal(&base.j, &zero.j) && bits_equal(&base.k, &zero.k));
+        assert_eq!(st_zero.skipped_quartets, 0);
+        assert_eq!(st_zero.skipped_bound, 0.0);
+        assert_eq!(st_base, st_zero);
+    }
+
+    #[test]
+    fn delta_screen_error_within_analytic_bound_and_saves_device_time() {
+        let mol = builders::water();
+        let shells = sto3g().shells_for(&mol);
+        let layout = AoLayout::new(&shells);
+        // A small difference-density-like matrix: mid-SCF ΔD magnitudes.
+        let mut d = Matrix::from_fn(layout.nao, layout.nao, |i, j| {
+            1e-4 * ((i * 7 + j * 3) % 11) as f64 / (1.0 + (i as f64 - j as f64).abs())
+        });
+        d.symmetrize();
+        let pairs = build_screened_pairs(&shells, 1e-12);
+        let batches = batch_quartets(&pairs, 1e-14);
+        let model = CostModel::new(DeviceSpec::a100());
+        let cfg = PipelineConfig::kernel_mako_fp64();
+        let schedule = QuantSchedule::fp64_reference(0.0);
+        let run = |tau: Option<f64>| {
+            build_jk_with_configs(
+                &d,
+                &pairs,
+                &batches,
+                &layout,
+                &schedule,
+                |_| (cfg, cfg),
+                &model,
+                FockEngineOptions { chunk_quartets: None, delta_tau: tau },
+            )
+        };
+        let (full, st_full) = run(Some(0.0));
+        let tau = 1e-7;
+        let (scr, st_scr) = run(Some(tau));
+        assert!(st_scr.skipped_quartets > 0, "screen must engage");
+        assert!(
+            st_scr.evaluated_quartets() < st_full.evaluated_quartets(),
+            "screened build must run less work"
+        );
+        assert!(
+            st_scr.device_seconds < st_full.device_seconds,
+            "skipped quartets must come off the device clock: {} !< {}",
+            st_scr.device_seconds,
+            st_full.device_seconds
+        );
+        let dj = full.j.sub(&scr.j).max_abs();
+        let dk = full.k.sub(&scr.k).max_abs();
+        assert!(
+            dj <= st_scr.skipped_bound && dk <= st_scr.skipped_bound,
+            "screen error (J {dj:e}, K {dk:e}) exceeds analytic bound {:e}",
+            st_scr.skipped_bound
+        );
+    }
+
+    #[test]
+    fn delta_screen_is_deterministic_across_thread_counts() {
+        let mol = builders::methane();
+        let shells = sto3g().shells_for(&mol);
+        let layout = AoLayout::new(&shells);
+        // Block-sparse ΔD: only the (0,0) AO entry is nonzero, so quartets
+        // not touching shell 0 have an exactly-zero density-weighted
+        // estimate and are guaranteed to skip, while (00|00)-like quartets
+        // are guaranteed to run — a deterministic mix at any τ > 0.
+        let mut d = Matrix::zeros(layout.nao, layout.nao);
+        d[(0, 0)] = 0.5;
+        let pairs = build_screened_pairs(&shells, 1e-12);
+        let batches = batch_quartets(&pairs, 1e-14);
+        let model = CostModel::new(DeviceSpec::a100());
+        let cfg = PipelineConfig::kernel_mako_fp64();
+        let schedule = QuantSchedule::fp64_reference(0.0);
+        let opts = FockEngineOptions { chunk_quartets: None, delta_tau: Some(1e-12) };
+        let run = || {
+            build_jk_with_configs(
+                &d, &pairs, &batches, &layout, &schedule, |_| (cfg, cfg), &model, opts,
+            )
+        };
+        let (base, st_base) = run();
+        assert!(st_base.skipped_quartets > 0);
+        for threads in [2usize, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (jk, st) = pool.install(run);
+            assert!(bits_equal(&jk.j, &base.j), "{threads} threads changed J");
+            assert!(bits_equal(&jk.k, &base.k), "{threads} threads changed K");
+            assert_eq!(st, st_base);
+        }
+    }
+
+    #[test]
     fn chunk_size_never_changes_bits() {
         let mol = builders::water();
         let shells = sto3g().shells_for(&mol);
@@ -783,7 +969,7 @@ mod tests {
                 &schedule,
                 |_| (cfg, cfg),
                 &model,
-                FockEngineOptions { chunk_quartets: chunk },
+                FockEngineOptions { chunk_quartets: chunk, delta_tau: None },
             )
         };
         let (base, st_base) = run(None);

@@ -35,10 +35,10 @@ pub mod scf;
 pub mod xc;
 
 pub use diis::Diis;
-pub use fock::{build_jk, FockBuildStats, JkMatrices};
+pub use fock::{build_jk, FockBuildStats, FockEngineOptions, JkMatrices};
 pub use grid::MolecularGrid;
 pub use mp2::{mp2_from_orbitals, Mp2Result};
-pub use parallel::build_jk_distributed;
+pub use parallel::{build_jk_distributed, build_jk_distributed_with_options};
 pub use properties::{dipole_moment, mulliken_charges, Dipole};
-pub use scf::{ScfConfig, ScfDriver, ScfMethod, ScfResult};
+pub use scf::{IncrementalPolicy, ScfConfig, ScfDriver, ScfMethod, ScfResult};
 pub use xc::{b3lyp, XcFunctional};

@@ -164,6 +164,38 @@ pub fn build_jk_distributed(
     model: &CostModel,
     ranks: usize,
 ) -> (JkMatrices, Vec<f64>, FockBuildStats) {
+    build_jk_distributed_with_options(
+        density,
+        pairs,
+        batches,
+        layout,
+        schedule,
+        fp64_cfg,
+        quant_cfg,
+        model,
+        ranks,
+        FockEngineOptions::default(),
+    )
+}
+
+/// [`build_jk_distributed`] with explicit engine options — the incremental
+/// SCF driver passes its ΔD screen threshold through here so every rank
+/// applies the same phase-0 screen to its share of the batches (the screen
+/// is a pure per-quartet function of the density and the Schwarz bounds, so
+/// partitioning does not change what is skipped).
+#[allow(clippy::too_many_arguments)]
+pub fn build_jk_distributed_with_options(
+    density: &mako_linalg::Matrix,
+    pairs: &[mako_eri::ScreenedPair],
+    batches: &[mako_eri::QuartetBatch],
+    layout: &mako_chem::AoLayout,
+    schedule: &mako_quant::QuantSchedule,
+    fp64_cfg: &mako_kernels::pipeline::PipelineConfig,
+    quant_cfg: &mako_kernels::pipeline::PipelineConfig,
+    model: &CostModel,
+    ranks: usize,
+    opts: FockEngineOptions,
+) -> (JkMatrices, Vec<f64>, FockBuildStats) {
     assert!(ranks >= 1);
     // Weight every batch by its modeled FP64 cost for the LPT partition.
     let weights: Vec<f64> = batches
@@ -193,7 +225,7 @@ pub fn build_jk_distributed(
                         schedule,
                         |_| (*fp64_cfg, *quant_cfg),
                         model,
-                        FockEngineOptions::default(),
+                        opts,
                     )
                 })
             })
@@ -213,6 +245,11 @@ pub fn build_jk_distributed(
         stats.fp64_quartets += st.fp64_quartets;
         stats.quantized_quartets += st.quantized_quartets;
         stats.pruned_quartets += st.pruned_quartets;
+        stats.skipped_quartets += st.skipped_quartets;
+        stats.skipped_bound += st.skipped_bound;
+        // Ranks run concurrently: the iteration costs what the slowest rank
+        // costs, not the sum (unlike [`FockBuildStats::absorb`], which sums
+        // sequential shares of one device's work).
         stats.device_seconds = stats.device_seconds.max(st.device_seconds);
     }
     (JkMatrices { j, k }, seconds, stats)

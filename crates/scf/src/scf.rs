@@ -11,7 +11,7 @@ use crate::diis::Diis;
 use crate::fock::{build_jk_with_configs, FockBuildStats, FockEngineOptions};
 use crate::grid::MolecularGrid;
 use crate::xc::{evaluate_aos, evaluate_xc, hartree_fock, AoOnGrid, XcFunctional};
-use mako_accel::{CostModel, DeviceSpec};
+use mako_accel::{CostModel, DeviceClock, DeviceSpec, IterationLedger};
 use mako_chem::{AoLayout, BasisSet, Molecule, Shell};
 use mako_compiler::KernelCache;
 use mako_eri::batch::{batch_quartets, QuartetBatch};
@@ -31,6 +31,42 @@ pub enum ScfMethod {
     Rks(XcFunctional),
 }
 
+/// Policy knobs of the incremental (direct) SCF engine: when to trust the
+/// accumulated Fock matrix and when to rebuild it from scratch.
+#[derive(Debug, Clone)]
+pub struct IncrementalPolicy {
+    /// ΔD Schwarz screen threshold τ: quartets with
+    /// `Q_ab·Q_cd·max|ΔD_block| < τ` are skipped. As the SCF converges
+    /// max|ΔD| falls, so ever more quartets drop below the fixed bar.
+    pub tau: f64,
+    /// Full rebuild every this many iterations (numerical hygiene);
+    /// `0` disables the periodic rebuild.
+    pub rebuild_period: usize,
+    /// Drift cap: rebuild as soon as the accumulated analytic bound on the
+    /// skipped contributions (`Σ skipped_bound` since the last rebuild)
+    /// exceeds this, so screening error can never pile up past it. The
+    /// bound is extremely conservative (worst case over all 8 arrangements
+    /// of every skipped quartet; the realized error is orders of magnitude
+    /// smaller), so the cap is a loose guardrail — `rebuild_period` is the
+    /// primary hygiene. Caps near the energy tolerance would force a
+    /// rebuild every iteration and disable the engine entirely.
+    pub drift_cap: f64,
+    /// Divergence guard: when the DIIS residual grows by more than this
+    /// factor between iterations, restart DIIS and force a full rebuild.
+    pub divergence_factor: f64,
+}
+
+impl Default for IncrementalPolicy {
+    fn default() -> IncrementalPolicy {
+        IncrementalPolicy {
+            tau: 1e-11,
+            rebuild_period: 8,
+            drift_cap: 1e-4,
+            divergence_factor: 10.0,
+        }
+    }
+}
+
 /// SCF configuration.
 #[derive(Debug, Clone)]
 pub struct ScfConfig {
@@ -45,12 +81,21 @@ pub struct ScfConfig {
     pub quantized: bool,
     /// Shell-pair / quartet Schwarz screening threshold.
     pub screening: f64,
-    /// Incremental Fock build: evaluate the two-electron contribution from
-    /// the density *difference* each iteration (`G += G(ΔD)`). As the SCF
-    /// converges ΔD shrinks, so the density-weighted Schwarz estimates fall
-    /// and the scheduler prunes/quantizes ever more work — the classic
+    /// Optional override of the quartet-level batching threshold (the bar
+    /// on `Q_ab·Q_cd` a pair-of-pairs must clear to enter a batch);
+    /// `None` keeps the default `screening²`. Benchmarks on large systems
+    /// raise it to bound the workload deterministically.
+    pub quartet_threshold: Option<f64>,
+    /// Incremental (direct) SCF: each iteration builds J/K from the density
+    /// *difference* ΔD = D − D_ref under the dynamic ΔD Schwarz screen and
+    /// accumulates onto the retained Fock contribution, with full rebuilds
+    /// governed by [`IncrementalPolicy`]. As the SCF converges ΔD shrinks,
+    /// so quartet work falls iteration over iteration — the classic
     /// direct-SCF optimization, compounding with QuantMako's scheduling.
     pub incremental: bool,
+    /// Rebuild/screen policy of the incremental engine (ignored unless
+    /// `incremental`).
+    pub incremental_policy: IncrementalPolicy,
     /// DFT grid fineness (radial shells, θ points).
     pub grid: (usize, usize),
     /// Simulated device to run on.
@@ -65,7 +110,9 @@ impl Default for ScfConfig {
             max_iterations: 100,
             quantized: false,
             screening: 1e-10,
+            quartet_threshold: None,
             incremental: false,
+            incremental_policy: IncrementalPolicy::default(),
             grid: (30, 10),
             device: DeviceSpec::a100(),
         }
@@ -96,6 +143,10 @@ pub struct ScfResult {
     pub total_seconds: f64,
     /// Accumulated Fock-build statistics.
     pub stats: FockBuildStats,
+    /// Per-iteration device-clock ledger: simulated seconds charged next to
+    /// the evaluated / skipped / pruned quartet populations and the rebuild
+    /// flags of the incremental engine.
+    pub clock: DeviceClock,
 }
 
 /// The SCF driver: owns the basis instantiation, screened pairs, quartet
@@ -122,7 +173,10 @@ impl ScfDriver {
         let shells = basis.shells_for(mol);
         let layout = AoLayout::new(&shells);
         let pairs = build_screened_pairs(&shells, config.screening);
-        let batches = batch_quartets(&pairs, config.screening * config.screening);
+        let quartet_threshold = config
+            .quartet_threshold
+            .unwrap_or(config.screening * config.screening);
+        let batches = batch_quartets(&pairs, quartet_threshold);
         let model = CostModel::new(config.device.clone());
 
         // Architecture-tuned configuration per ERI class and precision.
@@ -170,6 +224,12 @@ impl ScfDriver {
         self.batches.len()
     }
 
+    /// Total quartets across all batches — the per-iteration workload of a
+    /// full (non-incremental) build before any dynamic screening.
+    pub fn nquartets(&self) -> usize {
+        self.batches.iter().map(|b| b.quartets.len()).sum()
+    }
+
     /// Run the SCF to convergence.
     pub fn run(&self) -> ScfResult {
         let n_occ = self.mol.n_electrons() / 2;
@@ -189,13 +249,19 @@ impl ScfDriver {
 
         // Core-Hamiltonian initial guess.
         let mut d = density_from_fock(&h, &x, n_occ).0;
-        // Incremental-build state: accumulated G matrices and the density
-        // they correspond to.
+        // Incremental-build state: accumulated G matrices, the density they
+        // correspond to, and the rebuild-policy bookkeeping.
         let nao = self.layout.nao;
+        let policy = self.config.incremental_policy.clone();
         let mut j_acc = Matrix::zeros(nao, nao);
         let mut k_acc = Matrix::zeros(nao, nao);
         let mut d_ref = Matrix::zeros(nao, nao);
         let mut was_quantized_phase = false;
+        let mut since_rebuild = 0usize;
+        let mut drift_bound = 0.0f64;
+        let mut force_rebuild = false;
+        let mut residual_prev = f64::INFINITY;
+        let mut clock = DeviceClock::new();
 
         let mut diis = Diis::new(8);
         let mut e_prev = f64::INFINITY;
@@ -215,18 +281,32 @@ impl ScfDriver {
 
             // J/K build per batch with the tuned configs. With the
             // incremental option, integrals contract against ΔD = D − D_ref
-            // and accumulate onto the previous G. The accumulators are
-            // purged (full rebuild) when the quantization phase ends —
-            // otherwise early low-precision error would persist in G — and
-            // periodically as numerical hygiene (the standard direct-SCF
-            // reset).
-            let nq = self.layout.nao;
+            // under the dynamic ΔD Schwarz screen and accumulate onto the
+            // previous G. The accumulators are purged (full rebuild) when:
+            //  * the run starts (iteration 0, ΔD = D),
+            //  * the quantization phase ends — otherwise early low-precision
+            //    error would persist in G,
+            //  * `rebuild_period` incremental iterations have passed
+            //    (numerical hygiene, the standard direct-SCF reset),
+            //  * the accumulated analytic skip bound exceeds `drift_cap`,
+            //  * the divergence guard tripped last iteration,
+            //  * the convergence signal fired on a screened build and the
+            //    final energy must be certified on drift-free Fock.
             let leaving_quant_phase = was_quantized_phase && !schedule.allow_quantized;
             was_quantized_phase = schedule.allow_quantized;
-            if self.config.incremental && (leaving_quant_phase || iter % 8 == 0) {
-                j_acc = Matrix::zeros(nq, nq);
-                k_acc = Matrix::zeros(nq, nq);
-                d_ref = Matrix::zeros(nq, nq);
+            let rebuild = !self.config.incremental
+                || iter == 0
+                || leaving_quant_phase
+                || force_rebuild
+                || (policy.rebuild_period > 0 && since_rebuild >= policy.rebuild_period)
+                || drift_bound > policy.drift_cap;
+            if self.config.incremental && rebuild {
+                j_acc = Matrix::zeros(nao, nao);
+                k_acc = Matrix::zeros(nao, nao);
+                d_ref = Matrix::zeros(nao, nao);
+                since_rebuild = 0;
+                drift_bound = 0.0;
+                force_rebuild = false;
             }
             let build_density = if self.config.incremental {
                 let mut delta = d.clone();
@@ -236,7 +316,17 @@ impl ScfDriver {
                 d.clone()
             };
             // One engine call assembles every batch with its own tuned
-            // configs; the engine parallelizes across the rayon pool.
+            // configs; the engine parallelizes across the rayon pool. The
+            // ΔD screen (phase 0 of the engine) only engages on the
+            // incremental path.
+            let opts = FockEngineOptions {
+                delta_tau: if self.config.incremental {
+                    Some(policy.tau)
+                } else {
+                    None
+                },
+                ..FockEngineOptions::default()
+            };
             let (jk, st) = build_jk_with_configs(
                 &build_density,
                 &self.pairs,
@@ -245,19 +335,23 @@ impl ScfDriver {
                 &schedule,
                 |bi| (self.fp64_cfgs[bi], self.quant_cfgs[bi]),
                 &self.model,
-                FockEngineOptions::default(),
+                opts,
             );
             let (mut j, mut k) = (jk.j, jk.k);
             let mut iter_seconds = st.device_seconds;
             total_stats.fp64_quartets += st.fp64_quartets;
             total_stats.quantized_quartets += st.quantized_quartets;
             total_stats.pruned_quartets += st.pruned_quartets;
+            total_stats.skipped_quartets += st.skipped_quartets;
+            total_stats.skipped_bound += st.skipped_bound;
             if self.config.incremental {
                 j_acc.axpy(1.0, &j);
                 k_acc.axpy(1.0, &k);
                 j = j_acc.clone();
                 k = k_acc.clone();
                 d_ref = d.clone();
+                since_rebuild += 1;
+                drift_bound += st.skipped_bound;
             }
 
             // Exchange-correlation (DFT only).
@@ -284,15 +378,43 @@ impl ScfDriver {
                 + e_xc;
             energy = e_elec + e_nuc;
 
-            // DIIS extrapolation.
+            // DIIS extrapolation, with the divergence guard: a residual
+            // jump by `divergence_factor` means the extrapolation went bad —
+            // restart DIIS (drop the stale history) and schedule a full
+            // rebuild so accumulated screening drift cannot steer recovery.
             let err = Diis::error_vector(&f, &d, &s, &x);
             residual = err.norm_fro() / (self.layout.nao as f64);
+            // A rebuild iteration is exempt from the guard: removing the
+            // accumulated screening drift legitimately bumps the residual
+            // (the frozen phase before it drove the residual toward zero),
+            // and the guard's remedy — a rebuild — is what just happened.
+            // Tripping it here would force a redundant back-to-back rebuild
+            // and throw away healthy DIIS history.
+            let guard_exempt = self.config.incremental && rebuild;
+            if iter > 0
+                && !guard_exempt
+                && residual_prev.is_finite()
+                && residual > policy.divergence_factor * residual_prev
+            {
+                diis.reset();
+                force_rebuild = true;
+            }
+            residual_prev = residual;
             let f_diis = diis.extrapolate(f, err);
 
             // Diagonalize (replicated serial stage — costed separately).
             let (d_new, eps) = density_from_fock(&f_diis, &x, n_occ);
             iter_seconds += self.diag_device_seconds();
             iteration_seconds.push(iter_seconds);
+            clock.push(IterationLedger {
+                eri_seconds: st.device_seconds,
+                total_seconds: iter_seconds,
+                evaluated_quartets: st.evaluated_quartets(),
+                skipped_quartets: st.skipped_quartets,
+                pruned_quartets: st.pruned_quartets,
+                skipped_bound: st.skipped_bound,
+                rebuild,
+            });
 
             let de = (energy - e_prev).abs();
             e_prev = energy;
@@ -300,12 +422,24 @@ impl ScfDriver {
             orbital_energies = eps;
 
             if de < self.config.e_tol && residual < self.config.e_tol.sqrt() {
-                converged = true;
-                // When quantized, require a final FP64-clean iteration: the
-                // schedule disables quantization near convergence, so one
-                // more pass confirms the energy at full precision.
-                if !self.config.quantized || iter > 0 {
-                    break;
+                // Certified convergence: never accept the convergence signal
+                // off a screened incremental build. Near convergence the ΔD
+                // screen can skip every remaining quartet, freezing the Fock
+                // pieces — |ΔE| then collapses to zero *because nothing was
+                // updated*, not because the energy is right, and the run
+                // would stop carrying the accumulated screening drift. Force
+                // one full rebuild and only accept convergence re-confirmed
+                // on rebuilt (drift-free) Fock.
+                if self.config.incremental && !rebuild {
+                    force_rebuild = true;
+                } else {
+                    converged = true;
+                    // When quantized, require a final FP64-clean iteration:
+                    // the schedule disables quantization near convergence, so
+                    // one more pass confirms the energy at full precision.
+                    if !self.config.quantized || iter > 0 {
+                        break;
+                    }
                 }
             }
             // Use |ΔE| as the scheduling residual for the next iteration.
@@ -330,6 +464,7 @@ impl ScfDriver {
             total_seconds: iteration_seconds.iter().sum(),
             iteration_seconds,
             stats: total_stats,
+            clock,
         }
     }
 
@@ -515,6 +650,132 @@ mod tests {
             quant_inc.stats.quantized_quartets > 0,
             "ΔD builds must still engage the quantized pipeline"
         );
+    }
+
+    #[test]
+    fn incremental_engine_skips_work_and_records_ledger() {
+        // The water dimer has weak inter-monomer shell pairs, giving the
+        // density-weighted estimates the dynamic range the ΔD screen needs.
+        let mol = builders::water_cluster(2);
+        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let cfg = ScfConfig {
+            incremental: true,
+            incremental_policy: IncrementalPolicy {
+                tau: 1e-8,
+                drift_cap: 1e-2,
+                ..IncrementalPolicy::default()
+            },
+            ..ScfConfig::default()
+        };
+        let inc = ScfDriver::new(&mol, &sto3g(), cfg).run();
+        assert!(inc.converged);
+        // Both runs stop once |ΔE| < e_tol = 1e-7, so their converged
+        // energies can differ by convergence noise of that order even
+        // before any screening error.
+        assert!(
+            (inc.energy - direct.energy).abs() < 2e-7,
+            "incremental {} vs direct {}",
+            inc.energy,
+            direct.energy
+        );
+        // The ledger covers every iteration and its totals agree with the
+        // flat counters.
+        assert_eq!(inc.clock.iterations().len(), inc.iterations);
+        assert_eq!(inc.clock.total_skipped(), inc.stats.skipped_quartets);
+        assert_eq!(
+            inc.clock.total_evaluated(),
+            inc.stats.fp64_quartets + inc.stats.quantized_quartets
+        );
+        // Iteration 0 is a full rebuild by construction.
+        assert!(inc.clock.iterations()[0].rebuild);
+        // The ΔD screen engages as the density settles, so incremental
+        // iterations must skip quartets and run less work than the full
+        // rebuild of iteration 0.
+        assert!(inc.stats.skipped_quartets > 0, "ΔD screen never engaged");
+        let first = &inc.clock.iterations()[0];
+        let best = inc
+            .clock
+            .iterations()
+            .iter()
+            .filter(|l| !l.rebuild)
+            .min_by_key(|l| l.evaluated_quartets)
+            .expect("at least one incremental iteration");
+        assert!(
+            best.evaluated_quartets < first.evaluated_quartets,
+            "incremental iterations ({}) should evaluate fewer quartets \
+             than the initial full build ({})",
+            best.evaluated_quartets,
+            first.evaluated_quartets
+        );
+        // Skipped work is never priced: the cheapest incremental iteration's
+        // ERI stage undercuts the full rebuild's on the device clock.
+        assert!(best.eri_seconds < first.eri_seconds);
+    }
+
+    #[test]
+    fn convergence_is_certified_on_rebuilt_fock() {
+        // Near convergence the ΔD screen skips essentially everything,
+        // freezing the Fock pieces — |ΔE| then collapses because nothing
+        // was updated. The engine must not accept that signal: the final
+        // iteration has to be a full rebuild, and the certified energy must
+        // match the direct reference to convergence noise (~e_tol), not to
+        // the (much larger) screening drift. τ must stay small enough that
+        // one screened iteration re-accumulates less than e_tol of drift,
+        // or certification (correctly) never passes.
+        let mol = builders::water_cluster(2);
+        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let cfg = ScfConfig {
+            incremental: true,
+            incremental_policy: IncrementalPolicy {
+                tau: 1e-8,
+                rebuild_period: 0,
+                drift_cap: 1e2,
+                divergence_factor: 10.0,
+            },
+            ..ScfConfig::default()
+        };
+        let inc = ScfDriver::new(&mol, &sto3g(), cfg).run();
+        assert!(inc.converged);
+        assert!(
+            inc.clock.iterations().last().expect("ledger").rebuild,
+            "converged on a screened build without certification"
+        );
+        assert!(
+            (inc.energy - direct.energy).abs() < 1e-6,
+            "certified energy drifted: {} vs {}",
+            inc.energy,
+            direct.energy
+        );
+    }
+
+    #[test]
+    fn divergence_guard_restarts_cleanly() {
+        // A pathological policy (rebuild every iteration, huge τ) still
+        // converges to the right energy because every iteration is a full
+        // rebuild whenever τ-induced drift trips the cap.
+        let mol = builders::water();
+        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let cfg = ScfConfig {
+            incremental: true,
+            incremental_policy: IncrementalPolicy {
+                tau: 1e-7,
+                rebuild_period: 2,
+                drift_cap: 1e-10,
+                divergence_factor: 2.0,
+            },
+            ..ScfConfig::default()
+        };
+        let inc = ScfDriver::new(&mol, &sto3g(), cfg).run();
+        assert!(inc.converged);
+        assert!(
+            (inc.energy - direct.energy).abs() < 1e-6,
+            "aggressive policy drifted: {} vs {}",
+            inc.energy,
+            direct.energy
+        );
+        // With rebuild_period=2 at least half the iterations are rebuilds.
+        let rebuilds = inc.clock.iterations().iter().filter(|l| l.rebuild).count();
+        assert!(rebuilds * 3 >= inc.iterations, "rebuild policy inactive");
     }
 
     #[test]

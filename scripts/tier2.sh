@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-2 gate: the golden-reference conformance suite plus a smoke run of
+# both benchmark binaries. Slower than tier-1 (minutes, not seconds) and
+# meant for pre-merge validation rather than the inner edit loop.
+#
+#   ./scripts/tier2.sh
+#
+# Runs from the workspace root regardless of the caller's cwd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PROPTEST_RNG_SEED="${PROPTEST_RNG_SEED:-20260805}"
+
+echo "== tier2: golden-reference conformance suite =="
+cargo test --release -p mako-integration-tests --test golden
+
+# Smoke runs write to scratch paths so they never clobber the committed
+# full-workload BENCH_*.json artifacts.
+echo "== tier2: host_fock_bench (smoke: reduced workload, 1/2 threads) =="
+MAKO_BENCH_MAX_QUARTETS=2000 MAKO_THREADS=1,2 \
+    MAKO_BENCH_OUT=target/BENCH_fock_smoke.json \
+    cargo run --release -p mako-bench --bin host_fock_bench
+
+echo "== tier2: incremental_scf_bench (smoke: water4, 1/2 threads) =="
+MAKO_SMOKE=1 MAKO_THREADS=1,2 \
+    MAKO_BENCH_OUT=target/BENCH_scf_smoke.json \
+    cargo run --release -p mako-bench --bin incremental_scf_bench
+
+echo "== tier2: OK =="

@@ -1,0 +1,124 @@
+//! Golden-reference conformance suite: converged SCF energies pinned to
+//! hard-coded reference values, and required to be **bitwise identical**
+//! across thread counts.
+//!
+//! The pins protect two different things at once:
+//!
+//! * **Conformance** — any change anywhere in the stack (integrals,
+//!   screening, scatter, DIIS, incremental engine) that shifts a converged
+//!   total energy by more than 1e-9 Ha fails loudly, with the drift in the
+//!   message. Intentional physics changes must update the constants.
+//! * **Determinism** — the same run repeated inside 1/2/4-thread rayon
+//!   pools must produce the same energy to the bit; the parallel assembly
+//!   engine guarantees host parallelism never reorders an accumulation.
+//!
+//! The references were produced by this repository itself (serial run,
+//! `e_tol = 1e-10`), so they pin today's behavior, not an external code's.
+
+use mako::chem::basis::sto3g::sto3g;
+use mako::chem::builders;
+use mako::scf::{ScfConfig, ScfDriver, ScfResult};
+
+/// Converged RHF/STO-3G total energy of the water monomer (Hartree).
+const E_WATER: f64 = -74.962_928_418_750;
+/// Converged RHF/STO-3G total energy of the water trimer (Hartree).
+const E_WATER3: f64 = -224.883_558_801_398;
+/// Conformance window around the pinned references.
+const TOL: f64 = 1e-9;
+
+fn tight_config() -> ScfConfig {
+    // Tight convergence so the pinned value sits on the converged plateau:
+    // platform-level FP jitter that shifts the iteration count can then
+    // move the energy by ~1e-10, well inside the 1e-9 window.
+    ScfConfig {
+        e_tol: 1e-10,
+        ..ScfConfig::default()
+    }
+}
+
+fn run(mol: &mako::chem::Molecule) -> ScfResult {
+    let driver = ScfDriver::new(mol, &sto3g(), tight_config());
+    let res = driver.run();
+    assert!(res.converged, "golden run failed to converge");
+    res
+}
+
+#[test]
+fn golden_water_monomer_energy() {
+    let res = run(&builders::water());
+    assert!(
+        (res.energy - E_WATER).abs() < TOL,
+        "water monomer drifted from golden reference: {:.12} vs {:.12} (Δ = {:.3e} Ha)",
+        res.energy,
+        E_WATER,
+        res.energy - E_WATER
+    );
+}
+
+#[test]
+fn golden_water_trimer_energy() {
+    let res = run(&builders::water_cluster(3));
+    assert!(
+        (res.energy - E_WATER3).abs() < TOL,
+        "water trimer drifted from golden reference: {:.12} vs {:.12} (Δ = {:.3e} Ha)",
+        res.energy,
+        E_WATER3,
+        res.energy - E_WATER3
+    );
+}
+
+#[test]
+fn golden_energies_identical_across_thread_counts() {
+    for (mol, golden, label) in [
+        (builders::water(), E_WATER, "water"),
+        (builders::water_cluster(3), E_WATER3, "water trimer"),
+    ] {
+        let driver = ScfDriver::new(&mol, &sto3g(), tight_config());
+        let base = driver.run();
+        assert!(base.converged);
+        assert!((base.energy - golden).abs() < TOL, "{label} drifted");
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build thread pool");
+            let res = pool.install(|| driver.run());
+            assert_eq!(
+                res.energy.to_bits(),
+                base.energy.to_bits(),
+                "{label} energy changed bits at {threads} threads: {:.15} vs {:.15}",
+                res.energy,
+                base.energy
+            );
+            assert_eq!(
+                res.iterations, base.iterations,
+                "{label} iteration count changed at {threads} threads"
+            );
+            assert_eq!(
+                res.total_seconds.to_bits(),
+                base.total_seconds.to_bits(),
+                "{label} device clock changed bits at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_incremental_engine_stays_inside_window() {
+    // The incremental (ΔD) engine with its default policy must land inside
+    // the same golden window as the full-rebuild reference — screening
+    // drift is capped below the conformance tolerance.
+    let cfg = ScfConfig {
+        e_tol: 1e-10,
+        incremental: true,
+        ..ScfConfig::default()
+    };
+    let res = ScfDriver::new(&builders::water_cluster(3), &sto3g(), cfg).run();
+    assert!(res.converged);
+    assert!(
+        (res.energy - E_WATER3).abs() < TOL,
+        "incremental trimer drifted from golden reference: {:.12} (Δ = {:.3e} Ha)",
+        res.energy,
+        res.energy - E_WATER3
+    );
+}
