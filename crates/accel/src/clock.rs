@@ -42,10 +42,14 @@ pub struct IterationLedger {
 }
 
 /// The device-clock ledger of a whole SCF run: one entry per iteration,
-/// appended in order.
+/// appended in order. Fault-tolerant runs also record one
+/// [`RecoveryLedger`](crate::fault::RecoveryLedger) per iteration with the
+/// retries / steals / re-runs the recovery machinery performed and their
+/// simulated-seconds cost.
 #[derive(Debug, Clone, Default)]
 pub struct DeviceClock {
     iterations: Vec<IterationLedger>,
+    recoveries: Vec<crate::fault::RecoveryLedger>,
 }
 
 impl DeviceClock {
@@ -59,9 +63,31 @@ impl DeviceClock {
         self.iterations.push(ledger);
     }
 
+    /// Append the recovery ledger of one completed iteration (fault-tolerant
+    /// runs push one per iteration, quiet iterations push a default ledger so
+    /// indices line up with [`Self::iterations`]).
+    pub fn push_recovery(&mut self, ledger: crate::fault::RecoveryLedger) {
+        self.recoveries.push(ledger);
+    }
+
     /// All iterations, in execution order.
     pub fn iterations(&self) -> &[IterationLedger] {
         &self.iterations
+    }
+
+    /// Per-iteration recovery ledgers (empty for runs that never went
+    /// through the fault-tolerant driver).
+    pub fn recoveries(&self) -> &[crate::fault::RecoveryLedger] {
+        &self.recoveries
+    }
+
+    /// Roll-up of all per-iteration recovery ledgers.
+    pub fn total_recovery(&self) -> crate::fault::RecoveryLedger {
+        let mut total = crate::fault::RecoveryLedger::default();
+        for r in &self.recoveries {
+            total.absorb(r);
+        }
+        total
     }
 
     /// Total simulated device seconds across all iterations.

@@ -100,18 +100,28 @@ impl RingAllreduce {
 /// This is the static load balancer used to distribute screened shell-quartet
 /// batches across GPUs; LPT is within 4/3 of optimal and mirrors the
 /// cost-sorted round-robin practical codes use.
+///
+/// Non-finite weights (NaN, ±∞) can reach this function when a cost model
+/// divides by a zero bandwidth or overflows; they are sanitized to 0.0 —
+/// the item is still assigned a rank (every batch must run somewhere) but
+/// contributes nothing to the load it joins. All comparisons use
+/// [`f64::total_cmp`], so this function never panics.
 pub fn partition_lpt(weights: &[f64], ranks: usize) -> Vec<usize> {
     assert!(ranks > 0);
+    let weights: Vec<f64> = weights
+        .iter()
+        .map(|&w| if w.is_finite() { w } else { 0.0 })
+        .collect();
     let mut order: Vec<usize> = (0..weights.len()).collect();
-    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap());
+    order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
     let mut loads = vec![0.0f64; ranks];
     let mut assign = vec![0usize; weights.len()];
     for &i in &order {
         let (best, _) = loads
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("ranks > 0 guarantees a non-empty load vector");
         assign[i] = best;
         loads[best] += weights[i];
     }
@@ -220,6 +230,30 @@ mod tests {
         assert!((sum - 39.0).abs() < 1e-12);
         // Perfect balance would be 9.75; LPT must stay within 4/3.
         assert!(max <= 9.75 * 4.0 / 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn lpt_survives_non_finite_weights() {
+        // Regression: `partial_cmp().unwrap()` used to panic on NaN here.
+        let weights = vec![1.0, f64::NAN, 2.0, f64::INFINITY, f64::NEG_INFINITY, 0.5];
+        let assign = partition_lpt(&weights, 3);
+        assert_eq!(assign.len(), weights.len());
+        assert!(assign.iter().all(|&r| r < 3), "every item gets a valid rank");
+        // Sanitized weights: non-finite → 0.0, so assignments must match the
+        // explicitly sanitized run (determinism of the fix).
+        let sanitized = vec![1.0, 0.0, 2.0, 0.0, 0.0, 0.5];
+        assert_eq!(assign, partition_lpt(&sanitized, 3));
+        // And the finite weights still balance: the two heavy items land on
+        // different ranks.
+        assert_ne!(assign[0], assign[2]);
+    }
+
+    #[test]
+    fn lpt_all_nan_weights_do_not_panic() {
+        let weights = vec![f64::NAN; 7];
+        let assign = partition_lpt(&weights, 2);
+        assert_eq!(assign.len(), 7);
+        assert!(assign.iter().all(|&r| r < 2));
     }
 
     #[test]

@@ -25,7 +25,11 @@
 //!   quartet populations, so incremental-SCF savings are accounted honestly;
 //! * [`cluster`] — the multi-GPU execution model: worklist partitioning,
 //!   NVLink/InfiniBand ring-allreduce timing, and parallel-efficiency
-//!   accounting for Figure 10.
+//!   accounting for Figure 10;
+//! * [`fault`] — deterministic fault injection for the simulated cluster:
+//!   seeded [`fault::FaultPlan`]s (transient kernel failures, stragglers,
+//!   permanent rank loss, allreduce timeouts) charged to the device clock,
+//!   plus the [`fault::RecoveryLedger`] the recovery machinery reports.
 //!
 //! Numerical results never come from this crate — kernels execute their math
 //! on the CPU; this crate only answers "how long would that launch have taken
@@ -34,11 +38,13 @@
 pub mod clock;
 pub mod cluster;
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod occupancy;
 pub mod swizzle;
 
 pub use clock::{DeviceClock, IterationLedger};
+pub use fault::{FaultConfig, FaultPlan, RankFaults, RecoveryLedger};
 pub use cluster::{ClusterSpec, InterconnectTier, RingAllreduce};
 pub use device::{DeviceKind, DeviceSpec};
 pub use kernel::{CostModel, KernelProfile, LaunchRecord, SimTimer};

@@ -1,0 +1,253 @@
+//! Chaos benchmark: distributed SCF under injected faults vs the quiet
+//! cluster, plus a checkpoint → kill → restart leg — quantifying what
+//! recovery costs on the simulated cluster clock while proving it costs
+//! *nothing* in the numbers (bitwise-identical converged energies).
+//!
+//! Results land in `BENCH_chaos.json` (schema documented in DESIGN.md §10).
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin chaos_scf_bench
+//! ```
+//!
+//! Knobs: `MAKO_SMOKE=1` (small molecule, single rank count — for CI
+//! boxes), `MAKO_BENCH_WATERS=n` (built-in n-water cluster, default 4),
+//! `MAKO_FAULT_SEED` (fault-plan seed, default 6 — drawn so the chaotic
+//! config kills at least one rank at both default rank counts),
+//! `MAKO_THREADS` (comma-separated simulated rank counts, default `2,4`),
+//! `MAKO_BENCH_ETOL` (energy tolerance, default 1e-9), `MAKO_BENCH_OUT`
+//! (output path, default `BENCH_chaos.json` — smoke harnesses point this
+//! at scratch).
+
+use mako_accel::cluster::ClusterSpec;
+use mako_accel::fault::{FaultConfig, FaultPlan, RecoveryLedger};
+use mako_chem::basis::sto3g::sto3g;
+use mako_chem::builders;
+use mako_scf::scf::{CheckpointPolicy, DistributedScf, ScfConfig, ScfDriver, ScfRunOptions};
+use mako_scf::{ScfCheckpoint, ScfError};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Comma-separated rank-count list (`MAKO_THREADS`), e.g. `2,4`; falls back
+/// to `default` when unset or unparsable.
+fn env_rank_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+struct RankRow {
+    ranks: usize,
+    quiet_wall: f64,
+    chaos_wall: f64,
+    energy: f64,
+    iterations: usize,
+    device_seconds: f64,
+    recovery: RecoveryLedger,
+    bitwise: bool,
+}
+
+fn main() {
+    let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let waters = env_usize("MAKO_BENCH_WATERS", if smoke { 2 } else { 4 });
+    let mol = builders::water_cluster(waters);
+    let label = format!("water{waters} cluster (STO-3G{})", if smoke { ", smoke" } else { "" });
+    let seed = std::env::var("MAKO_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(6);
+    let e_tol = env_f64("MAKO_BENCH_ETOL", if smoke { 1e-8 } else { 1e-9 });
+    let default_ranks: &[usize] = if smoke { &[2] } else { &[2, 4] };
+    let rank_list = env_rank_list("MAKO_THREADS", default_ranks);
+
+    let config = |dist: DistributedScf| ScfConfig {
+        e_tol,
+        max_iterations: 60,
+        distributed: Some(dist),
+        ..ScfConfig::default()
+    };
+    let probe = ScfDriver::new(&mol, &sto3g(), ScfConfig { e_tol, ..ScfConfig::default() });
+    println!(
+        "chaos_scf_bench: {label}  nao={}  batches={}  quartets={}  fault_seed={seed}",
+        probe.nao(),
+        probe.nbatches(),
+        probe.nquartets()
+    );
+
+    // ---- Rank sweep: quiet cluster vs chaotic cluster, same seed. ----
+    let mut rows: Vec<RankRow> = Vec::new();
+    let mut all_bitwise = true;
+    for &ranks in &rank_list {
+        let quiet_driver = ScfDriver::new(&mol, &sto3g(), config(DistributedScf::new(ranks)));
+        let t0 = Instant::now();
+        let quiet = quiet_driver.run().expect("quiet distributed scf");
+        let quiet_wall = t0.elapsed().as_secs_f64();
+        assert!(quiet.converged, "quiet {ranks}-rank SCF failed to converge");
+        assert!(
+            quiet.clock.total_recovery().quiet(),
+            "quiet cluster fired recovery"
+        );
+
+        let plan = FaultPlan::seeded(seed, ranks, &FaultConfig::chaotic());
+        let chaos_driver = ScfDriver::new(
+            &mol,
+            &sto3g(),
+            config(DistributedScf {
+                fault_plan: Some(plan),
+                cluster: Some(ClusterSpec::azure_nd_a100_v4()),
+                ..DistributedScf::new(ranks)
+            }),
+        );
+        let t0 = Instant::now();
+        let chaos = chaos_driver.run().expect("chaotic distributed scf");
+        let chaos_wall = t0.elapsed().as_secs_f64();
+        assert!(chaos.converged, "chaotic {ranks}-rank SCF failed to converge");
+
+        let bitwise = chaos.energy.to_bits() == quiet.energy.to_bits()
+            && chaos.iterations == quiet.iterations
+            && chaos.total_seconds.to_bits() == quiet.total_seconds.to_bits();
+        all_bitwise &= bitwise;
+        let recovery = chaos.clock.total_recovery();
+        println!(
+            "  {ranks} rank(s): E = {:.12} Ha  ({} iterations)  bitwise_identical={bitwise}",
+            chaos.energy, chaos.iterations
+        );
+        println!(
+            "    recovery: {} retries  {} stolen  {} re-run  {} lost  {} allreduce retries  overhead {:.4} s ({:.4} → {:.4})",
+            recovery.transient_retries,
+            recovery.stolen_batches,
+            recovery.rerun_batches,
+            recovery.ranks_lost,
+            recovery.allreduce_retries,
+            recovery.overhead_seconds(),
+            recovery.fault_free_seconds,
+            recovery.degraded_seconds
+        );
+        rows.push(RankRow {
+            ranks,
+            quiet_wall,
+            chaos_wall,
+            energy: chaos.energy,
+            iterations: chaos.iterations,
+            device_seconds: chaos.total_seconds,
+            recovery,
+            bitwise,
+        });
+    }
+    assert!(all_bitwise, "faults changed converged numerics somewhere");
+
+    // ---- Checkpoint → kill → restart leg, on the chaotic cluster. ----
+    let restart_ranks = rank_list[0];
+    let plan = FaultPlan::seeded(seed, restart_ranks, &FaultConfig::chaotic());
+    let restart_driver = ScfDriver::new(
+        &mol,
+        &sto3g(),
+        config(DistributedScf {
+            fault_plan: Some(plan),
+            ..DistributedScf::new(restart_ranks)
+        }),
+    );
+    let full = restart_driver.run().expect("uninterrupted chaotic scf");
+    let kill_after = (full.iterations / 2).max(1);
+    let ckpt_path = std::env::temp_dir().join(format!("mako_chaos_bench_{}.ckpt", std::process::id()));
+    let err = restart_driver
+        .run_with(ScfRunOptions {
+            checkpoint: Some(CheckpointPolicy {
+                every: 1,
+                path: ckpt_path.clone(),
+            }),
+            kill_after: Some(kill_after),
+            ..ScfRunOptions::default()
+        })
+        .expect_err("killed run must not return Ok");
+    assert_eq!(err, ScfError::Killed { iterations: kill_after });
+    let checkpoint_bytes = std::fs::metadata(&ckpt_path).map(|m| m.len()).unwrap_or(0);
+    let ck = ScfCheckpoint::load(&ckpt_path).expect("load checkpoint");
+    let t0 = Instant::now();
+    let resumed = restart_driver
+        .run_with(ScfRunOptions {
+            resume: Some(ck),
+            ..ScfRunOptions::default()
+        })
+        .expect("resumed scf");
+    let resume_wall = t0.elapsed().as_secs_f64();
+    let restart_bitwise = resumed.energy.to_bits() == full.energy.to_bits()
+        && resumed.iterations == full.iterations
+        && resumed.total_seconds.to_bits() == full.total_seconds.to_bits();
+    let _ = std::fs::remove_file(&ckpt_path);
+    println!(
+        "  restart: killed @ iter {kill_after}, resumed to E = {:.12} Ha in {} iterations  bitwise_identical={restart_bitwise}  ({checkpoint_bytes} checkpoint bytes)",
+        resumed.energy, resumed.iterations
+    );
+    assert!(
+        restart_bitwise,
+        "resumed trajectory diverged from the uninterrupted run"
+    );
+
+    // ---- BENCH_chaos.json ----
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"chaos_scf_bench\",");
+    let _ = writeln!(json, "  \"molecule\": \"{label}\",");
+    let _ = writeln!(json, "  \"nao\": {},", probe.nao());
+    let _ = writeln!(json, "  \"fault_seed\": {seed},");
+    let _ = writeln!(json, "  \"e_tol\": {e_tol:e},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"ranks\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let rec = &r.recovery;
+        let _ = writeln!(
+            json,
+            "    {{\"ranks\": {}, \"energy_ha\": {:.12}, \"iterations\": {}, \"device_seconds\": {:.9}, \"quiet_wall_s\": {:.6}, \"chaos_wall_s\": {:.6}, \"bitwise_identical\": {}, \"recovery\": {{\"transient_retries\": {}, \"backoff_seconds\": {:.6}, \"straggler_ranks\": {}, \"stolen_batches\": {}, \"rerun_batches\": {}, \"ranks_lost\": {}, \"allreduce_retries\": {}, \"fault_free_seconds\": {:.9}, \"degraded_seconds\": {:.9}, \"overhead_seconds\": {:.9}}}}}{comma}",
+            r.ranks,
+            r.energy,
+            r.iterations,
+            r.device_seconds,
+            r.quiet_wall,
+            r.chaos_wall,
+            r.bitwise,
+            rec.transient_retries,
+            rec.backoff_seconds,
+            rec.straggler_ranks,
+            rec.stolen_batches,
+            rec.rerun_batches,
+            rec.ranks_lost,
+            rec.allreduce_retries,
+            rec.fault_free_seconds,
+            rec.degraded_seconds,
+            rec.overhead_seconds()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"restart\": {{\"ranks\": {restart_ranks}, \"kill_after\": {kill_after}, \"checkpoint_bytes\": {checkpoint_bytes}, \"resume_wall_s\": {resume_wall:.6}, \"bitwise_identical\": {restart_bitwise}}},"
+    );
+    let _ = writeln!(json, "  \"bitwise_identical_all\": {}", all_bitwise && restart_bitwise);
+    let _ = writeln!(json, "}}");
+    let out =
+        std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_chaos.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}

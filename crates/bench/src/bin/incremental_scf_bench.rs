@@ -116,7 +116,7 @@ fn main() {
         return;
     }
     let t0 = Instant::now();
-    let full = full_driver.run();
+    let full = full_driver.run().expect("scf run");
     let full_wall = t0.elapsed().as_secs_f64();
     assert!(full.converged, "full-rebuild SCF failed to converge");
     let full_per_iter =
@@ -141,7 +141,7 @@ fn main() {
     };
     let inc_driver = ScfDriver::new(&mol, &sto3g(), inc_cfg);
     let t0 = Instant::now();
-    let inc = inc_driver.run();
+    let inc = inc_driver.run().expect("scf run");
     let inc_wall = t0.elapsed().as_secs_f64();
     assert!(inc.converged, "incremental SCF failed to converge");
     println!(
@@ -189,7 +189,7 @@ fn main() {
             .build()
             .expect("build thread pool");
         let t0 = Instant::now();
-        let run = pool.install(|| inc_driver.run());
+        let run = pool.install(|| inc_driver.run().expect("scf run"));
         let wall = t0.elapsed().as_secs_f64();
         let bitwise = runs_bitwise_equal(&run, &inc);
         all_bitwise &= bitwise;

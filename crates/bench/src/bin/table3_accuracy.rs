@@ -123,7 +123,7 @@ fn main() {
     println!("{:<12} {:>16} {:>16} {:>12}", "molecule", "Mako/Ha", "OS ref/Ha", "|Δ|/mHa");
     let mut st_ref = ErrorStats::new();
     for mol in &reference_set {
-        let mako_e = engine.run_rhf(mol, BasisFamily::Sto3g).energy;
+        let mako_e = engine.run_rhf(mol, BasisFamily::Sto3g).expect("scf run").energy;
         let os_e = rhf_obara_saika(mol);
         st_ref.push(os_e, mako_e);
         println!(
@@ -147,8 +147,8 @@ fn main() {
     let diffs: Vec<(f64, f64)> = suite
         .par_iter()
         .map(|mol| {
-            let e64 = engine.run_rhf(mol, BasisFamily::Sto3g).energy;
-            let eq = quant_engine.run_rhf(mol, BasisFamily::Sto3g).energy;
+            let e64 = engine.run_rhf(mol, BasisFamily::Sto3g).expect("scf run").energy;
+            let eq = quant_engine.run_rhf(mol, BasisFamily::Sto3g).expect("scf run").energy;
             (e64, eq)
         })
         .collect();

@@ -104,8 +104,8 @@ fn main() -> ExitCode {
     let engine = MakoEngine::new().with_quantization(args.quantized);
     let wall = std::time::Instant::now();
     let result = match args.method.as_str() {
-        "rhf" => engine.run_rhf(&mol, args.basis),
-        "b3lyp" => engine.run_b3lyp(&mol, args.basis),
+        "rhf" => engine.run_rhf(&mol, args.basis).expect("scf run"),
+        "b3lyp" => engine.run_b3lyp(&mol, args.basis).expect("scf run"),
         other => {
             eprintln!("error: unknown method {other} (rhf|b3lyp)");
             return ExitCode::FAILURE;

@@ -17,7 +17,9 @@
 //! use mako::prelude::*;
 //!
 //! let water = mako::chem::builders::water();
-//! let result = MakoEngine::new().run_rhf(&water, BasisFamily::Sto3g);
+//! let result = MakoEngine::new()
+//!     .run_rhf(&water, BasisFamily::Sto3g)
+//!     .expect("SCF run failed");
 //! assert!(result.converged);
 //! assert!((result.energy - (-74.96)).abs() < 0.02);
 //! ```
@@ -48,14 +50,14 @@ pub use mako_scf as scf;
 
 use mako_accel::DeviceSpec;
 use mako_chem::{BasisFamily, Molecule};
-use mako_scf::{ScfConfig, ScfDriver, ScfMethod, ScfResult};
+use mako_scf::{ScfConfig, ScfDriver, ScfError, ScfMethod, ScfResult};
 
 /// Commonly used items, one import away.
 pub mod prelude {
     pub use crate::MakoEngine;
     pub use mako_accel::{DeviceKind, DeviceSpec};
     pub use mako_chem::{BasisFamily, Element, Molecule};
-    pub use mako_scf::{ScfConfig, ScfMethod, ScfResult};
+    pub use mako_scf::{ScfConfig, ScfError, ScfMethod, ScfResult};
 }
 
 /// High-level entry point: configure once, run calculations.
@@ -113,13 +115,13 @@ impl MakoEngine {
     }
 
     /// Restricted Hartree–Fock on a molecule with a basis family.
-    pub fn run_rhf(&self, mol: &Molecule, basis: BasisFamily) -> ScfResult {
+    pub fn run_rhf(&self, mol: &Molecule, basis: BasisFamily) -> Result<ScfResult, ScfError> {
         let b = basis.basis_for(&mol.elements());
         ScfDriver::new(mol, &b, self.config(ScfMethod::Rhf)).run()
     }
 
     /// Restricted Kohn–Sham B3LYP (the paper's functional).
-    pub fn run_b3lyp(&self, mol: &Molecule, basis: BasisFamily) -> ScfResult {
+    pub fn run_b3lyp(&self, mol: &Molecule, basis: BasisFamily) -> Result<ScfResult, ScfError> {
         let b = basis.basis_for(&mol.elements());
         ScfDriver::new(mol, &b, self.config(ScfMethod::Rks(mako_scf::xc::b3lyp()))).run()
     }
@@ -132,7 +134,9 @@ mod tests {
 
     #[test]
     fn engine_runs_water_rhf() {
-        let res = MakoEngine::new().run_rhf(&builders::water(), BasisFamily::Sto3g);
+        let res = MakoEngine::new()
+            .run_rhf(&builders::water(), BasisFamily::Sto3g)
+            .expect("scf run");
         assert!(res.converged);
         assert!((res.energy + 74.963).abs() < 0.02);
     }
@@ -140,10 +144,14 @@ mod tests {
     #[test]
     fn engine_quantized_agrees_to_chemical_accuracy() {
         let mol = builders::water();
-        let e_ref = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g).energy;
+        let e_ref = MakoEngine::new()
+            .run_rhf(&mol, BasisFamily::Sto3g)
+            .expect("scf run")
+            .energy;
         let quant = MakoEngine::new()
             .with_quantization(true)
-            .run_rhf(&mol, BasisFamily::Sto3g);
+            .run_rhf(&mol, BasisFamily::Sto3g)
+            .expect("scf run");
         assert!(quant.converged);
         assert!((quant.energy - e_ref).abs() < 1e-3, "Δ = {}", quant.energy - e_ref);
     }
@@ -152,10 +160,13 @@ mod tests {
     fn engine_device_selection_changes_timing_not_energy() {
         use mako_accel::DeviceKind;
         let mol = builders::water();
-        let a100 = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g);
+        let a100 = MakoEngine::new()
+            .run_rhf(&mol, BasisFamily::Sto3g)
+            .expect("scf run");
         let h100 = MakoEngine::new()
             .on_device(DeviceSpec::new(DeviceKind::H100))
-            .run_rhf(&mol, BasisFamily::Sto3g);
+            .run_rhf(&mol, BasisFamily::Sto3g)
+            .expect("scf run");
         assert!((a100.energy - h100.energy).abs() < 1e-10);
         assert!(h100.avg_iteration_seconds < a100.avg_iteration_seconds);
     }

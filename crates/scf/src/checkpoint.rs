@@ -1,0 +1,543 @@
+//! SCF checkpoint/restart: versioned on-disk serialization of the full
+//! mid-trajectory driver state.
+//!
+//! A production SCF service must survive preemption: a 64-GPU ubiquitin run
+//! is hours of simulated work, and losing the whole trajectory to one node
+//! eviction is not acceptable. The checkpoint captures *everything* the
+//! iteration loop carries between iterations — density, previous energy,
+//! residuals, DIIS history, the incremental engine's accumulators and
+//! rebuild bookkeeping, the device-clock ledgers — so a resumed run replays
+//! the remaining iterations **bitwise identically** to the uninterrupted
+//! one (DESIGN.md §10).
+//!
+//! ## Format (version 1)
+//!
+//! Little-endian binary. `f64` values are serialized via
+//! [`f64::to_bits`], never through text, so restore is bit-exact.
+//!
+//! ```text
+//! magic   b"MAKOCKPT"            8 bytes
+//! version u32                    (currently 1)
+//! fingerprint: nao u64, n_batches u64, n_quartets u64
+//! scalars: next_iteration u64, e_prev, energy, residual, residual_prev,
+//!          drift_bound f64; since_rebuild u64;
+//!          flags u8 (bit0 was_quantized_phase, bit1 force_rebuild)
+//! matrices: d, j_acc, k_acc, d_ref        (each: rows u64, cols u64, data)
+//! diis: max_vectors u64, m u64, m × (fock, error) matrix pairs
+//! orbital_energies: len u64, data
+//! iteration_seconds: len u64, data
+//! stats: 5 × u64 + 2 × f64 (FockBuildStats fields)
+//! clock: n_iters u64, n_iters × IterationLedger;
+//!        n_recov u64, n_recov × RecoveryLedger
+//! ```
+//!
+//! Readers reject wrong magic, versions they don't understand, truncated
+//! payloads, and checkpoints whose fingerprint (basis size / batch
+//! population) disagrees with the run being resumed.
+
+use crate::diis::DiisSnapshot;
+use crate::error::CheckpointError;
+use crate::fock::FockBuildStats;
+use mako_accel::{DeviceClock, IterationLedger, RecoveryLedger};
+use mako_linalg::Matrix;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MAKOCKPT";
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The complete mid-trajectory state of an SCF run, captured after a whole
+/// number of completed iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScfCheckpoint {
+    /// Basis size fingerprint — must match the resuming driver.
+    pub nao: usize,
+    /// Quartet-batch population fingerprint.
+    pub n_batches: usize,
+    /// Total-quartet fingerprint.
+    pub n_quartets: usize,
+    /// The iteration the resumed run executes next (= completed iterations).
+    pub next_iteration: usize,
+    /// Density matrix entering `next_iteration`.
+    pub density: Matrix,
+    /// Energy of the previous iteration (convergence test state).
+    pub e_prev: f64,
+    /// Last computed total energy.
+    pub energy: f64,
+    /// Scheduling residual entering `next_iteration`.
+    pub residual: f64,
+    /// Previous DIIS residual (divergence-guard state).
+    pub residual_prev: f64,
+    /// Whether the previous iteration ran the quantized phase.
+    pub was_quantized_phase: bool,
+    /// Incremental accumulators (zeros when not incremental).
+    pub j_acc: Matrix,
+    /// Exchange accumulator.
+    pub k_acc: Matrix,
+    /// Reference density of the accumulators.
+    pub d_ref: Matrix,
+    /// Incremental iterations since the last full rebuild.
+    pub since_rebuild: usize,
+    /// Accumulated analytic skip bound since the last rebuild.
+    pub drift_bound: f64,
+    /// Whether the next iteration must be a full rebuild.
+    pub force_rebuild: bool,
+    /// DIIS history.
+    pub diis: DiisSnapshot,
+    /// Orbital energies of the last diagonalization.
+    pub orbital_energies: Vec<f64>,
+    /// Per-iteration simulated seconds so far.
+    pub iteration_seconds: Vec<f64>,
+    /// Accumulated Fock statistics so far.
+    pub stats: FockBuildStats,
+    /// Per-iteration device-clock ledgers so far.
+    pub ledgers: Vec<IterationLedger>,
+    /// Per-iteration recovery ledgers so far.
+    pub recoveries: Vec<RecoveryLedger>,
+}
+
+impl ScfCheckpoint {
+    /// Rebuild the [`DeviceClock`] from the stored ledgers.
+    pub fn clock(&self) -> DeviceClock {
+        let mut clock = DeviceClock::new();
+        for l in &self.ledgers {
+            clock.push(*l);
+        }
+        for r in &self.recoveries {
+            clock.push_recovery(*r);
+        }
+        clock
+    }
+
+    /// Serialize to the version-1 binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.density.as_slice().len() * 8 * 4);
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, CHECKPOINT_VERSION);
+        put_u64(&mut out, self.nao as u64);
+        put_u64(&mut out, self.n_batches as u64);
+        put_u64(&mut out, self.n_quartets as u64);
+        put_u64(&mut out, self.next_iteration as u64);
+        put_f64(&mut out, self.e_prev);
+        put_f64(&mut out, self.energy);
+        put_f64(&mut out, self.residual);
+        put_f64(&mut out, self.residual_prev);
+        put_f64(&mut out, self.drift_bound);
+        put_u64(&mut out, self.since_rebuild as u64);
+        let flags =
+            (self.was_quantized_phase as u8) | ((self.force_rebuild as u8) << 1);
+        out.push(flags);
+        put_matrix(&mut out, &self.density);
+        put_matrix(&mut out, &self.j_acc);
+        put_matrix(&mut out, &self.k_acc);
+        put_matrix(&mut out, &self.d_ref);
+        put_u64(&mut out, self.diis.max_vectors as u64);
+        put_u64(&mut out, self.diis.focks.len() as u64);
+        for (f, e) in self.diis.focks.iter().zip(&self.diis.errors) {
+            put_matrix(&mut out, f);
+            put_matrix(&mut out, e);
+        }
+        put_f64_vec(&mut out, &self.orbital_energies);
+        put_f64_vec(&mut out, &self.iteration_seconds);
+        put_u64(&mut out, self.stats.fp64_quartets as u64);
+        put_u64(&mut out, self.stats.quantized_quartets as u64);
+        put_u64(&mut out, self.stats.pruned_quartets as u64);
+        put_u64(&mut out, self.stats.skipped_quartets as u64);
+        put_f64(&mut out, self.stats.skipped_bound);
+        put_f64(&mut out, self.stats.device_seconds);
+        put_u64(&mut out, self.ledgers.len() as u64);
+        for l in &self.ledgers {
+            put_f64(&mut out, l.eri_seconds);
+            put_f64(&mut out, l.total_seconds);
+            put_u64(&mut out, l.evaluated_quartets as u64);
+            put_u64(&mut out, l.skipped_quartets as u64);
+            put_u64(&mut out, l.pruned_quartets as u64);
+            put_f64(&mut out, l.skipped_bound);
+            out.push(l.rebuild as u8);
+        }
+        put_u64(&mut out, self.recoveries.len() as u64);
+        for r in &self.recoveries {
+            put_u64(&mut out, r.transient_retries as u64);
+            put_f64(&mut out, r.backoff_seconds);
+            put_u64(&mut out, r.straggler_ranks as u64);
+            put_u64(&mut out, r.stolen_batches as u64);
+            put_u64(&mut out, r.rerun_batches as u64);
+            put_u64(&mut out, r.ranks_lost as u64);
+            put_u64(&mut out, r.allreduce_retries as u64);
+            put_u64(&mut out, r.checkpoint_saves as u64);
+            put_u64(&mut out, r.checkpoint_loads as u64);
+            put_f64(&mut out, r.fault_free_seconds);
+            put_f64(&mut out, r.degraded_seconds);
+        }
+        out
+    }
+
+    /// Parse a version-1 checkpoint.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ScfCheckpoint, CheckpointError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        let nao = r.u64()? as usize;
+        let n_batches = r.u64()? as usize;
+        let n_quartets = r.u64()? as usize;
+        let next_iteration = r.u64()? as usize;
+        let e_prev = r.f64()?;
+        let energy = r.f64()?;
+        let residual = r.f64()?;
+        let residual_prev = r.f64()?;
+        let drift_bound = r.f64()?;
+        let since_rebuild = r.u64()? as usize;
+        let flags = r.take(1)?[0];
+        let density = r.matrix()?;
+        let j_acc = r.matrix()?;
+        let k_acc = r.matrix()?;
+        let d_ref = r.matrix()?;
+        let max_vectors = r.u64()? as usize;
+        let m = r.u64()? as usize;
+        if m > 1 << 20 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut focks = Vec::with_capacity(m);
+        let mut errors = Vec::with_capacity(m);
+        for _ in 0..m {
+            focks.push(r.matrix()?);
+            errors.push(r.matrix()?);
+        }
+        let orbital_energies = r.f64_vec()?;
+        let iteration_seconds = r.f64_vec()?;
+        let stats = FockBuildStats {
+            fp64_quartets: r.u64()? as usize,
+            quantized_quartets: r.u64()? as usize,
+            pruned_quartets: r.u64()? as usize,
+            skipped_quartets: r.u64()? as usize,
+            skipped_bound: r.f64()?,
+            device_seconds: r.f64()?,
+        };
+        let n_iters = r.u64()? as usize;
+        if n_iters > 1 << 24 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut ledgers = Vec::with_capacity(n_iters);
+        for _ in 0..n_iters {
+            ledgers.push(IterationLedger {
+                eri_seconds: r.f64()?,
+                total_seconds: r.f64()?,
+                evaluated_quartets: r.u64()? as usize,
+                skipped_quartets: r.u64()? as usize,
+                pruned_quartets: r.u64()? as usize,
+                skipped_bound: r.f64()?,
+                rebuild: r.take(1)?[0] != 0,
+            });
+        }
+        let n_recov = r.u64()? as usize;
+        if n_recov > 1 << 24 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut recoveries = Vec::with_capacity(n_recov);
+        for _ in 0..n_recov {
+            recoveries.push(RecoveryLedger {
+                transient_retries: r.u64()? as usize,
+                backoff_seconds: r.f64()?,
+                straggler_ranks: r.u64()? as usize,
+                stolen_batches: r.u64()? as usize,
+                rerun_batches: r.u64()? as usize,
+                ranks_lost: r.u64()? as usize,
+                allreduce_retries: r.u64()? as usize,
+                checkpoint_saves: r.u64()? as usize,
+                checkpoint_loads: r.u64()? as usize,
+                fault_free_seconds: r.f64()?,
+                degraded_seconds: r.f64()?,
+            });
+        }
+        Ok(ScfCheckpoint {
+            nao,
+            n_batches,
+            n_quartets,
+            next_iteration,
+            density,
+            e_prev,
+            energy,
+            residual,
+            residual_prev,
+            was_quantized_phase: flags & 1 != 0,
+            j_acc,
+            k_acc,
+            d_ref,
+            since_rebuild,
+            drift_bound,
+            force_rebuild: flags & 2 != 0,
+            diis: DiisSnapshot {
+                max_vectors,
+                focks,
+                errors,
+            },
+            orbital_energies,
+            iteration_seconds,
+            stats,
+            ledgers,
+            recoveries,
+        })
+    }
+
+    /// Write to disk (atomically via a sibling temp file, so a crash during
+    /// the save never corrupts the previous checkpoint).
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read a checkpoint back from disk.
+    pub fn load(path: &Path) -> Result<ScfCheckpoint, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        ScfCheckpoint::from_bytes(&bytes)
+    }
+
+    /// Validate that this checkpoint belongs to a run with the given
+    /// problem fingerprint.
+    pub fn validate(
+        &self,
+        nao: usize,
+        n_batches: usize,
+        n_quartets: usize,
+    ) -> Result<(), CheckpointError> {
+        if self.nao != nao {
+            return Err(CheckpointError::Mismatch { field: "nao" });
+        }
+        if self.n_batches != n_batches {
+            return Err(CheckpointError::Mismatch { field: "n_batches" });
+        }
+        if self.n_quartets != n_quartets {
+            return Err(CheckpointError::Mismatch { field: "n_quartets" });
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_f64_vec(out: &mut Vec<u8>, v: &[f64]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        put_f64(out, x);
+    }
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_u64(out, m.rows() as u64);
+    put_u64(out, m.cols() as u64);
+    for &x in m.as_slice() {
+        put_f64(out, x);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>, CheckpointError> {
+        let n = self.u64()? as usize;
+        if n > 1 << 28 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+
+    fn matrix(&mut self) -> Result<Matrix, CheckpointError> {
+        let rows = self.u64()? as usize;
+        let cols = self.u64()? as usize;
+        if rows.saturating_mul(cols) > 1 << 28 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(self.f64()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScfCheckpoint {
+        let m = |s: f64| Matrix::from_fn(3, 3, |i, j| s * (i as f64 + 0.1 * j as f64));
+        ScfCheckpoint {
+            nao: 3,
+            n_batches: 7,
+            n_quartets: 91,
+            next_iteration: 4,
+            density: m(1.0),
+            e_prev: -74.9629,
+            energy: -74.96294,
+            residual: 1.25e-5,
+            residual_prev: 3.5e-5,
+            was_quantized_phase: true,
+            j_acc: m(0.5),
+            k_acc: m(0.25),
+            d_ref: m(0.9),
+            since_rebuild: 2,
+            drift_bound: 1.5e-13,
+            force_rebuild: false,
+            diis: DiisSnapshot {
+                max_vectors: 8,
+                focks: vec![m(2.0), m(2.1)],
+                errors: vec![m(0.01), m(0.005)],
+            },
+            orbital_energies: vec![-20.24, -1.26, 0.6],
+            iteration_seconds: vec![1e-3, 8e-4, 7e-4, 6e-4],
+            stats: FockBuildStats {
+                fp64_quartets: 1000,
+                quantized_quartets: 50,
+                pruned_quartets: 7,
+                skipped_quartets: 123,
+                skipped_bound: 4.2e-11,
+                device_seconds: 3.1e-3,
+            },
+            ledgers: vec![IterationLedger {
+                eri_seconds: 9e-4,
+                total_seconds: 1e-3,
+                evaluated_quartets: 1000,
+                skipped_quartets: 3,
+                pruned_quartets: 1,
+                skipped_bound: 1e-12,
+                rebuild: true,
+            }],
+            recoveries: vec![RecoveryLedger {
+                transient_retries: 2,
+                backoff_seconds: 3e-3,
+                rerun_batches: 11,
+                ranks_lost: 1,
+                fault_free_seconds: 0.2,
+                degraded_seconds: 0.31,
+                ..RecoveryLedger::default()
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let back = ScfCheckpoint::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, ck);
+        // Serialization is deterministic.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn roundtrip_preserves_nonfinite_and_signed_zero() {
+        // f64-via-bits must survive the values text formatting mangles.
+        let mut ck = sample();
+        ck.e_prev = f64::INFINITY;
+        ck.residual_prev = f64::NAN;
+        ck.drift_bound = -0.0;
+        let back = ScfCheckpoint::from_bytes(&ck.to_bytes()).expect("roundtrip");
+        assert!(back.e_prev.is_infinite());
+        assert!(back.residual_prev.is_nan());
+        assert_eq!(back.drift_bound.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            ScfCheckpoint::from_bytes(&bad),
+            Err(CheckpointError::BadMagic)
+        );
+
+        let mut newer = bytes.clone();
+        newer[8] = 99; // version little-endian low byte
+        assert_eq!(
+            ScfCheckpoint::from_bytes(&newer),
+            Err(CheckpointError::UnsupportedVersion { found: 99 })
+        );
+
+        let truncated = &bytes[..bytes.len() - 5];
+        assert_eq!(
+            ScfCheckpoint::from_bytes(truncated),
+            Err(CheckpointError::Truncated)
+        );
+    }
+
+    #[test]
+    fn fingerprint_validation() {
+        let ck = sample();
+        assert!(ck.validate(3, 7, 91).is_ok());
+        assert_eq!(
+            ck.validate(4, 7, 91),
+            Err(CheckpointError::Mismatch { field: "nao" })
+        );
+        assert_eq!(
+            ck.validate(3, 8, 91),
+            Err(CheckpointError::Mismatch { field: "n_batches" })
+        );
+        assert_eq!(
+            ck.validate(3, 7, 90),
+            Err(CheckpointError::Mismatch { field: "n_quartets" })
+        );
+    }
+
+    #[test]
+    fn save_load_disk_roundtrip() {
+        let ck = sample();
+        let dir = std::env::temp_dir().join("mako_ckpt_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("scf.ckpt");
+        ck.save(&path).expect("save");
+        let back = ScfCheckpoint::load(&path).expect("load");
+        assert_eq!(back, ck);
+        std::fs::remove_file(&path).ok();
+    }
+}

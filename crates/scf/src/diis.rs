@@ -38,6 +38,7 @@ impl Diis {
     /// Falls back to the raw Fock while the history is too short or the
     /// B system is singular.
     pub fn extrapolate(&mut self, f: Matrix, error: Matrix) -> Matrix {
+        let latest = f.clone();
         self.focks.push(f);
         self.errors.push(error);
         if self.focks.len() > self.max_vectors {
@@ -46,7 +47,7 @@ impl Diis {
         }
         let m = self.focks.len();
         if m < 2 {
-            return self.focks.last().unwrap().clone();
+            return latest;
         }
 
         // Augmented B system: [B 1; 1 0][c; λ] = [0; 1].
@@ -71,8 +72,34 @@ impl Diis {
                 }
                 out
             }
-            None => self.focks.last().unwrap().clone(),
+            None => latest,
         }
+    }
+
+    /// Capture the full history for checkpointing. The snapshot is
+    /// bit-exact: restoring it and continuing reproduces the uninterrupted
+    /// trajectory (extrapolation is a pure function of the stored pairs).
+    pub fn snapshot(&self) -> DiisSnapshot {
+        DiisSnapshot {
+            max_vectors: self.max_vectors,
+            focks: self.focks.clone(),
+            errors: self.errors.clone(),
+        }
+    }
+
+    /// Rebuild an accelerator from a checkpoint snapshot.
+    pub fn restore(snapshot: DiisSnapshot) -> Diis {
+        Diis {
+            max_vectors: snapshot.max_vectors.max(2),
+            focks: snapshot.focks,
+            errors: snapshot.errors,
+        }
+    }
+
+    /// The stored (Fock, error) history, oldest first — serialized by the
+    /// checkpoint writer.
+    pub fn history(&self) -> (&[Matrix], &[Matrix]) {
+        (&self.focks, &self.errors)
     }
 
     /// Drop the stored history — the DIIS *restart* the incremental SCF
@@ -102,6 +129,18 @@ impl Diis {
             .map(|e| e.norm_fro() / (e.rows() as f64))
             .unwrap_or(f64::INFINITY)
     }
+}
+
+/// The serializable state of a [`Diis`] accelerator: everything needed to
+/// resume extrapolation mid-trajectory with bit-identical results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiisSnapshot {
+    /// History capacity.
+    pub max_vectors: usize,
+    /// Stored Fock matrices, oldest first.
+    pub focks: Vec<Matrix>,
+    /// Stored error vectors, oldest first (paired with `focks`).
+    pub errors: Vec<Matrix>,
 }
 
 /// Dense Gaussian elimination with partial pivoting (the DIIS B system is
@@ -211,6 +250,31 @@ mod tests {
         let f = Matrix::identity(2).scale(7.0);
         let out = diis.extrapolate(f.clone(), Matrix::zeros(2, 2));
         assert_eq!(out, f);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bitwise() {
+        // Build some history, snapshot, then feed both the original and the
+        // restored accelerator the same next pair: outputs must be bitwise
+        // equal (the checkpoint/restart contract).
+        let mut diis = Diis::new(4);
+        for i in 0..3 {
+            let f = Matrix::from_fn(3, 3, |r, c| (r + c) as f64 + i as f64 * 0.1);
+            let mut e = Matrix::zeros(3, 3);
+            e[(0, 0)] = 1.0 / (i + 1) as f64;
+            e[(1, 2)] = -0.2 * i as f64;
+            let _ = diis.extrapolate(f, e);
+        }
+        let snap = diis.snapshot();
+        let mut restored = Diis::restore(snap.clone());
+        assert_eq!(restored.len(), diis.len());
+        assert_eq!(diis.snapshot(), snap);
+        let f_next = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64 * 0.01);
+        let mut e_next = Matrix::zeros(3, 3);
+        e_next[(2, 2)] = 0.05;
+        let a = diis.extrapolate(f_next.clone(), e_next.clone());
+        let b = restored.extrapolate(f_next, e_next);
+        assert_eq!(a, b, "restored DIIS diverged from the original");
     }
 
     #[test]

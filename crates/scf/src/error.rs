@@ -1,0 +1,206 @@
+//! Typed error taxonomy of the SCF stack.
+//!
+//! Library crates must never panic on anomalies a production service has to
+//! survive (ROADMAP north-star): a non-positive-definite overlap, an
+//! eigensolver that ran out of iterations, a rank thread that died, a
+//! corrupt checkpoint. Those conditions surface here as typed errors the
+//! caller can match on; binaries and tests may still `expect` at the top
+//! level, where aborting is the right answer.
+
+use mako_linalg::LinalgError;
+
+/// Failure of a (possibly fault-tolerant) distributed Fock build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FockBuildError {
+    /// The build was invoked with zero ranks.
+    NoRanks,
+    /// Every rank in the fault plan died — there is no survivor to re-run
+    /// the lost work on. `ranks` is the cluster size.
+    AllRanksLost {
+        /// Total ranks in the plan, all of which were lost.
+        ranks: usize,
+    },
+    /// A rank's worker thread panicked (a real software bug, distinct from
+    /// an *injected* fault, which is handled by recovery).
+    RankPanicked {
+        /// The rank whose thread died.
+        rank: usize,
+    },
+    /// The fault plan covers a different number of ranks than the build was
+    /// asked to run with.
+    PlanMismatch {
+        /// Ranks in the plan.
+        plan_ranks: usize,
+        /// Ranks requested.
+        ranks: usize,
+    },
+}
+
+impl std::fmt::Display for FockBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FockBuildError::NoRanks => write!(f, "distributed Fock build needs at least one rank"),
+            FockBuildError::AllRanksLost { ranks } => {
+                write!(f, "all {ranks} ranks were permanently lost; no survivor to recover on")
+            }
+            FockBuildError::RankPanicked { rank } => {
+                write!(f, "rank {rank} worker thread panicked")
+            }
+            FockBuildError::PlanMismatch { plan_ranks, ranks } => {
+                write!(f, "fault plan covers {plan_ranks} ranks but the build runs {ranks}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FockBuildError {}
+
+/// Failure to save or restore an SCF checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem error (message carried as a string so the error stays
+    /// `Clone`/`PartialEq`).
+    Io(String),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The file ended mid-record or a length field is inconsistent.
+    Truncated,
+    /// The checkpoint was written by a run with different inputs (basis
+    /// size, batch population, …) and cannot resume this one.
+    Mismatch {
+        /// Which fingerprint field disagreed.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::BadMagic => write!(f, "not a Mako SCF checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(f, "checkpoint format version {found} is not supported")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated or corrupt"),
+            CheckpointError::Mismatch { field } => {
+                write!(f, "checkpoint does not match this run: {field} differs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e.to_string())
+    }
+}
+
+/// Failure of an SCF run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScfError {
+    /// The overlap matrix is not positive definite (linearly dependent
+    /// basis), so no orthonormalizer exists.
+    OverlapNotPositiveDefinite {
+        /// The underlying factorization failure.
+        source: LinalgError,
+    },
+    /// Fock diagonalization failed during an iteration.
+    Diagonalization {
+        /// Iteration at which the eigensolver failed (0-based; the initial
+        /// core-Hamiltonian guess reports iteration 0).
+        iteration: usize,
+        /// The underlying eigensolver failure.
+        source: LinalgError,
+    },
+    /// The restricted driver was given an open-shell electron count.
+    OpenShell {
+        /// Electron count of the molecule.
+        electrons: usize,
+    },
+    /// A distributed Fock build failed unrecoverably.
+    FockBuild(FockBuildError),
+    /// Checkpoint save or restore failed.
+    Checkpoint(CheckpointError),
+    /// The run was deliberately killed after `iterations` completed
+    /// iterations (the chaos harness's mid-trajectory kill); the latest
+    /// checkpoint, if any, carries the state to resume from.
+    Killed {
+        /// Completed iterations before the kill.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for ScfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScfError::OverlapNotPositiveDefinite { source } => {
+                write!(f, "overlap matrix is not positive definite: {source}")
+            }
+            ScfError::Diagonalization { iteration, source } => {
+                write!(f, "Fock diagonalization failed at iteration {iteration}: {source}")
+            }
+            ScfError::OpenShell { electrons } => {
+                write!(f, "restricted driver requires a closed shell ({electrons} electrons)")
+            }
+            ScfError::FockBuild(e) => write!(f, "distributed Fock build failed: {e}"),
+            ScfError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            ScfError::Killed { iterations } => {
+                write!(f, "run killed after {iterations} iterations (chaos harness)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScfError::OverlapNotPositiveDefinite { source }
+            | ScfError::Diagonalization { source, .. } => Some(source),
+            ScfError::FockBuild(e) => Some(e),
+            ScfError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FockBuildError> for ScfError {
+    fn from(e: FockBuildError) -> ScfError {
+        ScfError::FockBuild(e)
+    }
+}
+
+impl From<CheckpointError> for ScfError {
+    fn from(e: CheckpointError) -> ScfError {
+        ScfError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ScfError::Diagonalization {
+            iteration: 7,
+            source: LinalgError::NoConvergence { index: 3 },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("iteration 7"), "{msg}");
+        assert!(msg.contains("index 3"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+
+        let f: ScfError = FockBuildError::AllRanksLost { ranks: 4 }.into();
+        assert!(f.to_string().contains("all 4 ranks"), "{f}");
+
+        let c: ScfError = CheckpointError::UnsupportedVersion { found: 99 }.into();
+        assert!(c.to_string().contains("version 99"), "{c}");
+    }
+}

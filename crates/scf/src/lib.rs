@@ -25,7 +25,9 @@
 #![deny(rust_2018_idioms)]
 
 
+pub mod checkpoint;
 pub mod diis;
+pub mod error;
 pub mod fock;
 pub mod grid;
 pub mod mp2;
@@ -34,11 +36,19 @@ pub mod parallel;
 pub mod scf;
 pub mod xc;
 
-pub use diis::Diis;
+pub use checkpoint::{ScfCheckpoint, CHECKPOINT_VERSION};
+pub use diis::{Diis, DiisSnapshot};
+pub use error::{CheckpointError, FockBuildError, ScfError};
 pub use fock::{build_jk, FockBuildStats, FockEngineOptions, JkMatrices};
 pub use grid::MolecularGrid;
 pub use mp2::{mp2_from_orbitals, Mp2Result};
-pub use parallel::{build_jk_distributed, build_jk_distributed_with_options};
+pub use parallel::{
+    build_jk_distributed, build_jk_distributed_ft, build_jk_distributed_with_options,
+    FaultToleranceOptions, FtFockOutcome,
+};
 pub use properties::{dipole_moment, mulliken_charges, Dipole};
-pub use scf::{IncrementalPolicy, ScfConfig, ScfDriver, ScfMethod, ScfResult};
+pub use scf::{
+    CheckpointPolicy, DistributedScf, IncrementalPolicy, ScfConfig, ScfDriver, ScfMethod,
+    ScfResult, ScfRunOptions,
+};
 pub use xc::{b3lyp, XcFunctional};

@@ -187,7 +187,7 @@ mod tests {
     fn orbitals_for(mol: &Molecule) -> (Vec<Shell>, Matrix, Vec<f64>) {
         let basis = sto3g();
         let shells = basis.shells_for(mol);
-        let res = ScfDriver::new(mol, &basis, ScfConfig::default()).run();
+        let res = ScfDriver::new(mol, &basis, ScfConfig::default()).run().expect("scf run");
         assert!(res.converged);
         // Rebuild C by diagonalizing the converged Fock implied by D:
         // use the generalized eigenproblem of the *core* + J/K of D via the

@@ -10,11 +10,15 @@
 //! quartet counts follow from pair-class populations, and per-batch costs
 //! come from the architecture-tuned kernel configurations.
 
+use crate::error::FockBuildError;
 use crate::fock::{build_jk_with_configs, FockBuildStats, FockEngineOptions, JkMatrices};
 use mako_accel::cluster::{
     parallel_efficiency, partition_lpt, simulate_iteration, ClusterSpec, ParallelTiming,
+    RingAllreduce,
 };
+use mako_accel::fault::{FaultPlan, RecoveryLedger};
 use mako_accel::CostModel;
+use mako_kernels::pipeline::PipelineConfig;
 use mako_chem::molecule::dist;
 use mako_chem::{BasisSet, Molecule};
 use mako_compiler::KernelCache;
@@ -152,6 +156,11 @@ pub fn batch_costs(
 /// summed scheduler statistics. For a fixed rank count the result is
 /// bitwise reproducible: each rank's build is deterministic (engine
 /// guarantee) and the merge order is the rank order.
+///
+/// Errors with [`FockBuildError::NoRanks`] on an empty cluster and
+/// [`FockBuildError::RankPanicked`] if a worker thread dies (a software
+/// bug, as opposed to an *injected* fault, which
+/// [`build_jk_distributed_ft`] recovers from).
 #[allow(clippy::too_many_arguments)]
 pub fn build_jk_distributed(
     density: &mako_linalg::Matrix,
@@ -159,11 +168,11 @@ pub fn build_jk_distributed(
     batches: &[mako_eri::QuartetBatch],
     layout: &mako_chem::AoLayout,
     schedule: &mako_quant::QuantSchedule,
-    fp64_cfg: &mako_kernels::pipeline::PipelineConfig,
-    quant_cfg: &mako_kernels::pipeline::PipelineConfig,
+    fp64_cfg: &PipelineConfig,
+    quant_cfg: &PipelineConfig,
     model: &CostModel,
     ranks: usize,
-) -> (JkMatrices, Vec<f64>, FockBuildStats) {
+) -> Result<(JkMatrices, Vec<f64>, FockBuildStats), FockBuildError> {
     build_jk_distributed_with_options(
         density,
         pairs,
@@ -175,6 +184,71 @@ pub fn build_jk_distributed(
         model,
         ranks,
         FockEngineOptions::default(),
+    )
+}
+
+/// Per-batch LPT weights: the modeled FP64 cost of every batch, the common
+/// load model of the static partition, the straggler detector, and the
+/// recovery ledger's two clocks.
+fn batch_weights(
+    batches: &[mako_eri::QuartetBatch],
+    fp64_cfg_for: &(impl Fn(usize) -> PipelineConfig + Sync),
+    model: &CostModel,
+) -> Vec<f64> {
+    batches
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| {
+            mako_kernels::pipeline::simulate_batch_cost(
+                &b.class,
+                b.len().max(1),
+                &fp64_cfg_for(bi),
+                model,
+            )
+            .min(1e6)
+        })
+        .collect()
+}
+
+/// Partition batches over ranks by LPT on their weights; returns each
+/// rank's share as **global batch indices in batch order** (the canonical
+/// order every execution of a share must preserve).
+fn lpt_shares(weights: &[f64], ranks: usize) -> Vec<Vec<usize>> {
+    let assignment = partition_lpt(weights, ranks);
+    let mut shares: Vec<Vec<usize>> = vec![Vec::new(); ranks];
+    for (bi, &r) in assignment.iter().enumerate() {
+        shares[r].push(bi);
+    }
+    shares
+}
+
+/// Evaluate one rank's share with the single-device engine — the **only**
+/// way share numerics are ever produced. Recovery re-runs call this very
+/// function on the same share, so the engine's determinism guarantee makes
+/// re-executed results bitwise identical to the originals.
+#[allow(clippy::too_many_arguments)]
+fn run_rank_share(
+    density: &mako_linalg::Matrix,
+    pairs: &[mako_eri::ScreenedPair],
+    batches: &[mako_eri::QuartetBatch],
+    share: &[usize],
+    layout: &mako_chem::AoLayout,
+    schedule: &mako_quant::QuantSchedule,
+    cfg_for: &(impl Fn(usize) -> (PipelineConfig, PipelineConfig) + Sync),
+    model: &CostModel,
+    opts: FockEngineOptions,
+) -> (JkMatrices, FockBuildStats) {
+    let mine: Vec<mako_eri::QuartetBatch> =
+        share.iter().map(|&bi| batches[bi].clone()).collect();
+    build_jk_with_configs(
+        density,
+        pairs,
+        &mine,
+        layout,
+        schedule,
+        |li| cfg_for(share[li]),
+        model,
+        opts,
     )
 }
 
@@ -190,55 +264,46 @@ pub fn build_jk_distributed_with_options(
     batches: &[mako_eri::QuartetBatch],
     layout: &mako_chem::AoLayout,
     schedule: &mako_quant::QuantSchedule,
-    fp64_cfg: &mako_kernels::pipeline::PipelineConfig,
-    quant_cfg: &mako_kernels::pipeline::PipelineConfig,
+    fp64_cfg: &PipelineConfig,
+    quant_cfg: &PipelineConfig,
     model: &CostModel,
     ranks: usize,
     opts: FockEngineOptions,
-) -> (JkMatrices, Vec<f64>, FockBuildStats) {
-    assert!(ranks >= 1);
-    // Weight every batch by its modeled FP64 cost for the LPT partition.
-    let weights: Vec<f64> = batches
-        .iter()
-        .map(|b| {
-            mako_kernels::pipeline::simulate_batch_cost(&b.class, b.len().max(1), fp64_cfg, model)
-                .min(1e6)
-        })
-        .collect();
-    let assignment = partition_lpt(&weights, ranks);
-
-    let mut per_rank: Vec<Vec<mako_eri::QuartetBatch>> = vec![Vec::new(); ranks];
-    for (bi, batch) in batches.iter().enumerate() {
-        per_rank[assignment[bi]].push(batch.clone());
+) -> Result<(JkMatrices, Vec<f64>, FockBuildStats), FockBuildError> {
+    if ranks == 0 {
+        return Err(FockBuildError::NoRanks);
     }
+    let cfg_for = |_bi: usize| (*fp64_cfg, *quant_cfg);
+    let weights = batch_weights(batches, &|_| *fp64_cfg, model);
+    let shares = lpt_shares(&weights, ranks);
 
-    let results: Vec<(JkMatrices, FockBuildStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = per_rank
-            .iter()
-            .map(|mine| {
-                scope.spawn(move || {
-                    build_jk_with_configs(
-                        density,
-                        pairs,
-                        mine,
-                        layout,
-                        schedule,
-                        |_| (*fp64_cfg, *quant_cfg),
-                        model,
-                        opts,
-                    )
+    let results: Vec<Result<(JkMatrices, FockBuildStats), FockBuildError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shares
+                .iter()
+                .map(|share| {
+                    scope.spawn(|| {
+                        run_rank_share(
+                            density, pairs, batches, share, layout, schedule, &cfg_for,
+                            model, opts,
+                        )
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread")).collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| h.join().map_err(|_| FockBuildError::RankPanicked { rank }))
+                .collect()
+        });
 
     let n = layout.nao;
     let mut j = mako_linalg::Matrix::zeros(n, n);
     let mut k = mako_linalg::Matrix::zeros(n, n);
     let mut seconds = Vec::with_capacity(ranks);
     let mut stats = FockBuildStats::default();
-    for (jk, st) in results {
+    for res in results {
+        let (jk, st) = res?;
         j.axpy(1.0, &jk.j);
         k.axpy(1.0, &jk.k);
         seconds.push(st.device_seconds);
@@ -252,7 +317,267 @@ pub fn build_jk_distributed_with_options(
         // sequential shares of one device's work).
         stats.device_seconds = stats.device_seconds.max(st.device_seconds);
     }
-    (JkMatrices { j, k }, seconds, stats)
+    Ok((JkMatrices { j, k }, seconds, stats))
+}
+
+/// Recovery policy of the fault-tolerant distributed build.
+#[derive(Debug, Clone)]
+pub struct FaultToleranceOptions {
+    /// The (seeded, deterministic) fault schedule to execute under.
+    pub plan: FaultPlan,
+    /// Straggler detector bar: a rank that has burned its entire fault-free
+    /// LPT share budget with batches still pending is flagged, and the
+    /// pending suffix is re-partitioned onto faster ranks (work stealing).
+    /// Effectively: ranks slower than this multiple of the plan lose their
+    /// tail. Must be > 1.
+    pub straggler_threshold: f64,
+    /// Cluster geometry for the allreduce accounting; `None` skips the
+    /// collective (single-node studies).
+    pub cluster: Option<ClusterSpec>,
+    /// Bytes moved by the per-build allreduce (only with `cluster`).
+    pub allreduce_bytes: f64,
+    /// Identifier of this build's collective in the fault plan's timeout
+    /// stream (the SCF driver passes the iteration index so each
+    /// iteration's allreduce draws independent timeouts).
+    pub collective_call: u64,
+}
+
+impl FaultToleranceOptions {
+    /// Recovery under `plan` with the default detector and no collective.
+    pub fn new(plan: FaultPlan) -> FaultToleranceOptions {
+        FaultToleranceOptions {
+            plan,
+            straggler_threshold: 1.5,
+            cluster: None,
+            allreduce_bytes: 0.0,
+            collective_call: 0,
+        }
+    }
+}
+
+/// Outcome of a fault-tolerant distributed Fock build.
+#[derive(Debug, Clone)]
+pub struct FtFockOutcome {
+    /// Merged J/K — bitwise identical to the fault-free build's.
+    pub jk: JkMatrices,
+    /// Per-logical-rank engine device seconds — identical to the fault-free
+    /// build's (share numerics are always produced by the same engine call;
+    /// faults change *who executes*, accounted in `recovery`).
+    pub rank_seconds: Vec<f64>,
+    /// Merged scheduler statistics — identical to the fault-free build's.
+    pub stats: FockBuildStats,
+    /// What recovery did and what the faults cost on the load-model clock.
+    pub recovery: RecoveryLedger,
+}
+
+/// Fault-tolerant distributed Fock build: executes the same LPT-partitioned
+/// build as [`build_jk_distributed_with_options`] while *simulating* the
+/// fault schedule of `ft.plan` and recovering from every injected anomaly:
+///
+/// * **transient launch failures** — retried in place with capped
+///   exponential backoff (wasted attempts and backoff delays are charged to
+///   the degraded clock);
+/// * **stragglers** — detected against the LPT load model (a rank that has
+///   spent its whole fault-free share budget with work still pending); the
+///   pending suffix is re-partitioned greedily onto the least-loaded live
+///   ranks;
+/// * **permanent rank loss** — a dead rank's partial results are lost, and
+///   its **entire share** is re-run on the least-loaded survivor;
+/// * **allreduce timeouts** — retried, each timeout charging its stall.
+///
+/// ## The determinism invariant
+///
+/// Recovered J/K, per-rank `device_seconds`, and scheduler statistics are
+/// **bitwise identical** to the fault-free run, by construction: the
+/// numerics of logical rank `r`'s share are only ever produced by
+/// [`run_rank_share`] over the *original fault-free share* — re-runs
+/// re-execute the identical engine call (deterministic by the engine
+/// contract), thieves evaluate on behalf of the owner and ship tensors back
+/// to the owner's ordered scatter, and the final merge stays in logical
+/// rank order. No fault can regroup a floating-point sum. What faults *do*
+/// change is the execution timeline, which is simulated on the LPT
+/// load-model clock and reported in [`RecoveryLedger`]
+/// (`fault_free_seconds` vs `degraded_seconds`).
+#[allow(clippy::too_many_arguments)]
+pub fn build_jk_distributed_ft(
+    density: &mako_linalg::Matrix,
+    pairs: &[mako_eri::ScreenedPair],
+    batches: &[mako_eri::QuartetBatch],
+    layout: &mako_chem::AoLayout,
+    schedule: &mako_quant::QuantSchedule,
+    cfg_for: &(impl Fn(usize) -> (PipelineConfig, PipelineConfig) + Sync),
+    model: &CostModel,
+    ranks: usize,
+    opts: FockEngineOptions,
+    ft: &FaultToleranceOptions,
+) -> Result<FtFockOutcome, FockBuildError> {
+    if ranks == 0 {
+        return Err(FockBuildError::NoRanks);
+    }
+    let plan = &ft.plan;
+    if plan.ranks() != ranks {
+        return Err(FockBuildError::PlanMismatch {
+            plan_ranks: plan.ranks(),
+            ranks,
+        });
+    }
+
+    let weights = batch_weights(batches, &|bi| cfg_for(bi).0, model);
+    let shares = lpt_shares(&weights, ranks);
+    let mut ledger = RecoveryLedger::default();
+
+    // ---- Phase 1: share numerics (the only place numbers are made). ----
+    // Every logical rank's share is evaluated by one engine call whether or
+    // not the rank survives; the fault walk below decides who *executed* it
+    // and what that cost. A real stack would run the re-executions after
+    // the failure; the numbers are identical either way (engine purity), so
+    // the simulation orders them freely.
+    let results: Vec<Result<(JkMatrices, FockBuildStats), FockBuildError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shares
+                .iter()
+                .map(|share| {
+                    scope.spawn(|| {
+                        run_rank_share(
+                            density, pairs, batches, share, layout, schedule, cfg_for,
+                            model, opts,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| h.join().map_err(|_| FockBuildError::RankPanicked { rank }))
+                .collect()
+        });
+
+    // ---- Phase 2: fault timeline on the load-model clock. ----
+    // Each rank walks its share batch by batch; transient failures retry in
+    // place, a doomed rank executes up to its death point, and a straggler
+    // keeps only the prefix it can finish within its fault-free budget.
+    let live: Vec<bool> = (0..ranks)
+        .map(|r| plan.death_point(r, shares[r].len()).is_none())
+        .collect();
+    if live.iter().all(|&l| !l) {
+        return Err(FockBuildError::AllRanksLost { ranks });
+    }
+    let share_budget: Vec<f64> = shares
+        .iter()
+        .map(|s| s.iter().map(|&bi| weights[bi]).sum())
+        .collect();
+    ledger.fault_free_seconds = share_budget.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    // Wasted attempts before one successful execution of `batch` by
+    // `executor`, charging retries and backoff to the ledger. Capped as a
+    // safety valve; rates are clamped < 1 so the cap is unreachable in
+    // expectation.
+    let charge_transients =
+        |executor: usize, batch: usize, degraded: &mut f64, ledger: &mut RecoveryLedger| {
+            let slowdown = plan.slowdown(executor);
+            let mut attempt = 0u32;
+            while attempt < 1000 && plan.transient_fails(executor, batch, attempt) {
+                *degraded += weights[batch] * slowdown; // the failed launch
+                let pause = plan.backoff_seconds(attempt);
+                *degraded += pause;
+                ledger.transient_retries += 1;
+                ledger.backoff_seconds += pause;
+                attempt += 1;
+            }
+            *degraded += weights[batch] * slowdown; // the successful launch
+        };
+
+    // Per-rank degraded clock and the batches displaced onto other ranks.
+    let mut degraded: Vec<f64> = vec![0.0; ranks];
+    let mut stolen: Vec<usize> = Vec::new(); // straggler tails (owner alive)
+    let mut rerun: Vec<usize> = Vec::new(); // dead ranks' full shares
+    for r in 0..ranks {
+        let share = &shares[r];
+        if let Some(die_at) = plan.death_point(r, share.len()) {
+            // The rank executes (and pays for) its prefix, then vanishes;
+            // everything it did is lost with its device memory, so the full
+            // share is re-run on survivors.
+            for &bi in &share[..die_at] {
+                charge_transients(r, bi, &mut degraded[r], &mut ledger);
+            }
+            ledger.ranks_lost += 1;
+            ledger.rerun_batches += share.len();
+            rerun.extend(share.iter().copied());
+            continue;
+        }
+        // Live rank: execute until done or until the detector fires. The
+        // detector compares progress against the LPT plan — once the rank
+        // has burned `threshold ×` its fault-free budget with batches still
+        // pending, the pending tail is stolen.
+        let budget = ft.straggler_threshold.max(1.0) * share_budget[r];
+        for (i, &bi) in share.iter().enumerate() {
+            if degraded[r] >= budget && i + 1 < share.len() {
+                let tail = &share[i..];
+                ledger.straggler_ranks += 1;
+                ledger.stolen_batches += tail.len();
+                stolen.extend(tail.iter().copied());
+                break;
+            }
+            charge_transients(r, bi, &mut degraded[r], &mut ledger);
+        }
+    }
+
+    // ---- Phase 3: re-place displaced batches on live ranks, greedily on
+    // the least-loaded (deterministic: total_cmp, ties to the lowest
+    // rank). Thieves *evaluate*; results remain attributed to the owner.
+    for bi in stolen.into_iter().chain(rerun) {
+        let (thief, _) = degraded
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| live[*r])
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("at least one live rank (checked above)");
+        charge_transients(thief, bi, &mut degraded[thief], &mut ledger);
+    }
+    ledger.degraded_seconds = degraded
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| live[*r])
+        .map(|(_, &t)| t)
+        .fold(0.0f64, f64::max);
+
+    // ---- Phase 4: the collective, with timeout retries. ----
+    if let Some(cluster) = &ft.cluster {
+        let comm = RingAllreduce::new(cluster.clone()).time(ft.allreduce_bytes, ranks);
+        ledger.fault_free_seconds += comm;
+        let mut attempt = 0u32;
+        while attempt < 1000 && plan.allreduce_times_out(ft.collective_call, attempt) {
+            ledger.degraded_seconds += plan.allreduce_timeout_seconds();
+            ledger.allreduce_retries += 1;
+            attempt += 1;
+        }
+        ledger.degraded_seconds += comm;
+    }
+
+    // ---- Phase 5: rank-ordered merge — identical to the fault-free path.
+    let n = layout.nao;
+    let mut j = mako_linalg::Matrix::zeros(n, n);
+    let mut k = mako_linalg::Matrix::zeros(n, n);
+    let mut rank_seconds = Vec::with_capacity(ranks);
+    let mut stats = FockBuildStats::default();
+    for res in results {
+        let (jk, st) = res?;
+        j.axpy(1.0, &jk.j);
+        k.axpy(1.0, &jk.k);
+        rank_seconds.push(st.device_seconds);
+        stats.fp64_quartets += st.fp64_quartets;
+        stats.quantized_quartets += st.quantized_quartets;
+        stats.pruned_quartets += st.pruned_quartets;
+        stats.skipped_quartets += st.skipped_quartets;
+        stats.skipped_bound += st.skipped_bound;
+        stats.device_seconds = stats.device_seconds.max(st.device_seconds);
+    }
+    Ok(FtFockOutcome {
+        jk: JkMatrices { j, k },
+        rank_seconds,
+        stats,
+        recovery: ledger,
+    })
 }
 
 /// Replicated per-iteration work every rank repeats: the Fock
@@ -395,7 +720,8 @@ mod tests {
         for ranks in [1usize, 2, 4] {
             let (dist, seconds, stats) = build_jk_distributed(
                 &d, &pairs, &batches, &layout, &schedule, &cfg, &cfg, &model, ranks,
-            );
+            )
+            .expect("distributed build");
             assert_eq!(seconds.len(), ranks);
             assert!(stats.fp64_quartets > 0);
             assert!(
@@ -428,11 +754,245 @@ mod tests {
         let schedule = QuantSchedule::fp64_reference(0.0);
         let (_, seconds, _) = build_jk_distributed(
             &d, &pairs, &batches, &layout, &schedule, &cfg, &cfg, &model, 2,
-        );
+        )
+        .expect("distributed build");
         let max = seconds.iter().cloned().fold(0.0f64, f64::max);
         let min = seconds.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max > 0.0 && min > 0.0, "both ranks got work: {seconds:?}");
         assert!(min / max > 0.2, "load imbalance too large: {seconds:?}");
+    }
+
+    // Shared fixture for the fault-tolerance tests: a water-dimer Fock
+    // build with a synthetic density.
+    fn ft_fixture() -> (
+        mako_linalg::Matrix,
+        Vec<mako_eri::ScreenedPair>,
+        Vec<mako_eri::QuartetBatch>,
+        mako_chem::AoLayout,
+        mako_quant::QuantSchedule,
+        mako_kernels::pipeline::PipelineConfig,
+        CostModel,
+    ) {
+        use mako_chem::basis::sto3g::sto3g;
+        use mako_eri::batch::batch_quartets;
+        use mako_eri::screening::build_screened_pairs;
+        use mako_kernels::pipeline::PipelineConfig;
+        use mako_quant::QuantSchedule;
+
+        let mol = builders::water_cluster(2);
+        let shells = sto3g().shells_for(&mol);
+        let layout = mako_chem::AoLayout::new(&shells);
+        let pairs = build_screened_pairs(&shells, 1e-12);
+        let batches = batch_quartets(&pairs, 1e-14);
+        let d = mako_linalg::Matrix::from_fn(layout.nao, layout.nao, |i, j| {
+            0.4 / (1.0 + (i as f64 - j as f64).abs())
+        });
+        let model = CostModel::new(DeviceSpec::a100());
+        let cfg = PipelineConfig::kernel_mako_fp64();
+        let schedule = QuantSchedule::fp64_reference(0.0);
+        (d, pairs, batches, layout, schedule, cfg, model)
+    }
+
+    fn assert_bitwise_jk(a: &JkMatrices, b: &JkMatrices, what: &str) {
+        assert!(
+            a.j.as_slice()
+                .iter()
+                .zip(b.j.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{what}: J not bitwise identical"
+        );
+        assert!(
+            a.k.as_slice()
+                .iter()
+                .zip(b.k.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{what}: K not bitwise identical"
+        );
+    }
+
+    #[test]
+    fn ft_quiet_plan_matches_fault_free_exactly() {
+        let (d, pairs, batches, layout, schedule, cfg, model) = ft_fixture();
+        let ranks = 3;
+        let (ff, ff_seconds, ff_stats) = build_jk_distributed(
+            &d, &pairs, &batches, &layout, &schedule, &cfg, &cfg, &model, ranks,
+        )
+        .expect("fault-free build");
+        let ft = build_jk_distributed_ft(
+            &d,
+            &pairs,
+            &batches,
+            &layout,
+            &schedule,
+            &|_| (cfg, cfg),
+            &model,
+            ranks,
+            FockEngineOptions::default(),
+            &FaultToleranceOptions::new(FaultPlan::quiet(ranks)),
+        )
+        .expect("ft build");
+        assert_bitwise_jk(&ft.jk, &ff, "quiet plan");
+        assert_eq!(ft.rank_seconds, ff_seconds);
+        assert_eq!(ft.stats, ff_stats);
+        assert!(ft.recovery.quiet(), "quiet plan fired recovery: {:?}", ft.recovery);
+        // Quiet degraded timeline equals the fault-free plan exactly.
+        assert_eq!(
+            ft.recovery.degraded_seconds.to_bits(),
+            ft.recovery.fault_free_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn ft_rank_loss_recovers_bitwise() {
+        let (d, pairs, batches, layout, schedule, cfg, model) = ft_fixture();
+        let ranks = 4;
+        let (ff, ff_seconds, ff_stats) = build_jk_distributed(
+            &d, &pairs, &batches, &layout, &schedule, &cfg, &cfg, &model, ranks,
+        )
+        .expect("fault-free build");
+        // Kill all but one rank — the strongest recovery case the issue
+        // demands — plus a straggler and transients on the survivor.
+        let plan = FaultPlan::quiet(ranks)
+            .kill_rank(0, 0.3)
+            .kill_rank(1, 0.0)
+            .kill_rank(3, 0.9)
+            .slow_rank(2, 4.0)
+            .with_transients(0.2);
+        let ft = build_jk_distributed_ft(
+            &d,
+            &pairs,
+            &batches,
+            &layout,
+            &schedule,
+            &|_| (cfg, cfg),
+            &model,
+            ranks,
+            FockEngineOptions::default(),
+            &FaultToleranceOptions::new(plan),
+        )
+        .expect("ft build");
+        assert_bitwise_jk(&ft.jk, &ff, "3-of-4 rank loss");
+        assert_eq!(ft.rank_seconds, ff_seconds);
+        assert_eq!(ft.stats, ff_stats);
+        assert_eq!(ft.recovery.ranks_lost, 3);
+        assert!(ft.recovery.rerun_batches > 0, "dead shares must be re-run");
+        assert!(ft.recovery.transient_retries > 0, "20% transients must fire");
+        assert!(ft.recovery.backoff_seconds > 0.0);
+        assert!(
+            ft.recovery.degraded_seconds > ft.recovery.fault_free_seconds,
+            "re-running 3 dead shares on one survivor must cost extra: {:?}",
+            ft.recovery
+        );
+    }
+
+    #[test]
+    fn ft_straggler_tail_is_stolen() {
+        let (d, pairs, batches, layout, schedule, cfg, model) = ft_fixture();
+        let ranks = 4;
+        let (ff, _, _) = build_jk_distributed(
+            &d, &pairs, &batches, &layout, &schedule, &cfg, &cfg, &model, ranks,
+        )
+        .expect("fault-free build");
+        let plan = FaultPlan::quiet(ranks).slow_rank(1, 8.0);
+        let ft = build_jk_distributed_ft(
+            &d,
+            &pairs,
+            &batches,
+            &layout,
+            &schedule,
+            &|_| (cfg, cfg),
+            &model,
+            ranks,
+            FockEngineOptions::default(),
+            &FaultToleranceOptions::new(plan),
+        )
+        .expect("ft build");
+        assert_bitwise_jk(&ft.jk, &ff, "straggler");
+        assert_eq!(ft.recovery.straggler_ranks, 1);
+        assert!(ft.recovery.stolen_batches > 0, "8× straggler must lose its tail");
+        assert_eq!(ft.recovery.ranks_lost, 0);
+        // Stealing bounds the damage: the degraded makespan stays below
+        // what the untreated straggler would have cost (8× its budget).
+        assert!(
+            ft.recovery.degraded_seconds < 8.0 * ft.recovery.fault_free_seconds,
+            "{:?}",
+            ft.recovery
+        );
+    }
+
+    #[test]
+    fn ft_allreduce_timeouts_are_charged() {
+        let (d, pairs, batches, layout, schedule, cfg, model) = ft_fixture();
+        let ranks = 2;
+        // Timeout stream with a high rate: some call index in 0..20 draws a
+        // timeout deterministically.
+        let plan = FaultPlan::seeded(
+            11,
+            ranks,
+            &mako_accel::fault::FaultConfig {
+                allreduce_timeout_rate: 0.5,
+                ..mako_accel::fault::FaultConfig::default()
+            },
+        );
+        let mut saw_retry = false;
+        for call in 0..20 {
+            let ft = build_jk_distributed_ft(
+                &d,
+                &pairs,
+                &batches,
+                &layout,
+                &schedule,
+                &|_| (cfg, cfg),
+                &model,
+                ranks,
+                FockEngineOptions::default(),
+                &FaultToleranceOptions {
+                    cluster: Some(ClusterSpec::azure_nd_a100_v4()),
+                    allreduce_bytes: 2.0 * (layout.nao * layout.nao) as f64 * 8.0,
+                    collective_call: call,
+                    ..FaultToleranceOptions::new(plan.clone())
+                },
+            )
+            .expect("ft build");
+            assert!(ft.recovery.fault_free_seconds > 0.0, "comm must be priced");
+            if ft.recovery.allreduce_retries > 0 {
+                saw_retry = true;
+                assert!(
+                    ft.recovery.degraded_seconds
+                        > ft.recovery.fault_free_seconds + 0.9 * plan.allreduce_timeout_seconds(),
+                    "timeout stall not charged: {:?}",
+                    ft.recovery
+                );
+            }
+        }
+        assert!(saw_retry, "50% timeout rate never fired in 20 calls");
+    }
+
+    #[test]
+    fn ft_rejects_bad_configurations() {
+        let (d, pairs, batches, layout, schedule, cfg, model) = ft_fixture();
+        let err = build_jk_distributed_ft(
+            &d,
+            &pairs,
+            &batches,
+            &layout,
+            &schedule,
+            &|_| (cfg, cfg),
+            &model,
+            3,
+            FockEngineOptions::default(),
+            &FaultToleranceOptions::new(FaultPlan::quiet(2)),
+        )
+        .expect_err("plan/ranks mismatch must be rejected");
+        assert_eq!(
+            err,
+            crate::error::FockBuildError::PlanMismatch { plan_ranks: 2, ranks: 3 }
+        );
+        let err = build_jk_distributed(
+            &d, &pairs, &batches, &layout, &schedule, &cfg, &cfg, &model, 0,
+        )
+        .expect_err("zero ranks must be rejected");
+        assert_eq!(err, crate::error::FockBuildError::NoRanks);
     }
 
     #[test]

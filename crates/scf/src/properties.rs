@@ -169,7 +169,7 @@ mod tests {
         let mol = builders::water();
         let basis = sto3g();
         let shells = basis.shells_for(&mol);
-        let res = ScfDriver::new(&mol, &basis, ScfConfig::default()).run();
+        let res = ScfDriver::new(&mol, &basis, ScfConfig::default()).run().expect("scf run");
         let mu = dipole_moment(&mol, &shells, &res.density);
         assert!(
             (mu.debye() - 1.71).abs() < 0.1,
@@ -186,7 +186,7 @@ mod tests {
         let mol = builders::methane();
         let basis = sto3g();
         let shells = basis.shells_for(&mol);
-        let res = ScfDriver::new(&mol, &basis, ScfConfig::default()).run();
+        let res = ScfDriver::new(&mol, &basis, ScfConfig::default()).run().expect("scf run");
         let mu = dipole_moment(&mol, &shells, &res.density);
         assert!(mu.magnitude() < 1e-5, "Td symmetry forces μ = 0, got {}", mu.magnitude());
     }
@@ -196,7 +196,7 @@ mod tests {
         let mol = builders::water();
         let basis = sto3g();
         let shells = basis.shells_for(&mol);
-        let res = ScfDriver::new(&mol, &basis, ScfConfig::default()).run();
+        let res = ScfDriver::new(&mol, &basis, ScfConfig::default()).run().expect("scf run");
         let q = mulliken_charges(&mol, &shells, &res.density);
         let total: f64 = q.iter().sum();
         assert!(total.abs() < 1e-8, "neutral molecule: Σq = {total}");

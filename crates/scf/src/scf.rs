@@ -7,10 +7,15 @@
 //! excluding the first iteration (Figure 8's metric), and scheduling
 //! statistics.
 
+use crate::checkpoint::ScfCheckpoint;
 use crate::diis::Diis;
+use crate::error::ScfError;
 use crate::fock::{build_jk_with_configs, FockBuildStats, FockEngineOptions};
 use crate::grid::MolecularGrid;
+use crate::parallel::{build_jk_distributed_ft, FaultToleranceOptions};
 use crate::xc::{evaluate_aos, evaluate_xc, hartree_fock, AoOnGrid, XcFunctional};
+use mako_accel::cluster::ClusterSpec;
+use mako_accel::fault::{FaultPlan, RecoveryLedger};
 use mako_accel::{CostModel, DeviceClock, DeviceSpec, IterationLedger};
 use mako_chem::{AoLayout, BasisSet, Molecule, Shell};
 use mako_compiler::KernelCache;
@@ -18,9 +23,10 @@ use mako_eri::batch::{batch_quartets, QuartetBatch};
 use mako_eri::one_electron::one_electron_matrices;
 use mako_eri::screening::{build_screened_pairs, ScreenedPair};
 use mako_kernels::pipeline::PipelineConfig;
-use mako_linalg::{eigh, gemm, sym_inv_sqrt, Matrix, Transpose};
+use mako_linalg::{eigh, gemm, sym_inv_sqrt, LinalgError, Matrix, Transpose};
 use mako_precision::Precision;
 use mako_quant::QuantSchedule;
+use std::path::PathBuf;
 
 /// Electronic-structure method.
 #[derive(Debug, Clone)]
@@ -67,6 +73,61 @@ impl Default for IncrementalPolicy {
     }
 }
 
+/// Distributed execution of the per-iteration Fock build: the work is
+/// LPT-partitioned over simulated GPU ranks and recovered under an optional
+/// fault plan (see [`build_jk_distributed_ft`]).
+#[derive(Debug, Clone)]
+pub struct DistributedScf {
+    /// Simulated GPU ranks (worker threads).
+    pub ranks: usize,
+    /// Fault schedule to inject and recover from; `None` runs a quiet
+    /// cluster (still through the fault-tolerant driver, which then must
+    /// behave exactly like the fault-free one).
+    pub fault_plan: Option<FaultPlan>,
+    /// Cluster geometry for the per-iteration allreduce accounting.
+    pub cluster: Option<ClusterSpec>,
+    /// Straggler-detector bar (see
+    /// [`FaultToleranceOptions::straggler_threshold`]).
+    pub straggler_threshold: f64,
+}
+
+impl DistributedScf {
+    /// Quiet distributed run over `ranks` ranks.
+    pub fn new(ranks: usize) -> DistributedScf {
+        DistributedScf {
+            ranks,
+            fault_plan: None,
+            cluster: None,
+            straggler_threshold: 1.5,
+        }
+    }
+}
+
+/// When and where the driver writes checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Save after every `every` completed iterations (0 disables saving).
+    pub every: usize,
+    /// Checkpoint file path (overwritten atomically on each save).
+    pub path: PathBuf,
+}
+
+/// Per-run options of [`ScfDriver::run_with`]: checkpointing, resumption,
+/// and the chaos harness's deliberate mid-trajectory kill.
+#[derive(Debug, Clone, Default)]
+pub struct ScfRunOptions {
+    /// Periodic checkpointing policy.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume from this checkpoint instead of the core-Hamiltonian guess.
+    /// The checkpoint's fingerprint must match this driver's problem.
+    pub resume: Option<ScfCheckpoint>,
+    /// Abort with [`ScfError::Killed`] after this many completed iterations
+    /// (counted from iteration 0 of the *original* trajectory, so a resumed
+    /// run can be killed again later). Checkpoints due on the final
+    /// iteration are written before the kill fires.
+    pub kill_after: Option<usize>,
+}
+
 /// SCF configuration.
 #[derive(Debug, Clone)]
 pub struct ScfConfig {
@@ -100,6 +161,9 @@ pub struct ScfConfig {
     pub grid: (usize, usize),
     /// Simulated device to run on.
     pub device: DeviceSpec,
+    /// Distributed Fock execution (multi-rank, fault-tolerant); `None`
+    /// builds on the single simulated device.
+    pub distributed: Option<DistributedScf>,
 }
 
 impl Default for ScfConfig {
@@ -115,6 +179,7 @@ impl Default for ScfConfig {
             incremental_policy: IncrementalPolicy::default(),
             grid: (30, 10),
             device: DeviceSpec::a100(),
+            distributed: None,
         }
     }
 }
@@ -230,13 +295,27 @@ impl ScfDriver {
         self.batches.iter().map(|b| b.quartets.len()).sum()
     }
 
-    /// Run the SCF to convergence.
-    pub fn run(&self) -> ScfResult {
+    /// Run the SCF to convergence (no checkpointing, no resumption).
+    pub fn run(&self) -> Result<ScfResult, ScfError> {
+        self.run_with(ScfRunOptions::default())
+    }
+
+    /// Run the SCF with explicit run options: periodic checkpointing,
+    /// resumption from a saved checkpoint, and the chaos harness's
+    /// deliberate kill.
+    ///
+    /// A resumed run replays the remaining trajectory **bitwise
+    /// identically** to the uninterrupted one: the checkpoint carries every
+    /// piece of inter-iteration state (density, DIIS history, incremental
+    /// accumulators, residual bookkeeping, ledgers), all serialized through
+    /// `f64::to_bits`.
+    pub fn run_with(&self, run_opts: ScfRunOptions) -> Result<ScfResult, ScfError> {
+        if !self.mol.n_electrons().is_multiple_of(2) {
+            return Err(ScfError::OpenShell {
+                electrons: self.mol.n_electrons(),
+            });
+        }
         let n_occ = self.mol.n_electrons() / 2;
-        assert!(
-            self.mol.n_electrons().is_multiple_of(2),
-            "restricted driver requires a closed shell"
-        );
         let functional = match &self.config.method {
             ScfMethod::Rhf => hartree_fock(),
             ScfMethod::Rks(f) => f.clone(),
@@ -244,11 +323,10 @@ impl ScfDriver {
 
         let (s, t, v) = one_electron_matrices(&self.shells, &self.mol);
         let h = t.add(&v);
-        let x = sym_inv_sqrt(&s, 1e-10).expect("overlap must be positive definite");
+        let x = sym_inv_sqrt(&s, 1e-10)
+            .map_err(|source| ScfError::OverlapNotPositiveDefinite { source })?;
         let e_nuc = self.mol.nuclear_repulsion();
 
-        // Core-Hamiltonian initial guess.
-        let mut d = density_from_fock(&h, &x, n_occ).0;
         // Incremental-build state: accumulated G matrices, the density they
         // correspond to, and the rebuild-policy bookkeeping.
         let nao = self.layout.nao;
@@ -272,7 +350,50 @@ impl ScfDriver {
         let mut energy = 0.0;
         let mut orbital_energies = Vec::new();
 
-        for iter in 0..self.config.max_iterations {
+        // Fresh start (core-Hamiltonian guess) or checkpoint resumption.
+        // The resume ledger credit lands on the first new iteration.
+        let mut pending_recovery = RecoveryLedger::default();
+        let start_iter;
+        let mut d;
+        match run_opts.resume {
+            Some(ck) => {
+                ck.validate(nao, self.batches.len(), self.nquartets())?;
+                d = ck.density;
+                e_prev = ck.e_prev;
+                energy = ck.energy;
+                residual = ck.residual;
+                residual_prev = ck.residual_prev;
+                was_quantized_phase = ck.was_quantized_phase;
+                j_acc = ck.j_acc;
+                k_acc = ck.k_acc;
+                d_ref = ck.d_ref;
+                since_rebuild = ck.since_rebuild;
+                drift_bound = ck.drift_bound;
+                force_rebuild = ck.force_rebuild;
+                diis = Diis::restore(ck.diis);
+                orbital_energies = ck.orbital_energies;
+                iteration_seconds = ck.iteration_seconds;
+                total_stats = ck.stats;
+                let mut restored = DeviceClock::new();
+                for l in &ck.ledgers {
+                    restored.push(*l);
+                }
+                for r in &ck.recoveries {
+                    restored.push_recovery(*r);
+                }
+                clock = restored;
+                start_iter = ck.next_iteration;
+                pending_recovery.checkpoint_loads = 1;
+            }
+            None => {
+                d = density_from_fock(&h, &x, n_occ)
+                    .map_err(|source| ScfError::Diagonalization { iteration: 0, source })?
+                    .0;
+                start_iter = 0;
+            }
+        }
+
+        for iter in start_iter..self.config.max_iterations {
             let schedule = if self.config.quantized {
                 QuantSchedule::for_iteration(residual, self.config.e_tol)
             } else {
@@ -327,16 +448,52 @@ impl ScfDriver {
                 },
                 ..FockEngineOptions::default()
             };
-            let (jk, st) = build_jk_with_configs(
-                &build_density,
-                &self.pairs,
-                &self.batches,
-                &self.layout,
-                &schedule,
-                |bi| (self.fp64_cfgs[bi], self.quant_cfgs[bi]),
-                &self.model,
-                opts,
-            );
+            let (jk, st, mut recovery) = match &self.config.distributed {
+                Some(dist) => {
+                    // Fault-tolerant multi-rank build. The plan's fault
+                    // stream is shared across iterations; the collective
+                    // call index keys each iteration's allreduce timeouts.
+                    let plan = dist
+                        .fault_plan
+                        .clone()
+                        .unwrap_or_else(|| FaultPlan::quiet(dist.ranks));
+                    let ft = FaultToleranceOptions {
+                        plan,
+                        straggler_threshold: dist.straggler_threshold,
+                        cluster: dist.cluster.clone(),
+                        allreduce_bytes: 2.0 * (nao * nao) as f64 * 8.0,
+                        collective_call: iter as u64,
+                    };
+                    let out = build_jk_distributed_ft(
+                        &build_density,
+                        &self.pairs,
+                        &self.batches,
+                        &self.layout,
+                        &schedule,
+                        &|bi| (self.fp64_cfgs[bi], self.quant_cfgs[bi]),
+                        &self.model,
+                        dist.ranks,
+                        opts,
+                        &ft,
+                    )?;
+                    (out.jk, out.stats, out.recovery)
+                }
+                None => {
+                    let (jk, st) = build_jk_with_configs(
+                        &build_density,
+                        &self.pairs,
+                        &self.batches,
+                        &self.layout,
+                        &schedule,
+                        |bi| (self.fp64_cfgs[bi], self.quant_cfgs[bi]),
+                        &self.model,
+                        opts,
+                    );
+                    (jk, st, RecoveryLedger::default())
+                }
+            };
+            recovery.absorb(&pending_recovery);
+            pending_recovery = RecoveryLedger::default();
             let (mut j, mut k) = (jk.j, jk.k);
             let mut iter_seconds = st.device_seconds;
             total_stats.fp64_quartets += st.fp64_quartets;
@@ -403,7 +560,8 @@ impl ScfDriver {
             let f_diis = diis.extrapolate(f, err);
 
             // Diagonalize (replicated serial stage — costed separately).
-            let (d_new, eps) = density_from_fock(&f_diis, &x, n_occ);
+            let (d_new, eps) = density_from_fock(&f_diis, &x, n_occ)
+                .map_err(|source| ScfError::Diagonalization { iteration: iter, source })?;
             iter_seconds += self.diag_device_seconds();
             iteration_seconds.push(iter_seconds);
             clock.push(IterationLedger {
@@ -421,6 +579,7 @@ impl ScfDriver {
             d = d_new;
             orbital_energies = eps;
 
+            let mut finishing = false;
             if de < self.config.e_tol && residual < self.config.e_tol.sqrt() {
                 // Certified convergence: never accept the convergence signal
                 // off a screened incremental build. Near convergence the ΔD
@@ -438,12 +597,63 @@ impl ScfDriver {
                     // the schedule disables quantization near convergence, so
                     // one more pass confirms the energy at full precision.
                     if !self.config.quantized || iter > 0 {
-                        break;
+                        finishing = true;
                     }
                 }
             }
-            // Use |ΔE| as the scheduling residual for the next iteration.
-            residual = residual.max(de.min(1.0));
+            if !finishing {
+                // Use |ΔE| as the scheduling residual for the next iteration.
+                residual = residual.max(de.min(1.0));
+            }
+
+            // Periodic checkpoint: the state captured here is exactly what
+            // iteration `iter + 1` consumes, so a resumed run replays the
+            // remaining trajectory bitwise.
+            let save_now = !finishing
+                && run_opts
+                    .checkpoint
+                    .as_ref()
+                    .is_some_and(|p| p.every > 0 && (iter + 1).is_multiple_of(p.every));
+            recovery.checkpoint_saves = save_now as usize;
+            clock.push_recovery(recovery);
+            if save_now {
+                let p = run_opts.checkpoint.as_ref().expect("save_now implies a policy");
+                let ck = ScfCheckpoint {
+                    nao,
+                    n_batches: self.batches.len(),
+                    n_quartets: self.nquartets(),
+                    next_iteration: iter + 1,
+                    density: d.clone(),
+                    e_prev,
+                    energy,
+                    residual,
+                    residual_prev,
+                    was_quantized_phase,
+                    j_acc: j_acc.clone(),
+                    k_acc: k_acc.clone(),
+                    d_ref: d_ref.clone(),
+                    since_rebuild,
+                    drift_bound,
+                    force_rebuild,
+                    diis: diis.snapshot(),
+                    orbital_energies: orbital_energies.clone(),
+                    iteration_seconds: iteration_seconds.clone(),
+                    stats: total_stats.clone(),
+                    ledgers: clock.iterations().to_vec(),
+                    recoveries: clock.recoveries().to_vec(),
+                };
+                ck.save(&p.path).map_err(ScfError::Checkpoint)?;
+            }
+            if finishing {
+                break;
+            }
+            // The chaos harness's deliberate kill — after the checkpoint,
+            // so the trajectory can be resumed from the latest save.
+            if let Some(n) = run_opts.kill_after {
+                if iter + 1 >= n {
+                    return Err(ScfError::Killed { iterations: iter + 1 });
+                }
+            }
         }
 
         let avg = if iteration_seconds.len() > 1 {
@@ -453,7 +663,7 @@ impl ScfDriver {
         };
         total_stats.device_seconds = iteration_seconds.iter().sum();
 
-        ScfResult {
+        Ok(ScfResult {
             energy,
             e_nuclear: e_nuc,
             converged,
@@ -465,7 +675,7 @@ impl ScfDriver {
             iteration_seconds,
             stats: total_stats,
             clock,
-        }
+        })
     }
 
     /// Simulated device time of the XC quadrature: three `npts × nao × nao`
@@ -495,10 +705,15 @@ impl ScfDriver {
 }
 
 /// Diagonalize a Fock matrix in the orthonormal basis and form the density:
-/// returns `(D, orbital energies)`.
-fn density_from_fock(f: &Matrix, x: &Matrix, n_occ: usize) -> (Matrix, Vec<f64>) {
+/// returns `(D, orbital energies)`. Eigensolver failures propagate — the
+/// driver wraps them in [`ScfError::Diagonalization`] with the iteration.
+fn density_from_fock(
+    f: &Matrix,
+    x: &Matrix,
+    n_occ: usize,
+) -> Result<(Matrix, Vec<f64>), LinalgError> {
     let fp = gemm(&gemm(x, Transpose::Yes, f, Transpose::No), Transpose::No, x, Transpose::No);
-    let ed = eigh(&fp).expect("Fock diagonalization failed");
+    let ed = eigh(&fp)?;
     let c = gemm(x, Transpose::No, &ed.vectors, Transpose::No);
     let n = c.rows();
     let mut d = Matrix::zeros(n, n);
@@ -511,7 +726,7 @@ fn density_from_fock(f: &Matrix, x: &Matrix, n_occ: usize) -> (Matrix, Vec<f64>)
             d[(mu, nu)] = s;
         }
     }
-    (d, ed.values)
+    Ok((d, ed.values))
 }
 
 #[cfg(test)]
@@ -526,7 +741,7 @@ mod tests {
         // experimental geometry converges to ≈ −74.96 Hartree.
         let mol = builders::water();
         let driver = ScfDriver::new(&mol, &sto3g(), ScfConfig::default());
-        let res = driver.run();
+        let res = driver.run().expect("scf run");
         assert!(res.converged, "SCF must converge");
         assert!(
             (res.energy - (-74.963)).abs() < 0.02,
@@ -552,7 +767,7 @@ mod tests {
             position: [0.0, 0.0, 1.4],
         });
         let driver = ScfDriver::new(&mol, &sto3g(), ScfConfig::default());
-        let res = driver.run();
+        let res = driver.run().expect("scf run");
         assert!(res.converged);
         assert!(
             (res.energy - (-1.117)).abs() < 5e-3,
@@ -566,7 +781,7 @@ mod tests {
         // The paper's accuracy criterion: quantized and FP64 total energies
         // agree within 1 mHartree.
         let mol = builders::water();
-        let fp64 = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let fp64 = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run().expect("scf run");
         let quant = ScfDriver::new(
             &mol,
             &sto3g(),
@@ -575,7 +790,7 @@ mod tests {
                 ..ScfConfig::default()
             },
         )
-        .run();
+        .run().expect("scf run");
         assert!(quant.converged);
         assert!(quant.stats.quantized_quartets > 0, "quantization must engage");
         let diff = (quant.energy - fp64.energy).abs();
@@ -588,7 +803,7 @@ mod tests {
     #[test]
     fn b3lyp_water_converges_below_rhf() {
         let mol = builders::water();
-        let rhf = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let rhf = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run().expect("scf run");
         let dft = ScfDriver::new(
             &mol,
             &sto3g(),
@@ -598,7 +813,7 @@ mod tests {
                 ..ScfConfig::default()
             },
         )
-        .run();
+        .run().expect("scf run");
         assert!(dft.converged, "B3LYP SCF must converge");
         // B3LYP total energy sits below RHF (correlation energy is
         // negative) but within a plausible window.
@@ -614,7 +829,7 @@ mod tests {
     #[test]
     fn incremental_fock_build_matches_direct() {
         let mol = builders::water();
-        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run().expect("scf run");
         let incremental = ScfDriver::new(
             &mol,
             &sto3g(),
@@ -623,7 +838,7 @@ mod tests {
                 ..ScfConfig::default()
             },
         )
-        .run();
+        .run().expect("scf run");
         assert!(incremental.converged);
         assert!(
             (incremental.energy - direct.energy).abs() < 1e-7,
@@ -643,7 +858,7 @@ mod tests {
                 ..ScfConfig::default()
             },
         )
-        .run();
+        .run().expect("scf run");
         assert!(quant_inc.converged);
         assert!((quant_inc.energy - direct.energy).abs() < 1e-3);
         assert!(
@@ -657,7 +872,7 @@ mod tests {
         // The water dimer has weak inter-monomer shell pairs, giving the
         // density-weighted estimates the dynamic range the ΔD screen needs.
         let mol = builders::water_cluster(2);
-        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run().expect("scf run");
         let cfg = ScfConfig {
             incremental: true,
             incremental_policy: IncrementalPolicy {
@@ -667,7 +882,7 @@ mod tests {
             },
             ..ScfConfig::default()
         };
-        let inc = ScfDriver::new(&mol, &sto3g(), cfg).run();
+        let inc = ScfDriver::new(&mol, &sto3g(), cfg).run().expect("scf run");
         assert!(inc.converged);
         // Both runs stop once |ΔE| < e_tol = 1e-7, so their converged
         // energies can differ by convergence noise of that order even
@@ -723,7 +938,7 @@ mod tests {
         // one screened iteration re-accumulates less than e_tol of drift,
         // or certification (correctly) never passes.
         let mol = builders::water_cluster(2);
-        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run().expect("scf run");
         let cfg = ScfConfig {
             incremental: true,
             incremental_policy: IncrementalPolicy {
@@ -734,7 +949,7 @@ mod tests {
             },
             ..ScfConfig::default()
         };
-        let inc = ScfDriver::new(&mol, &sto3g(), cfg).run();
+        let inc = ScfDriver::new(&mol, &sto3g(), cfg).run().expect("scf run");
         assert!(inc.converged);
         assert!(
             inc.clock.iterations().last().expect("ledger").rebuild,
@@ -754,7 +969,7 @@ mod tests {
         // converges to the right energy because every iteration is a full
         // rebuild whenever τ-induced drift trips the cap.
         let mol = builders::water();
-        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let direct = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run().expect("scf run");
         let cfg = ScfConfig {
             incremental: true,
             incremental_policy: IncrementalPolicy {
@@ -765,7 +980,7 @@ mod tests {
             },
             ..ScfConfig::default()
         };
-        let inc = ScfDriver::new(&mol, &sto3g(), cfg).run();
+        let inc = ScfDriver::new(&mol, &sto3g(), cfg).run().expect("scf run");
         assert!(inc.converged);
         assert!(
             (inc.energy - direct.energy).abs() < 1e-6,
@@ -781,7 +996,7 @@ mod tests {
     #[test]
     fn iteration_timing_metric_excludes_first() {
         let mol = builders::water();
-        let res = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run();
+        let res = ScfDriver::new(&mol, &sto3g(), ScfConfig::default()).run().expect("scf run");
         assert!(res.iteration_seconds.len() >= 2);
         let manual =
             res.iteration_seconds[1..].iter().sum::<f64>() / (res.iteration_seconds.len() - 1) as f64;

@@ -34,7 +34,7 @@ fn main() {
     for step in 0..12 {
         let r = 0.9 + 0.2 * step as f64;
         let mol = h2(r);
-        let res = engine.run_rhf(&mol, BasisFamily::Sto3g);
+        let res = engine.run_rhf(&mol, BasisFamily::Sto3g).expect("scf run");
         // MO coefficients from one clean rediagonalization of H_core-based
         // machinery at the converged density (small dense system).
         let shells = basis.shells_for(&mol);
@@ -91,7 +91,7 @@ fn main() {
 
     let water = mako::chem::builders::water();
     let shells = basis.shells_for(&water);
-    let res = engine.run_rhf(&water, BasisFamily::Sto3g);
+    let res = engine.run_rhf(&water, BasisFamily::Sto3g).expect("scf run");
     let mu = dipole_moment(&water, &shells, &res.density);
     println!(
         "\nbonus property: μ(H2O, RHF/STO-3G) = {:.3} D (literature ≈ 1.71 D)",

@@ -13,20 +13,20 @@ fn main() {
 
     let engine = MakoEngine::new();
 
-    let rhf = engine.run_rhf(&water, BasisFamily::Sto3g);
+    let rhf = engine.run_rhf(&water, BasisFamily::Sto3g).expect("scf run");
     println!("RHF/STO-3G");
     println!("  converged        : {} ({} iterations)", rhf.converged, rhf.iterations);
     println!("  total energy     : {:>14.8} Ha   (textbook ≈ −74.963)", rhf.energy);
     println!("  HOMO / LUMO      : {:>9.5} / {:.5} Ha", rhf.orbital_energies[4], rhf.orbital_energies[5]);
     println!("  avg iteration    : {:.3} ms simulated A100 time\n", rhf.avg_iteration_seconds * 1e3);
 
-    let dft = engine.run_b3lyp(&water, BasisFamily::Sto3g);
+    let dft = engine.run_b3lyp(&water, BasisFamily::Sto3g).expect("scf run");
     println!("B3LYP/STO-3G");
     println!("  converged        : {} ({} iterations)", dft.converged, dft.iterations);
     println!("  total energy     : {:>14.8} Ha", dft.energy);
     println!("  correlation gain : {:>9.5} Ha below RHF", dft.energy - rhf.energy);
 
-    let quant = engine.with_quantization(true).run_rhf(&water, BasisFamily::Sto3g);
+    let quant = engine.with_quantization(true).run_rhf(&water, BasisFamily::Sto3g).expect("scf run");
     println!("\nQuantMako RHF/STO-3G (FP16 tensor kernels, convergence-aware scheduling)");
     println!("  total energy     : {:>14.8} Ha", quant.energy);
     println!("  |ΔE| vs FP64     : {:>12.3e} Ha (chemical accuracy = 1e-3)", (quant.energy - rhf.energy).abs());

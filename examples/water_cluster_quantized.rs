@@ -16,10 +16,10 @@ fn main() {
 
     for n in [1usize, 2, 3] {
         let mol = mako::chem::builders::water_cluster(n);
-        let fp64 = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g);
+        let fp64 = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g).expect("scf run");
         let quant = MakoEngine::new()
             .with_quantization(true)
-            .run_rhf(&mol, BasisFamily::Sto3g);
+            .run_rhf(&mol, BasisFamily::Sto3g).expect("scf run");
         let total_q = quant.stats.fp64_quartets + quant.stats.quantized_quartets;
         let quant_frac = if total_q > 0 {
             100.0 * quant.stats.quantized_quartets as f64 / total_q as f64

@@ -26,4 +26,9 @@ MAKO_SMOKE=1 MAKO_THREADS=1,2 \
     MAKO_BENCH_OUT=target/BENCH_scf_smoke.json \
     cargo run --release -p mako-bench --bin incremental_scf_bench
 
+echo "== tier2: chaos_scf_bench (smoke: water2, 2 ranks, seeded faults) =="
+MAKO_SMOKE=1 MAKO_THREADS=2 MAKO_FAULT_SEED=6 \
+    MAKO_BENCH_OUT=target/BENCH_chaos_smoke.json \
+    cargo run --release -p mako-bench --bin chaos_scf_bench
+
 echo "== tier2: OK =="

@@ -5,7 +5,7 @@ use mako::prelude::*;
 
 #[test]
 fn water_rhf_full_stack() {
-    let res = MakoEngine::new().run_rhf(&mako::chem::builders::water(), BasisFamily::Sto3g);
+    let res = MakoEngine::new().run_rhf(&mako::chem::builders::water(), BasisFamily::Sto3g).expect("scf run");
     assert!(res.converged);
     assert!((res.energy - (-74.963)).abs() < 0.02, "E = {}", res.energy);
     // Energy decomposition sanity.
@@ -17,11 +17,11 @@ fn water_rhf_full_stack() {
 fn methane_and_ammonia_rhf() {
     // CH4/STO-3G ≈ −39.73 Ha, NH3/STO-3G ≈ −55.45 Ha (textbook values).
     let engine = MakoEngine::new();
-    let ch4 = engine.run_rhf(&mako::chem::builders::methane(), BasisFamily::Sto3g);
+    let ch4 = engine.run_rhf(&mako::chem::builders::methane(), BasisFamily::Sto3g).expect("scf run");
     assert!(ch4.converged);
     assert!((ch4.energy - (-39.73)).abs() < 0.05, "E(CH4) = {}", ch4.energy);
 
-    let nh3 = engine.run_rhf(&mako::chem::builders::ammonia(), BasisFamily::Sto3g);
+    let nh3 = engine.run_rhf(&mako::chem::builders::ammonia(), BasisFamily::Sto3g).expect("scf run");
     assert!(nh3.converged);
     assert!((nh3.energy - (-55.45)).abs() < 0.05, "E(NH3) = {}", nh3.energy);
 }
@@ -30,7 +30,7 @@ fn methane_and_ammonia_rhf() {
 fn size_consistency_of_distant_waters() {
     // Two waters 100 Å apart must give twice the monomer energy.
     let engine = MakoEngine::new();
-    let mono = engine.run_rhf(&mako::chem::builders::water(), BasisFamily::Sto3g);
+    let mono = engine.run_rhf(&mako::chem::builders::water(), BasisFamily::Sto3g).expect("scf run");
 
     let mut dimer = mako::chem::builders::water();
     let far = mako::chem::builders::water();
@@ -39,7 +39,7 @@ fn size_consistency_of_distant_waters() {
         dimer.atoms.push(atom);
     }
     dimer.name = "2 x H2O (far)".into();
-    let res = engine.run_rhf(&dimer, BasisFamily::Sto3g);
+    let res = engine.run_rhf(&dimer, BasisFamily::Sto3g).expect("scf run");
     assert!(res.converged);
     assert!(
         (res.energy - 2.0 * mono.energy).abs() < 1e-6,
@@ -52,10 +52,10 @@ fn size_consistency_of_distant_waters() {
 #[test]
 fn quantized_path_is_chemically_accurate_on_dimer() {
     let mol = mako::chem::builders::water_cluster(2);
-    let fp64 = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g);
+    let fp64 = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g).expect("scf run");
     let quant = MakoEngine::new()
         .with_quantization(true)
-        .run_rhf(&mol, BasisFamily::Sto3g);
+        .run_rhf(&mol, BasisFamily::Sto3g).expect("scf run");
     assert!(fp64.converged && quant.converged);
     assert!(
         (fp64.energy - quant.energy).abs() < 1e-3,
@@ -71,7 +71,7 @@ fn rotation_invariance_of_total_energy() {
     // the solid-harmonic machinery across all shells.
     let engine = MakoEngine::new();
     let base = mako::chem::builders::ammonia();
-    let e0 = engine.run_rhf(&base, BasisFamily::Sto3g).energy;
+    let e0 = engine.run_rhf(&base, BasisFamily::Sto3g).expect("scf run").energy;
 
     let (s, c) = (0.6f64.sin(), 0.6f64.cos());
     let mut rotated = base.clone();
@@ -79,7 +79,7 @@ fn rotation_invariance_of_total_energy() {
         let [x, y, z] = atom.position;
         atom.position = [c * x - s * y, s * x + c * y, z];
     }
-    let e1 = engine.run_rhf(&rotated, BasisFamily::Sto3g).energy;
+    let e1 = engine.run_rhf(&rotated, BasisFamily::Sto3g).expect("scf run").energy;
     assert!((e0 - e1).abs() < 1e-9, "rotation changed E by {}", (e0 - e1).abs());
 }
 
@@ -90,7 +90,7 @@ fn virial_ratio_near_two() {
     let mol = mako::chem::builders::water();
     let basis = BasisFamily::Sto3g.basis_for(&mol.elements());
     let shells = basis.shells_for(&mol);
-    let res = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g);
+    let res = MakoEngine::new().run_rhf(&mol, BasisFamily::Sto3g).expect("scf run");
     let (_, t, _) = mako::eri::one_electron_matrices(&shells, &mol);
     let kinetic = 2.0 * res.density.dot(&t);
     let potential = res.energy - kinetic;

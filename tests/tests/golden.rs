@@ -15,9 +15,10 @@
 //! The references were produced by this repository itself (serial run,
 //! `e_tol = 1e-10`), so they pin today's behavior, not an external code's.
 
+use mako::accel::fault::FaultPlan;
 use mako::chem::basis::sto3g::sto3g;
 use mako::chem::builders;
-use mako::scf::{ScfConfig, ScfDriver, ScfResult};
+use mako::scf::{DistributedScf, ScfConfig, ScfDriver, ScfResult};
 
 /// Converged RHF/STO-3G total energy of the water monomer (Hartree).
 const E_WATER: f64 = -74.962_928_418_750;
@@ -38,7 +39,7 @@ fn tight_config() -> ScfConfig {
 
 fn run(mol: &mako::chem::Molecule) -> ScfResult {
     let driver = ScfDriver::new(mol, &sto3g(), tight_config());
-    let res = driver.run();
+    let res = driver.run().expect("scf run");
     assert!(res.converged, "golden run failed to converge");
     res
 }
@@ -74,7 +75,7 @@ fn golden_energies_identical_across_thread_counts() {
         (builders::water_cluster(3), E_WATER3, "water trimer"),
     ] {
         let driver = ScfDriver::new(&mol, &sto3g(), tight_config());
-        let base = driver.run();
+        let base = driver.run().expect("scf run");
         assert!(base.converged);
         assert!((base.energy - golden).abs() < TOL, "{label} drifted");
         for threads in [1usize, 2, 4] {
@@ -82,7 +83,7 @@ fn golden_energies_identical_across_thread_counts() {
                 .num_threads(threads)
                 .build()
                 .expect("build thread pool");
-            let res = pool.install(|| driver.run());
+            let res = pool.install(|| driver.run().expect("scf run"));
             assert_eq!(
                 res.energy.to_bits(),
                 base.energy.to_bits(),
@@ -104,6 +105,57 @@ fn golden_energies_identical_across_thread_counts() {
 }
 
 #[test]
+fn golden_trimer_energy_survives_rank_loss() {
+    // Fault-tolerance conformance: the water trimer on a 2-rank cluster
+    // that permanently loses rank 1 halfway through every iteration's Fock
+    // build must converge inside the same golden window — and to the *bit*
+    // of the fault-free distributed run (recovery re-executes, never
+    // regroups, a floating-point sum).
+    let mol = builders::water_cluster(3);
+    let distributed_config = |fault_plan: Option<FaultPlan>| ScfConfig {
+        distributed: Some(DistributedScf {
+            fault_plan,
+            ..DistributedScf::new(2)
+        }),
+        ..tight_config()
+    };
+
+    let quiet = ScfDriver::new(&mol, &sto3g(), distributed_config(None))
+        .run()
+        .expect("scf run");
+    assert!(quiet.converged);
+    assert!(
+        (quiet.energy - E_WATER3).abs() < TOL,
+        "distributed trimer drifted from golden reference: {:.12} (Δ = {:.3e} Ha)",
+        quiet.energy,
+        quiet.energy - E_WATER3
+    );
+
+    let plan = FaultPlan::quiet(2).kill_rank(1, 0.5);
+    let lossy = ScfDriver::new(&mol, &sto3g(), distributed_config(Some(plan)))
+        .run()
+        .expect("scf run");
+    assert!(lossy.converged);
+    assert!(
+        (lossy.energy - E_WATER3).abs() < TOL,
+        "rank-loss trimer drifted from golden reference: {:.12} (Δ = {:.3e} Ha)",
+        lossy.energy,
+        lossy.energy - E_WATER3
+    );
+    assert_eq!(
+        lossy.energy.to_bits(),
+        quiet.energy.to_bits(),
+        "rank loss changed the converged energy bits: {:.15} vs {:.15}",
+        lossy.energy,
+        quiet.energy
+    );
+    assert_eq!(lossy.iterations, quiet.iterations);
+    let recovered = lossy.clock.total_recovery();
+    assert_eq!(recovered.ranks_lost, lossy.iterations, "one loss per iteration");
+    assert!(recovered.rerun_batches > 0);
+}
+
+#[test]
 fn golden_incremental_engine_stays_inside_window() {
     // The incremental (ΔD) engine with its default policy must land inside
     // the same golden window as the full-rebuild reference — screening
@@ -113,7 +165,7 @@ fn golden_incremental_engine_stays_inside_window() {
         incremental: true,
         ..ScfConfig::default()
     };
-    let res = ScfDriver::new(&builders::water_cluster(3), &sto3g(), cfg).run();
+    let res = ScfDriver::new(&builders::water_cluster(3), &sto3g(), cfg).run().expect("scf run");
     assert!(res.converged);
     assert!(
         (res.energy - E_WATER3).abs() < TOL,
