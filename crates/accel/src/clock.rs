@@ -60,6 +60,21 @@ impl DeviceClock {
 
     /// Append one completed iteration.
     pub fn push(&mut self, ledger: IterationLedger) {
+        if mako_trace::enabled() {
+            mako_trace::instant(
+                "clock",
+                "iteration",
+                vec![
+                    mako_trace::field("iter", self.iterations.len()),
+                    mako_trace::field("eri_seconds", ledger.eri_seconds),
+                    mako_trace::field("total_seconds", ledger.total_seconds),
+                    mako_trace::field("evaluated_quartets", ledger.evaluated_quartets),
+                    mako_trace::field("skipped_quartets", ledger.skipped_quartets),
+                    mako_trace::field("pruned_quartets", ledger.pruned_quartets),
+                    mako_trace::field("rebuild", ledger.rebuild),
+                ],
+            );
+        }
         self.iterations.push(ledger);
     }
 
@@ -67,6 +82,23 @@ impl DeviceClock {
     /// runs push one per iteration, quiet iterations push a default ledger so
     /// indices line up with [`Self::iterations`]).
     pub fn push_recovery(&mut self, ledger: crate::fault::RecoveryLedger) {
+        if mako_trace::enabled() {
+            mako_trace::instant(
+                "clock",
+                "recovery",
+                vec![
+                    mako_trace::field("iter", self.recoveries.len()),
+                    mako_trace::field("transient_retries", ledger.transient_retries),
+                    mako_trace::field("straggler_ranks", ledger.straggler_ranks),
+                    mako_trace::field("stolen_batches", ledger.stolen_batches),
+                    mako_trace::field("rerun_batches", ledger.rerun_batches),
+                    mako_trace::field("ranks_lost", ledger.ranks_lost),
+                    mako_trace::field("allreduce_retries", ledger.allreduce_retries),
+                    mako_trace::field("backoff_seconds", ledger.backoff_seconds),
+                    mako_trace::field("degraded_seconds", ledger.degraded_seconds),
+                ],
+            );
+        }
         self.recoveries.push(ledger);
     }
 

@@ -68,6 +68,7 @@ struct RankRow {
 }
 
 fn main() {
+    mako_trace::init_from_env();
     let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
     let waters = env_usize("MAKO_BENCH_WATERS", if smoke { 2 } else { 4 });
     let mol = builders::water_cluster(waters);
@@ -250,4 +251,9 @@ fn main() {
         std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_chaos.json".to_string());
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("\nwrote {out}");
+    match mako_trace::flush() {
+        Some(Ok(path)) => println!("trace written to {path}"),
+        Some(Err(e)) => eprintln!("warning: trace write failed: {e}"),
+        None => {}
+    }
 }

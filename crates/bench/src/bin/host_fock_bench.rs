@@ -18,7 +18,9 @@
 //! `MAKO_THREADS` (comma-separated thread counts to sweep, default
 //! `1,2,4,8` — e.g. `MAKO_THREADS=1,2` for a smoke run), `MAKO_BENCH_OUT`
 //! (output path, default `BENCH_fock.json` — smoke harnesses point this
-//! at scratch).
+//! at scratch), `MAKO_TRACE` (structured-trace output path, JSONL schema
+//! in DESIGN.md §11 — tracing is numerically inert, so the bitwise checks
+//! hold with it on).
 
 use mako_accel::{CostModel, DeviceSpec};
 use mako_chem::basis::sto3g::sto3g;
@@ -76,6 +78,7 @@ fn two_electron_energy(d: &Matrix, jk: &JkMatrices) -> f64 {
 }
 
 fn main() {
+    mako_trace::init_from_env();
     let xyz = std::fs::read_to_string("sample/water60.xyz")
         .expect("run from the workspace root: sample/water60.xyz not found");
     let mol = Molecule::from_xyz(&xyz).expect("parse water60.xyz");
@@ -201,4 +204,9 @@ fn main() {
         std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_fock.json".to_string());
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("\nwrote {out}");
+    match mako_trace::flush() {
+        Some(Ok(path)) => println!("trace written to {path}"),
+        Some(Err(e)) => eprintln!("warning: trace write failed: {e}"),
+        None => {}
+    }
 }

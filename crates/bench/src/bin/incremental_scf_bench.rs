@@ -64,6 +64,7 @@ fn runs_bitwise_equal(a: &ScfResult, b: &ScfResult) -> bool {
 }
 
 fn main() {
+    mako_trace::init_from_env();
     let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
     let waters = std::env::var("MAKO_BENCH_WATERS")
         .ok()
@@ -278,4 +279,9 @@ fn main() {
         std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_scf.json".to_string());
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("\nwrote {out}");
+    match mako_trace::flush() {
+        Some(Ok(path)) => println!("trace written to {path}"),
+        Some(Err(e)) => eprintln!("warning: trace write failed: {e}"),
+        None => {}
+    }
 }

@@ -1,0 +1,39 @@
+//! Validate a `mako-trace` JSONL file against the `mako-trace/1` schema
+//! (DESIGN.md §11) and print a one-line summary. Exit code 0 on a valid
+//! trace, 1 otherwise — the tier-2 smoke harness runs this on the trace a
+//! benchmark emitted under `MAKO_TRACE`.
+//!
+//! ```sh
+//! MAKO_TRACE=target/trace.jsonl cargo run --release -p mako-bench --bin host_fock_bench
+//! cargo run --release -p mako-bench --bin trace_validate -- target/trace.jsonl
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_validate FILE.jsonl");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mako_trace::schema::validate_jsonl(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: valid mako-trace/1 — {} spans, {} instants, {} counters ({} recorded, {} dropped)",
+                summary.spans, summary.instants, summary.counters, summary.recorded, summary.dropped
+            );
+            println!("event names: {:?}", summary.names);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

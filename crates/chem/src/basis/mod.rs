@@ -19,6 +19,34 @@ use crate::element::Element;
 use crate::molecule::Molecule;
 use std::collections::BTreeMap;
 
+/// A basis set cannot be instantiated on a molecule.
+///
+/// Part of the typed-error taxonomy: a chemistry *input* problem (the user
+/// asked for STO-3G on iron) must surface as an `Err` from
+/// `MakoEngine::run_*`, not abort the process from library code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BasisError {
+    /// The set has no shell definitions for an element of the molecule.
+    MissingElement {
+        /// Name of the basis set.
+        basis: String,
+        /// The uncovered element.
+        element: Element,
+    },
+}
+
+impl std::fmt::Display for BasisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BasisError::MissingElement { basis, element } => {
+                write!(f, "basis {basis} lacks element {element}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BasisError {}
+
 /// One contracted, spherical Gaussian shell placed on a center.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Shell {
@@ -213,19 +241,31 @@ impl BasisSet {
     }
 
     /// Instantiate the basis on a molecule, producing the shell list in atom
-    /// order. Panics if an element is missing from the set.
-    pub fn shells_for(&self, mol: &Molecule) -> Vec<Shell> {
+    /// order. Fails with [`BasisError::MissingElement`] when the set does
+    /// not cover an element of the molecule.
+    pub fn try_shells_for(&self, mol: &Molecule) -> Result<Vec<Shell>, BasisError> {
         let mut shells = Vec::new();
         for (ai, atom) in mol.atoms.iter().enumerate() {
-            let defs = self
-                .defs
-                .get(&atom.element.z())
-                .unwrap_or_else(|| panic!("basis {} lacks element {}", self.name, atom.element));
+            let defs =
+                self.defs
+                    .get(&atom.element.z())
+                    .ok_or_else(|| BasisError::MissingElement {
+                        basis: self.name.clone(),
+                        element: atom.element,
+                    })?;
             for d in defs {
                 shells.push(d.at(ai, atom.position));
             }
         }
-        shells
+        Ok(shells)
+    }
+
+    /// Instantiate the basis on a molecule, producing the shell list in atom
+    /// order. Panics if an element is missing from the set — the infallible
+    /// convenience for tests and benches whose molecules are known covered;
+    /// library paths go through [`Self::try_shells_for`].
+    pub fn shells_for(&self, mol: &Molecule) -> Vec<Shell> {
+        self.try_shells_for(mol).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of spherical AOs the basis generates on a molecule.
@@ -351,5 +391,17 @@ mod tests {
         let mut mol = builders::water();
         mol.atoms[0].element = Element::FE;
         let _ = sto3g::sto3g().shells_for(&mol);
+    }
+
+    #[test]
+    fn missing_element_is_a_typed_error() {
+        let mut mol = builders::water();
+        mol.atoms[0].element = Element::FE;
+        let err = sto3g::sto3g().try_shells_for(&mol).unwrap_err();
+        let BasisError::MissingElement { basis, element } = &err;
+        assert_eq!(basis, "STO-3G");
+        assert_eq!(*element, Element::FE);
+        let msg = err.to_string();
+        assert!(msg.contains("STO-3G") && msg.contains("Fe"), "{msg}");
     }
 }

@@ -32,7 +32,7 @@ pub mod element;
 pub mod harmonics;
 pub mod molecule;
 
-pub use basis::{AoLayout, BasisFamily, BasisSet, Shell};
+pub use basis::{AoLayout, BasisError, BasisFamily, BasisSet, Shell};
 pub use cart::{cart_components, ncart, nherm, nsph};
 pub use element::Element;
 pub use molecule::{Atom, Molecule};

@@ -38,7 +38,29 @@ fn candidates(class: &EriClass) -> Vec<FusionStrategy> {
     v
 }
 
-/// Plan the fusion strategy for an ERI class at a given precision.
+/// The threadblock shape a plan is made for. The shape couples to the
+/// live-tensor footprint (`S(F)` depends on the N-dim tile edge), so fusion
+/// feasibility genuinely changes with it: a tile that fits fully-fused on a
+/// V100 at edge 8 can bust the Eq. 13 budget at edge 32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockShape {
+    /// Threads per threadblock.
+    pub threads_per_block: usize,
+    /// Edge of the unified N-dimension tiling (paper Figure 4).
+    pub tile: usize,
+}
+
+impl Default for BlockShape {
+    fn default() -> BlockShape {
+        BlockShape {
+            threads_per_block: 256,
+            tile: 16,
+        }
+    }
+}
+
+/// Plan the fusion strategy for an ERI class at a given precision, using
+/// the default threadblock shape (256 threads, tile edge 16).
 ///
 /// `probe_batch` is the batch size used to score candidates (the relative
 /// ranking is insensitive to it once batches are large enough to saturate
@@ -49,6 +71,19 @@ pub fn plan_fusion(
     model: &CostModel,
     probe_batch: usize,
 ) -> FusionPlan {
+    plan_fusion_with(class, precision, model, probe_batch, BlockShape::default())
+}
+
+/// Plan the fusion strategy for an explicit threadblock shape — the entry
+/// point the tuner sweeps, since the footprint (and therefore which fusion
+/// strategies survive Eq. 13) depends on the candidate tile edge.
+pub fn plan_fusion_with(
+    class: &EriClass,
+    precision: Precision,
+    model: &CostModel,
+    probe_batch: usize,
+    shape: BlockShape,
+) -> FusionPlan {
     let budget = model.device.smem_per_sm / 2; // Eq. (13)
     let mut rejected = Vec::new();
     let mut best: Option<(FusionStrategy, usize, f64)> = None;
@@ -58,14 +93,14 @@ pub fn plan_fusion(
             fusion: strategy,
             layout: SmemLayout::Swizzled,
             ilp: 4,
-            threads_per_block: 256,
+            threads_per_block: shape.threads_per_block,
             precision,
             scale_policy: if precision == Precision::Fp64 {
                 ScalePolicy::Unscaled
             } else {
                 ScalePolicy::PerGroup
             },
-            tile: 16,
+            tile: shape.tile,
         };
         let smem = smem_footprint(class, &cfg);
         if smem > budget {
@@ -159,6 +194,61 @@ mod tests {
         let model = CostModel::new(DeviceSpec::a100());
         let p = plan_fusion(&class(1, 5), Precision::Fp64, &model, 50_000);
         assert!(p.strategy != FusionStrategy::FuseAllCoalesced);
+    }
+
+    #[test]
+    fn fusion_feasibility_responds_to_block_shape() {
+        // The tuner re-plans per swept threadblock shape because the tile
+        // edge moves the footprint across the Eq. 13 budget: on a V100,
+        // (gg|gg) FP64 fits fully fused at tile 8 but not at tile 32 —
+        // the plan must fall back to a partial fusion there.
+        use mako_accel::DeviceKind;
+        use mako_kernels::pipeline::smem_footprint;
+        let model = CostModel::new(DeviceSpec::new(DeviceKind::V100));
+        let c = class(4, 1);
+        let small = plan_fusion_with(
+            &c,
+            Precision::Fp64,
+            &model,
+            10_000,
+            BlockShape { threads_per_block: 256, tile: 8 },
+        );
+        let big = plan_fusion_with(
+            &c,
+            Precision::Fp64,
+            &model,
+            10_000,
+            BlockShape { threads_per_block: 256, tile: 32 },
+        );
+        assert!(
+            matches!(
+                small.strategy,
+                FusionStrategy::FuseAll | FusionStrategy::FuseAllCoalesced
+            ),
+            "tile 8 must plan fully fused, got {:?}",
+            small.strategy
+        );
+        assert!(
+            !matches!(
+                big.strategy,
+                FusionStrategy::FuseAll | FusionStrategy::FuseAllCoalesced
+            ),
+            "tile 32 busts the V100 budget, got {:?}",
+            big.strategy
+        );
+        assert!(
+            big.rejected.iter().any(|(s, _)| *s == FusionStrategy::FuseAll),
+            "FuseAll must be rejected by Eq. 13 at tile 32"
+        );
+        // Each plan's own footprint is admissible for its shape.
+        for (p, tile) in [(&small, 8usize), (&big, 32)] {
+            let cfg = PipelineConfig {
+                fusion: p.strategy,
+                tile,
+                ..PipelineConfig::kernel_mako_fp64()
+            };
+            assert!(smem_footprint(&c, &cfg) <= model.device.smem_per_sm / 2);
+        }
     }
 
     #[test]

@@ -8,13 +8,14 @@
 //! Winners are memoized in a process-wide [`KernelCache`], the analogue of
 //! CUTLASS Profiler's best-kernel database.
 
-use crate::planner::plan_fusion;
+use crate::planner::{plan_fusion_with, BlockShape};
 use mako_accel::{CostModel, DeviceKind, SmemLayout};
 use mako_eri::batch::EriClass;
-use mako_kernels::pipeline::{simulate_batch_cost, PipelineConfig};
+use mako_kernels::pipeline::{simulate_batch_cost, smem_footprint, PipelineConfig};
 use mako_precision::{Precision, ScalePolicy};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A tuned kernel configuration with its modeled performance.
 #[derive(Debug, Clone)]
@@ -25,28 +26,47 @@ pub struct TunedKernel {
     pub cost_s: f64,
     /// Number of candidate configurations evaluated.
     pub candidates_evaluated: usize,
+    /// Candidates (including fusion strategies considered during per-shape
+    /// planning) rejected by the Eq. 13 occupancy budget
+    /// `S(F) ≤ smem_per_sm / 2`.
+    pub eq13_rejections: usize,
 }
 
 /// Batch size used to score candidates during tuning.
 const PROBE_BATCH: usize = 50_000;
 
 /// Algorithm 2: exhaustive sweep over the tunable space for one class.
+///
+/// Every candidate is admitted only if its live-tensor footprint satisfies
+/// the Eq. 13 occupancy budget `S(F) ≤ smem_per_sm / 2` (≥ 2 resident
+/// threadblocks per SM). The fusion strategy is re-planned per threadblock
+/// shape — the tile edge moves the footprint, so a shape change can flip
+/// which strategies survive the budget.
 pub fn tune_class(class: &EriClass, precision: Precision, model: &CostModel) -> TunedKernel {
     let scale_policy = if precision == Precision::Fp64 {
         ScalePolicy::Unscaled
     } else {
         ScalePolicy::PerGroup
     };
+    let budget = model.device.smem_per_sm / 2; // Eq. (13)
 
+    let mut sp = mako_trace::span("compiler", "tune_class");
     let mut best: Option<(PipelineConfig, f64)> = None;
     let mut evaluated = 0usize;
+    let mut rejected = 0usize;
 
     for &threads in &[128usize, 256, 512] {
-        // Threadblock shape affects the fusion feasibility: re-plan.
-        let plan = plan_fusion(class, precision, model, PROBE_BATCH);
-        for &layout in &[SmemLayout::Swizzled, SmemLayout::Linear] {
-            for ilp in (0..=5).map(|k| 1usize << k) {
-                for tile in [8usize, 16, 32] {
+        for tile in [8usize, 16, 32] {
+            // The (threads, tile) shape couples to the footprint: re-plan
+            // the fusion strategy for this exact shape.
+            let shape = BlockShape {
+                threads_per_block: threads,
+                tile,
+            };
+            let plan = plan_fusion_with(class, precision, model, PROBE_BATCH, shape);
+            rejected += plan.rejected.len();
+            for &layout in &[SmemLayout::Swizzled, SmemLayout::Linear] {
+                for ilp in (0..=5).map(|k| 1usize << k) {
                     let cfg = PipelineConfig {
                         fusion: plan.strategy,
                         layout,
@@ -56,8 +76,16 @@ pub fn tune_class(class: &EriClass, precision: Precision, model: &CostModel) -> 
                         scale_policy,
                         tile,
                     };
-                    let cost = simulate_batch_cost(class, PROBE_BATCH, &cfg, model);
                     evaluated += 1;
+                    // Re-check the budget per candidate: planning already
+                    // enforced it for this shape, but admissibility is the
+                    // tuner's contract with the SCF driver, not an accident
+                    // of where the config came from.
+                    if smem_footprint(class, &cfg) > budget {
+                        rejected += 1;
+                        continue;
+                    }
+                    let cost = simulate_batch_cost(class, PROBE_BATCH, &cfg, model);
                     if cost.is_finite() {
                         match best {
                             Some((_, c)) if c <= cost => {}
@@ -70,10 +98,20 @@ pub fn tune_class(class: &EriClass, precision: Precision, model: &CostModel) -> 
     }
 
     let (config, cost_s) = best.expect("at least the unfused plan is admissible");
+    if sp.is_recording() {
+        sp.add_field("class", class.label());
+        sp.add_field("precision", format!("{precision:?}"));
+        sp.add_field("device", format!("{:?}", model.device.kind));
+        sp.add_field("candidates", evaluated);
+        sp.add_field("eq13_rejections", rejected);
+        sp.add_field("cost_s", cost_s);
+        sp.add_field("smem_bytes", smem_footprint(class, &config));
+    }
     TunedKernel {
         config,
         cost_s,
         candidates_evaluated: evaluated,
+        eq13_rejections: rejected,
     }
 }
 
@@ -81,6 +119,9 @@ pub fn tune_class(class: &EriClass, precision: Precision, model: &CostModel) -> 
 #[derive(Default)]
 pub struct KernelCache {
     map: RwLock<HashMap<(EriClass, Precision, DeviceKind), TunedKernel>>,
+    hits: AtomicUsize,
+    tunes: AtomicUsize,
+    duplicates_avoided: AtomicUsize,
 }
 
 impl KernelCache {
@@ -90,13 +131,33 @@ impl KernelCache {
     }
 
     /// Fetch the tuned kernel for a class, tuning on first use.
+    ///
+    /// Race-free: a read-lock miss is re-checked under the write lock
+    /// before tuning, so concurrent callers of the same key never run the
+    /// sweep twice (the loser of the lock race finds the entry and counts a
+    /// `duplicates_avoided`). Tuning holds the write lock — misses on
+    /// *different* keys serialize, which is the price of never clobbering
+    /// an insert; the sweep is milliseconds and runs once per key per
+    /// process, so the trade is right.
     pub fn get_or_tune(&self, class: &EriClass, precision: Precision, model: &CostModel) -> TunedKernel {
         let key = (*class, precision, model.device.kind);
         if let Some(hit) = self.map.read().get(&key) {
+            let hits = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            mako_trace::counter("compiler", "kernel_cache.hits", hits as f64);
+            return hit.clone();
+        }
+        let mut map = self.map.write();
+        if let Some(hit) = map.get(&key) {
+            // Another caller tuned this key between our read miss and the
+            // write acquisition.
+            let avoided = self.duplicates_avoided.fetch_add(1, Ordering::Relaxed) + 1;
+            mako_trace::counter("compiler", "kernel_cache.duplicates_avoided", avoided as f64);
             return hit.clone();
         }
         let tuned = tune_class(class, precision, model);
-        self.map.write().insert(key, tuned.clone());
+        let tunes = self.tunes.fetch_add(1, Ordering::Relaxed) + 1;
+        mako_trace::counter("compiler", "kernel_cache.tunes", tunes as f64);
+        map.insert(key, tuned.clone());
         tuned
     }
 
@@ -108,6 +169,21 @@ impl KernelCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Read-lock hits served so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Tuning sweeps actually run (one per distinct key, guaranteed).
+    pub fn tunes_performed(&self) -> usize {
+        self.tunes.load(Ordering::Relaxed)
+    }
+
+    /// Redundant sweeps avoided by the write-lock double-check.
+    pub fn duplicates_avoided(&self) -> usize {
+        self.duplicates_avoided.load(Ordering::Relaxed)
     }
 }
 
@@ -186,6 +262,95 @@ mod tests {
         // Different precision → separate entry.
         cache.get_or_tune(&c, Precision::Fp64, &model);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn tuned_winners_satisfy_eq13_on_every_device() {
+        // Regression for the admissibility bug: the sweep used to score
+        // budget-busting configs with a finite (merely occupancy-degraded)
+        // cost, so a config with S(F) > smem_per_sm/2 could win. Every
+        // winner must now leave ≥ 2 threadblocks resident per SM, on every
+        // supported architecture, for every class up to (gg|gg) and both
+        // contraction regimes.
+        for kind in [DeviceKind::V100, DeviceKind::A100_40G, DeviceKind::H100] {
+            let model = CostModel::new(DeviceSpec::new(kind));
+            let budget = model.device.smem_per_sm / 2;
+            for l in 0..=4 {
+                for &k in &[1usize, 5] {
+                    for precision in [Precision::Fp64, Precision::Fp16] {
+                        let c = class(l, k);
+                        let tuned = tune_class(&c, precision, &model);
+                        let smem = mako_kernels::pipeline::smem_footprint(&c, &tuned.config);
+                        assert!(
+                            smem <= budget,
+                            "{kind:?} l={l} k={k} {precision:?}: winner footprint {smem} \
+                             busts the Eq. 13 budget {budget} (cfg {:?})",
+                            tuned.config
+                        );
+                        assert!(tuned.cost_s.is_finite());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gggg_on_v100_is_where_the_bug_bit() {
+        // The concrete failure: (gg|gg) FP64 fully fused at tile 32 has a
+        // ~92 KiB footprint — launchable on a V100 (96 KiB/SM), so the old
+        // sweep priced it finitely, but it leaves a single resident block.
+        // The fixed tuner must never crown it.
+        let model = CostModel::new(DeviceSpec::new(DeviceKind::V100));
+        let c = class(4, 1);
+        let bad = PipelineConfig {
+            fusion: FusionStrategy::FuseAll,
+            tile: 32,
+            ..PipelineConfig::kernel_mako_fp64()
+        };
+        let budget = model.device.smem_per_sm / 2;
+        let smem = mako_kernels::pipeline::smem_footprint(&c, &bad);
+        assert!(
+            smem > budget && smem <= model.device.smem_per_sm,
+            "premise: the bad config is launchable but inadmissible ({smem} bytes)"
+        );
+        assert!(
+            simulate_batch_cost(&c, PROBE_BATCH, &bad, &model).is_finite(),
+            "premise: the cost model alone does not reject it"
+        );
+        let tuned = tune_class(&c, Precision::Fp64, &model);
+        assert!(
+            mako_kernels::pipeline::smem_footprint(&c, &tuned.config) <= budget,
+            "tuner crowned an inadmissible config: {:?}",
+            tuned.config
+        );
+        assert!(tuned.eq13_rejections > 0, "the sweep must have rejected candidates");
+    }
+
+    #[test]
+    fn concurrent_callers_tune_a_key_exactly_once() {
+        // The duplicate-tune race: the old get_or_tune dropped the read
+        // lock before tuning, so N concurrent callers ran N sweeps and
+        // clobbered each other's insert. The write-lock double-check must
+        // collapse that to exactly one sweep.
+        let model = CostModel::new(DeviceSpec::a100());
+        let cache = KernelCache::new();
+        let c = class(2, 5);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| cache.get_or_tune(&c, Precision::Fp64, &model));
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.tunes_performed(),
+            1,
+            "exactly one sweep may run for one key"
+        );
+        assert_eq!(
+            cache.tunes_performed() + cache.duplicates_avoided() + cache.hits(),
+            8,
+            "every caller is accounted as tune, avoided duplicate, or hit"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ struct Args {
     method: String,
     quantized: bool,
     gpus: usize,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +30,7 @@ fn parse_args() -> Result<Args, String> {
         method: "rhf".to_string(),
         quantized: false,
         gpus: 1,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,10 +56,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--gpus: {e}"))?
             }
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
             "--help" | "-h" => {
                 println!(
                     "usage: mako-cli --mol FILE.xyz [--basis sto-3g|def2-tzvp|def2-qzvp|cc-pvtz|cc-pvqz]\n\
-                     \x20              [--method rhf|b3lyp] [--quantized] [--gpus N]"
+                     \x20              [--method rhf|b3lyp] [--quantized] [--gpus N] [--trace FILE.jsonl]\n\
+                     \n\
+                     --trace FILE  record a structured trace of the run (spans, counters) to FILE;\n\
+                     \x20             `.chrome.json` suffix switches to the Chrome trace format.\n\
+                     \x20             The MAKO_TRACE env var does the same for any Mako binary."
                 );
                 std::process::exit(0);
             }
@@ -75,6 +82,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // MAKO_TRACE=path works for every Mako binary; --trace overrides it.
+    mako::trace::init_from_env();
+    if let Some(path) = &args.trace {
+        let format = if path.ends_with(".chrome.json") {
+            mako::trace::TraceFormat::Chrome
+        } else {
+            mako::trace::TraceFormat::Jsonl
+        };
+        mako::trace::set_sink(path.clone(), format);
+    }
     let Some(path) = &args.mol else {
         eprintln!("error: --mol FILE.xyz is required (see --help)");
         return ExitCode::FAILURE;
@@ -103,11 +120,18 @@ fn main() -> ExitCode {
     // STO-3G only covers H/C/N/O; the synthetic families cover everything.
     let engine = MakoEngine::new().with_quantization(args.quantized);
     let wall = std::time::Instant::now();
-    let result = match args.method.as_str() {
-        "rhf" => engine.run_rhf(&mol, args.basis).expect("scf run"),
-        "b3lyp" => engine.run_b3lyp(&mol, args.basis).expect("scf run"),
+    let run = match args.method.as_str() {
+        "rhf" => engine.run_rhf(&mol, args.basis),
+        "b3lyp" => engine.run_b3lyp(&mol, args.basis),
         other => {
             eprintln!("error: unknown method {other} (rhf|b3lyp)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match run {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: SCF run failed: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -140,6 +164,11 @@ fn main() -> ExitCode {
             args.gpus,
             100.0 * per_iter / (args.gpus as f64 * t)
         );
+    }
+    match mako::trace::flush() {
+        Some(Ok(path)) => println!("\ntrace written to {path}"),
+        Some(Err(e)) => eprintln!("\nwarning: trace write failed: {e}"),
+        None => {}
     }
     if result.converged {
         ExitCode::SUCCESS

@@ -37,6 +37,7 @@
 //! | [`quant`] | `mako-quant` | QuantMako scheduling + accumulation |
 //! | [`compiler`] | `mako-compiler` | CompilerMako planning + autotuning |
 //! | [`scf`] | `mako-scf` | RHF/RKS drivers, XC stack, scaling model |
+//! | [`trace`] | `mako-trace` | structured tracing + metrics (spans, counters, exporters) |
 
 pub use mako_accel as accel;
 pub use mako_chem as chem;
@@ -47,6 +48,7 @@ pub use mako_linalg as linalg;
 pub use mako_precision as precision;
 pub use mako_quant as quant;
 pub use mako_scf as scf;
+pub use mako_trace as trace;
 
 use mako_accel::DeviceSpec;
 use mako_chem::{BasisFamily, Molecule};
@@ -117,13 +119,13 @@ impl MakoEngine {
     /// Restricted Hartree–Fock on a molecule with a basis family.
     pub fn run_rhf(&self, mol: &Molecule, basis: BasisFamily) -> Result<ScfResult, ScfError> {
         let b = basis.basis_for(&mol.elements());
-        ScfDriver::new(mol, &b, self.config(ScfMethod::Rhf)).run()
+        ScfDriver::try_new(mol, &b, self.config(ScfMethod::Rhf))?.run()
     }
 
     /// Restricted Kohn–Sham B3LYP (the paper's functional).
     pub fn run_b3lyp(&self, mol: &Molecule, basis: BasisFamily) -> Result<ScfResult, ScfError> {
         let b = basis.basis_for(&mol.elements());
-        ScfDriver::new(mol, &b, self.config(ScfMethod::Rks(mako_scf::xc::b3lyp()))).run()
+        ScfDriver::try_new(mol, &b, self.config(ScfMethod::Rks(mako_scf::xc::b3lyp())))?.run()
     }
 }
 
@@ -154,6 +156,18 @@ mod tests {
             .expect("scf run");
         assert!(quant.converged);
         assert!((quant.energy - e_ref).abs() < 1e-3, "Δ = {}", quant.energy - e_ref);
+    }
+
+    #[test]
+    fn engine_reports_unsupported_element_as_typed_error() {
+        use mako_chem::Element;
+        let mut mol = builders::water();
+        mol.atoms[0].element = Element::FE;
+        let err = MakoEngine::new()
+            .run_rhf(&mol, BasisFamily::Sto3g)
+            .expect_err("STO-3G lacks Fe, so the run must fail");
+        assert!(matches!(err, ScfError::Basis(_)), "{err:?}");
+        assert!(err.to_string().contains("Fe"), "{err}");
     }
 
     #[test]

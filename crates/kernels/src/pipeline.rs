@@ -258,6 +258,12 @@ pub fn simulate_batch_cost(class: &EriClass, n: usize, cfg: &PipelineConfig, mod
 /// a lightweight preview of CompilerMako's Algorithm 2 used by tests and
 /// baselines (the full tuner in `mako-compiler` also sweeps threadblock
 /// shapes and layouts).
+///
+/// "Legal" includes the Eq. 13 occupancy budget: candidates whose
+/// live-tensor footprint exceeds `smem_per_sm / 2` are rejected outright
+/// (not merely priced with degraded occupancy), matching the full tuner's
+/// admissibility contract. `Unfused` has zero footprint, so a winner always
+/// exists.
 pub fn best_config_cost(
     class: &EriClass,
     n: usize,
@@ -265,6 +271,7 @@ pub fn best_config_cost(
     scale_policy: ScalePolicy,
     model: &CostModel,
 ) -> (PipelineConfig, f64) {
+    let budget = model.device.smem_per_sm / 2; // Eq. (13)
     let mut best = (PipelineConfig::kernel_mako_fp64(), f64::INFINITY);
     for fusion in [
         FusionStrategy::FuseAllCoalesced,
@@ -282,6 +289,9 @@ pub fn best_config_cost(
                 scale_policy,
                 tile: 16,
             };
+            if smem_footprint(class, &cfg) > budget {
+                continue;
+            }
             let cost = simulate_batch_cost(class, n, &cfg, model);
             if cost < best.1 {
                 best = (cfg, cost);

@@ -7,6 +7,7 @@
 //! caller can match on; binaries and tests may still `expect` at the top
 //! level, where aborting is the right answer.
 
+use mako_chem::BasisError;
 use mako_linalg::LinalgError;
 
 /// Failure of a (possibly fault-tolerant) distributed Fock build.
@@ -124,6 +125,9 @@ pub enum ScfError {
         /// Electron count of the molecule.
         electrons: usize,
     },
+    /// The basis set cannot be instantiated on the molecule (e.g. an
+    /// element the set does not cover).
+    Basis(BasisError),
     /// A distributed Fock build failed unrecoverably.
     FockBuild(FockBuildError),
     /// Checkpoint save or restore failed.
@@ -149,6 +153,7 @@ impl std::fmt::Display for ScfError {
             ScfError::OpenShell { electrons } => {
                 write!(f, "restricted driver requires a closed shell ({electrons} electrons)")
             }
+            ScfError::Basis(e) => write!(f, "basis instantiation failed: {e}"),
             ScfError::FockBuild(e) => write!(f, "distributed Fock build failed: {e}"),
             ScfError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             ScfError::Killed { iterations } => {
@@ -163,6 +168,7 @@ impl std::error::Error for ScfError {
         match self {
             ScfError::OverlapNotPositiveDefinite { source }
             | ScfError::Diagonalization { source, .. } => Some(source),
+            ScfError::Basis(e) => Some(e),
             ScfError::FockBuild(e) => Some(e),
             ScfError::Checkpoint(e) => Some(e),
             _ => None,
@@ -179,6 +185,12 @@ impl From<FockBuildError> for ScfError {
 impl From<CheckpointError> for ScfError {
     fn from(e: CheckpointError) -> ScfError {
         ScfError::Checkpoint(e)
+    }
+}
+
+impl From<BasisError> for ScfError {
+    fn from(e: BasisError) -> ScfError {
+        ScfError::Basis(e)
     }
 }
 

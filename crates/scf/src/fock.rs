@@ -202,6 +202,7 @@ pub fn build_jk_with_configs(
 
     // Phase 0 (incremental screen): per-shell-block density magnitudes,
     // built once per call. Only paid for when the ΔD screen is on.
+    let mut screen_span = mako_trace::span("fock", "screen");
     let block_max = opts.delta_tau.map(|_| DensityBlockMax::build(density, layout));
 
     // Phase 1: split every batch by scheduling decision (bounds vary by
@@ -250,13 +251,37 @@ pub fn build_jk_with_configs(
         }
     }
 
+    if screen_span.is_recording() {
+        screen_span.add_field("batches", batches.len());
+        screen_span.add_field("sub_units", units.len());
+        screen_span.add_field("fp64_quartets", stats.fp64_quartets);
+        screen_span.add_field("quantized_quartets", stats.quantized_quartets);
+        screen_span.add_field("skipped_quartets", stats.skipped_quartets);
+        screen_span.add_field("pruned_quartets", stats.pruned_quartets);
+    }
+    screen_span.end();
+
     // Phase 2: the device clock and the group scales, in fixed sub-batch
     // order. Each sub-batch is priced as ONE batched device launch — the
     // host-side chunking below never changes the simulated device seconds.
+    let trace_on = mako_trace::enabled();
     let mut device_seconds = 0.0;
     for u in &mut units {
-        device_seconds += batch_device_seconds(&u.class, u.quartets.len(), &u.cfg, model);
+        let launch_seconds = batch_device_seconds(&u.class, u.quartets.len(), &u.cfg, model);
+        device_seconds += launch_seconds;
         u.e_scale = batch_group_scale(&u.quartets, pairs, &u.cfg);
+        if trace_on {
+            mako_trace::instant(
+                "fock",
+                "launch",
+                vec![
+                    mako_trace::field("class", u.class.label()),
+                    mako_trace::field("quartets", u.quartets.len()),
+                    mako_trace::field("precision", format!("{:?}", u.cfg.precision)),
+                    mako_trace::field("device_seconds", launch_seconds),
+                ],
+            );
+        }
     }
     stats.device_seconds = device_seconds;
 
@@ -275,19 +300,42 @@ pub fn build_jk_with_configs(
     let mut j = Matrix::zeros(n, n);
     let mut k = Matrix::zeros(n, n);
     let mut scratch: Vec<Tensor4> = Vec::new();
+    // Host-side wall timers for the evaluate/scatter phases. Only sampled
+    // when tracing is on, so the untraced hot path pays zero clock reads.
+    let (mut evaluate_seconds, mut scatter_seconds) = (0.0f64, 0.0f64);
     for u in &units {
         let runner = QuartetRunner::new(&u.class, &u.cfg, u.e_scale);
         for wave in u.quartets.chunks(wave_len) {
             scratch.truncate(wave.len());
             scratch.resize_with(wave.len(), || Tensor4::zeros([0; 4]));
+            let t_eval = trace_on.then(std::time::Instant::now);
             scratch
                 .par_iter_mut()
                 .zip(wave.par_iter())
                 .for_each(|(t, &(pi, qi))| runner.run_into(&pairs[pi], &pairs[qi], t));
+            if let Some(t0) = t_eval {
+                evaluate_seconds += t0.elapsed().as_secs_f64();
+            }
+            let t_scatter = trace_on.then(std::time::Instant::now);
             for (t, &(pi, qi)) in scratch.iter().zip(wave) {
                 scatter_quartet(t, &pairs[pi], &pairs[qi], density, layout, &mut j, &mut k);
             }
+            if let Some(t0) = t_scatter {
+                scatter_seconds += t0.elapsed().as_secs_f64();
+            }
         }
+    }
+    if trace_on {
+        mako_trace::instant(
+            "fock",
+            "assemble",
+            vec![
+                mako_trace::field("evaluate_seconds", evaluate_seconds),
+                mako_trace::field("scatter_seconds", scatter_seconds),
+                mako_trace::field("device_seconds", device_seconds),
+                mako_trace::field("wave_len", wave_len),
+            ],
+        );
     }
 
     j.symmetrize();

@@ -425,6 +425,23 @@ pub fn build_jk_distributed_ft(
     let weights = batch_weights(batches, &|bi| cfg_for(bi).0, model);
     let shares = lpt_shares(&weights, ranks);
     let mut ledger = RecoveryLedger::default();
+    let mut dist_span = mako_trace::span("dist", "build_jk_ft");
+    if dist_span.is_recording() {
+        dist_span.add_field("ranks", ranks);
+        dist_span.add_field("batches", batches.len());
+        for (rank, share) in shares.iter().enumerate() {
+            let budget: f64 = share.iter().map(|&bi| weights[bi]).sum();
+            mako_trace::instant(
+                "dist",
+                "share",
+                vec![
+                    mako_trace::field("rank", rank),
+                    mako_trace::field("batches", share.len()),
+                    mako_trace::field("budget_seconds", budget),
+                ],
+            );
+        }
+    }
 
     // ---- Phase 1: share numerics (the only place numbers are made). ----
     // Every logical rank's share is evaluated by one engine call whether or
@@ -572,6 +589,17 @@ pub fn build_jk_distributed_ft(
         stats.skipped_bound += st.skipped_bound;
         stats.device_seconds = stats.device_seconds.max(st.device_seconds);
     }
+    if dist_span.is_recording() {
+        dist_span.add_field("transient_retries", ledger.transient_retries);
+        dist_span.add_field("straggler_ranks", ledger.straggler_ranks);
+        dist_span.add_field("stolen_batches", ledger.stolen_batches);
+        dist_span.add_field("rerun_batches", ledger.rerun_batches);
+        dist_span.add_field("ranks_lost", ledger.ranks_lost);
+        dist_span.add_field("allreduce_retries", ledger.allreduce_retries);
+        dist_span.add_field("fault_free_seconds", ledger.fault_free_seconds);
+        dist_span.add_field("degraded_seconds", ledger.degraded_seconds);
+    }
+    dist_span.end();
     Ok(FtFockOutcome {
         jk: JkMatrices { j, k },
         rank_seconds,

@@ -233,9 +233,17 @@ pub struct ScfDriver {
 impl ScfDriver {
     /// Prepare a driver: instantiate the basis, screen pairs, batch
     /// quartets, tune kernels (via the CompilerMako cache), and build the
-    /// DFT grid when needed.
+    /// DFT grid when needed. Panics when the basis does not cover the
+    /// molecule — the convenience constructor for tests and benches;
+    /// library paths (e.g. `MakoEngine::run_*`) use [`Self::try_new`].
     pub fn new(mol: &Molecule, basis: &BasisSet, config: ScfConfig) -> ScfDriver {
-        let shells = basis.shells_for(mol);
+        ScfDriver::try_new(mol, basis, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns [`ScfError::Basis`] instead of
+    /// panicking when the basis set lacks an element of the molecule.
+    pub fn try_new(mol: &Molecule, basis: &BasisSet, config: ScfConfig) -> Result<ScfDriver, ScfError> {
+        let shells = basis.try_shells_for(mol)?;
         let layout = AoLayout::new(&shells);
         let pairs = build_screened_pairs(&shells, config.screening);
         let quartet_threshold = config
@@ -264,7 +272,7 @@ impl ScfDriver {
             ScfMethod::Rhf => (None, None),
         };
 
-        ScfDriver {
+        Ok(ScfDriver {
             mol: mol.clone(),
             shells,
             layout,
@@ -276,7 +284,7 @@ impl ScfDriver {
             quant_cfgs,
             grid,
             aos,
-        }
+        })
     }
 
     /// Number of spherical AOs.
@@ -394,6 +402,7 @@ impl ScfDriver {
         }
 
         for iter in start_iter..self.config.max_iterations {
+            let mut iter_span = mako_trace::span("scf", "iteration");
             let schedule = if self.config.quantized {
                 QuantSchedule::for_iteration(residual, self.config.e_tol)
             } else {
@@ -578,6 +587,20 @@ impl ScfDriver {
             e_prev = energy;
             d = d_new;
             orbital_energies = eps;
+
+            if iter_span.is_recording() {
+                iter_span.add_field("iter", iter);
+                iter_span.add_field("energy", energy);
+                iter_span.add_field("de", de);
+                iter_span.add_field("residual", residual);
+                iter_span.add_field("rebuild", rebuild);
+                iter_span.add_field("eri_seconds", st.device_seconds);
+                iter_span.add_field("total_seconds", iter_seconds);
+                iter_span.add_field("evaluated_quartets", st.evaluated_quartets());
+                iter_span.add_field("skipped_quartets", st.skipped_quartets);
+                iter_span.add_field("pruned_quartets", st.pruned_quartets);
+            }
+            iter_span.end();
 
             let mut finishing = false;
             if de < self.config.e_tol && residual < self.config.e_tol.sqrt() {

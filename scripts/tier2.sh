@@ -31,4 +31,11 @@ MAKO_SMOKE=1 MAKO_THREADS=2 MAKO_FAULT_SEED=6 \
     MAKO_BENCH_OUT=target/BENCH_chaos_smoke.json \
     cargo run --release -p mako-bench --bin chaos_scf_bench
 
+echo "== tier2: trace smoke (host_fock_bench under MAKO_TRACE + schema check) =="
+MAKO_BENCH_MAX_QUARTETS=2000 MAKO_THREADS=1,2 \
+    MAKO_BENCH_OUT=target/BENCH_fock_trace_smoke.json \
+    MAKO_TRACE=target/trace_smoke.jsonl \
+    cargo run --release -p mako-bench --bin host_fock_bench
+cargo run --release -p mako-bench --bin trace_validate -- target/trace_smoke.jsonl
+
 echo "== tier2: OK =="

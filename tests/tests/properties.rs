@@ -286,6 +286,77 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn smem_footprint_is_monotone_in_tile(
+        la in 0usize..5, lb in 0usize..5, lc in 0usize..5, ld in 0usize..5,
+        kab in 1usize..6, kcd in 1usize..6,
+        strategy in 0usize..4, fp16 in any::<bool>(),
+        t1 in 1usize..96, t2 in 1usize..96,
+    ) {
+        // A larger N-dim tile edge can only grow (weakly) the live-tensor
+        // footprint — the invariant the Eq. 13 admissibility checks in the
+        // tuner and `best_config_cost` lean on when they sweep tiles.
+        use mako::kernels::pipeline::{smem_footprint, FusionStrategy};
+        let class = mako::eri::batch::EriClass { la, lb, lc, ld, kab, kcd };
+        let fusion = [
+            FusionStrategy::Unfused,
+            FusionStrategy::FuseRPq,
+            FusionStrategy::FuseAll,
+            FusionStrategy::FuseAllCoalesced,
+        ][strategy];
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let cfg = |tile| PipelineConfig {
+            fusion,
+            tile,
+            precision: if fp16 { Precision::Fp16 } else { Precision::Fp64 },
+            ..PipelineConfig::kernel_mako_fp64()
+        };
+        let (s_lo, s_hi) = (smem_footprint(&class, &cfg(lo)), smem_footprint(&class, &cfg(hi)));
+        prop_assert!(
+            s_lo <= s_hi,
+            "footprint shrank as the tile grew: tile {lo} → {s_lo} B, tile {hi} → {s_hi} B \
+             ({fusion:?}, class l=({la},{lb},{lc},{ld}) K=({kab},{kcd}))"
+        );
+    }
+
+    #[test]
+    fn best_config_cost_never_returns_an_eq13_violator(
+        l in 0usize..5, k in 0usize..2, device in 0usize..4, fp16 in any::<bool>(),
+    ) {
+        // `best_config_cost` shared the tuner's flaw: it scored candidates
+        // whose footprint busts the half-SM budget (finite cost, degraded
+        // occupancy) instead of rejecting them. Pin the fixed contract on
+        // every device kind.
+        use mako::accel::DeviceKind;
+        use mako::kernels::pipeline::{best_config_cost, smem_footprint};
+        let kab = [1usize, 5][k];
+        let class = mako::eri::batch::EriClass { la: l, lb: l, lc: l, ld: l, kab, kcd: kab };
+        let kind = [
+            DeviceKind::V100,
+            DeviceKind::A100_40G,
+            DeviceKind::A100_80G,
+            DeviceKind::H100,
+        ][device];
+        let model = CostModel::new(DeviceSpec::new(kind));
+        let (precision, policy) = if fp16 {
+            (Precision::Fp16, ScalePolicy::PerGroup)
+        } else {
+            (Precision::Fp64, ScalePolicy::Unscaled)
+        };
+        let (cfg, cost) = best_config_cost(&class, 20_000, precision, policy, &model);
+        let smem = smem_footprint(&class, &cfg);
+        prop_assert!(
+            smem <= model.device.smem_per_sm / 2,
+            "{kind:?} l={l} K={kab} {precision:?}: winner footprint {smem} B > budget {} B",
+            model.device.smem_per_sm / 2
+        );
+        prop_assert!(cost.is_finite());
+    }
+}
+
 #[test]
 fn smem_layout_enum_is_exported() {
     // The prelude-level re-exports stay wired.
