@@ -1,0 +1,245 @@
+//! Self-healing SCF benchmark: the watchdog's overhead on a healthy run
+//! (which must be zero in every observable — bitwise — and near zero in
+//! wall time), the staged rescue ladder's recovery of a pathological
+//! stretched-water SCF that plain DIIS cannot converge, and the bitwise
+//! reproducibility of the *rescued* trajectory across host thread counts.
+//!
+//! Results land in `BENCH_rescue.json` (schema documented in DESIGN.md §12).
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin rescue_scf_bench
+//! ```
+//!
+//! Knobs: `MAKO_SMOKE=1` (water dimer + 1/2 threads — for CI boxes),
+//! `MAKO_THREADS` (comma-separated thread counts, default `1,2,4,8`),
+//! `MAKO_BENCH_STRETCH` (O–H stretch factor of the pathological geometry,
+//! default 3.0 — the full five-stage ladder), `MAKO_BENCH_OUT` (output
+//! path, default `BENCH_rescue.json` — smoke harnesses point this at
+//! scratch).
+
+use mako_chem::basis::sto3g::sto3g;
+use mako_chem::builders;
+use mako_scf::{RescueConfig, ScfConfig, ScfDriver, ScfResult};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_thread_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Bitwise identity across every observable the rescue layer could have
+/// perturbed: energy, device clock, iteration count, and the converged
+/// density.
+fn runs_bitwise_equal(a: &ScfResult, b: &ScfResult) -> bool {
+    a.energy.to_bits() == b.energy.to_bits()
+        && a.total_seconds.to_bits() == b.total_seconds.to_bits()
+        && a.iterations == b.iterations
+        && a.density
+            .as_slice()
+            .iter()
+            .zip(b.density.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn main() {
+    mako_trace::init_from_env();
+    let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let stretch = env_f64("MAKO_BENCH_STRETCH", 3.0);
+
+    // ---- Part 1: healthy overhead — rescue enabled must cost nothing. ----
+    let (healthy_mol, healthy_label) = if smoke {
+        (builders::water_cluster(2), "water2 (STO-3G, smoke)")
+    } else {
+        (builders::water_cluster(3), "water3 (STO-3G)")
+    };
+    let healthy_cfg = ScfConfig {
+        e_tol: 1e-10,
+        ..ScfConfig::default()
+    };
+    let plain_driver = ScfDriver::new(&healthy_mol, &sto3g(), healthy_cfg.clone());
+    let rescued_driver = ScfDriver::new(
+        &healthy_mol,
+        &sto3g(),
+        ScfConfig {
+            rescue: Some(RescueConfig::default()),
+            ..healthy_cfg
+        },
+    );
+    println!(
+        "rescue_scf_bench: healthy workload {healthy_label}  nao={}  quartets={}",
+        plain_driver.nao(),
+        plain_driver.nquartets()
+    );
+    let t0 = Instant::now();
+    let plain = plain_driver.run().expect("healthy plain run");
+    let plain_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let rescued = rescued_driver.run().expect("healthy rescued run");
+    let rescued_wall = t0.elapsed().as_secs_f64();
+    assert!(plain.converged && rescued.converged);
+    assert!(
+        rescued.rescue.is_empty(),
+        "watchdog intervened on the healthy workload: {}",
+        rescued.rescue.summary()
+    );
+    let healthy_bitwise = runs_bitwise_equal(&plain, &rescued);
+    assert!(
+        healthy_bitwise,
+        "rescue-enabled healthy run is not bitwise identical to rescue-disabled"
+    );
+    let overhead_pct = 100.0 * (rescued_wall - plain_wall) / plain_wall.max(1e-12);
+    println!(
+        "  rescue off: E = {:.12} Ha  ({} iterations, {plain_wall:.3} s wall)",
+        plain.energy, plain.iterations
+    );
+    println!(
+        "  rescue on:  E = {:.12} Ha  ({} iterations, {rescued_wall:.3} s wall)  \
+         bitwise_identical={healthy_bitwise}  overhead={overhead_pct:+.1}%",
+        rescued.energy, rescued.iterations
+    );
+
+    // ---- Part 2: pathological recovery — the ladder earns its keep. ----
+    let patho_mol = builders::stretched_water(stretch);
+    let patho_cfg = |rescue: Option<RescueConfig>| ScfConfig {
+        e_tol: 1e-8,
+        max_iterations: 60,
+        rescue,
+        ..ScfConfig::default()
+    };
+    let t0 = Instant::now();
+    let patho_plain = ScfDriver::new(&patho_mol, &sto3g(), patho_cfg(None))
+        .run()
+        .expect("pathological plain run");
+    let patho_plain_wall = t0.elapsed().as_secs_f64();
+    let rescue_driver = ScfDriver::new(&patho_mol, &sto3g(), patho_cfg(Some(RescueConfig::default())));
+    let t0 = Instant::now();
+    let patho_rescued = rescue_driver.run().expect("pathological rescued run");
+    let patho_rescued_wall = t0.elapsed().as_secs_f64();
+    let ladder: Vec<&str> = patho_rescued
+        .rescue
+        .stage_sequence()
+        .iter()
+        .map(|s| s.label())
+        .collect();
+    println!(
+        "  pathological {} (stretch {stretch}):",
+        patho_mol.name
+    );
+    println!(
+        "    plain:   converged={}  E = {:.12} Ha  ({} iterations, {patho_plain_wall:.3} s wall)",
+        patho_plain.converged, patho_plain.energy, patho_plain.iterations
+    );
+    println!(
+        "    rescued: converged={}  E = {:.12} Ha  ({} iterations, {patho_rescued_wall:.3} s wall)  ladder=[{}]",
+        patho_rescued.converged,
+        patho_rescued.energy,
+        patho_rescued.iterations,
+        ladder.join(" → ")
+    );
+    assert!(
+        !patho_plain.converged,
+        "pathological geometry converged without rescue; raise MAKO_BENCH_STRETCH"
+    );
+    assert!(
+        patho_rescued.converged,
+        "rescue ladder failed to recover the pathological geometry"
+    );
+    assert!(
+        !patho_rescued.rescue.is_empty(),
+        "recovery claimed without any ladder interventions"
+    );
+
+    // ---- Part 3: the rescued trajectory is bitwise thread-invariant. ----
+    let default_threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let thread_list = env_thread_list("MAKO_THREADS", default_threads);
+    let mut rows: Vec<(usize, f64, bool)> = Vec::new();
+    let mut all_bitwise = true;
+    for &threads in &thread_list {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let t0 = Instant::now();
+        let run = pool.install(|| rescue_driver.run().expect("rescued run"));
+        let wall = t0.elapsed().as_secs_f64();
+        let bitwise = runs_bitwise_equal(&run, &patho_rescued)
+            && run.rescue.stage_sequence() == patho_rescued.rescue.stage_sequence();
+        all_bitwise &= bitwise;
+        println!("  {threads} thread(s): {wall:.3} s wall  bitwise_identical={bitwise}");
+        rows.push((threads, wall, bitwise));
+    }
+    assert!(
+        all_bitwise,
+        "rescued SCF trajectory drifted across thread counts"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"rescue_scf_bench\",");
+    let _ = writeln!(json, "  \"healthy_molecule\": \"{healthy_label}\",");
+    let _ = writeln!(json, "  \"pathological_molecule\": \"{}\",", patho_mol.name);
+    let _ = writeln!(json, "  \"stretch\": {stretch},");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"healthy\": {{\"energy_ha\": {:.12}, \"iterations\": {}, \"wall_off_s\": {plain_wall:.6}, \"wall_on_s\": {rescued_wall:.6}, \"overhead_percent\": {overhead_pct:.2}, \"interventions\": {}, \"bitwise_identical\": {healthy_bitwise}}},",
+        rescued.energy,
+        rescued.iterations,
+        rescued.rescue.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"pathological_plain\": {{\"converged\": {}, \"energy_ha\": {:.12}, \"iterations\": {}, \"wall_s\": {patho_plain_wall:.6}}},",
+        patho_plain.converged, patho_plain.energy, patho_plain.iterations
+    );
+    let _ = writeln!(
+        json,
+        "  \"pathological_rescued\": {{\"converged\": {}, \"energy_ha\": {:.12}, \"iterations\": {}, \"wall_s\": {patho_rescued_wall:.6}, \"ladder\": [{}]}},",
+        patho_rescued.converged,
+        patho_rescued.energy,
+        patho_rescued.iterations,
+        ladder
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"threads\": [");
+    for (i, (threads, wall, bitwise)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"wall_s\": {wall:.6}, \"bitwise_identical\": {bitwise}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"bitwise_identical_all\": {all_bitwise}");
+    let _ = writeln!(json, "}}");
+    let out =
+        std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_rescue.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+    match mako_trace::flush() {
+        Some(Ok(path)) => println!("trace written to {path}"),
+        Some(Err(e)) => eprintln!("warning: trace write failed: {e}"),
+        None => {}
+    }
+}

@@ -43,6 +43,27 @@ fn water_at(center: [f64; 3], orientation: usize) -> Molecule {
     m
 }
 
+/// A pathologically stretched water: both O–H bonds scaled by `stretch`
+/// (> 1 elongates) at the equilibrium angle. Around 2× the homolytic
+/// dissociation region makes restricted SCF genuinely hard — small
+/// HOMO–LUMO gap, oscillating/stagnating DIIS — which is exactly what the
+/// self-healing SCF suite needs a deterministic supply of.
+pub fn stretched_water(stretch: f64) -> Molecule {
+    let r = 0.9572 * stretch;
+    let half = 104.52f64.to_radians() / 2.0;
+    let mut m = Molecule::new(format!("H2O-stretch{stretch:.2}"));
+    m.atoms.push(Atom::new_angstrom(Element::O, [0.0, 0.0, 0.0]));
+    m.atoms.push(Atom::new_angstrom(
+        Element::H,
+        [r * half.sin(), 0.0, r * half.cos()],
+    ));
+    m.atoms.push(Atom::new_angstrom(
+        Element::H,
+        [-r * half.sin(), 0.0, r * half.cos()],
+    ));
+    m
+}
+
 /// A compact (globular) cluster of `n` water molecules.
 ///
 /// Oxygen sites occupy the `n` lattice points of a simple cubic grid
@@ -284,6 +305,24 @@ mod tests {
         let rhh = dist(w.atoms[1].position, w.atoms[2].position) / BOHR_PER_ANGSTROM;
         // HH distance from law of cosines ≈ 1.513 Å.
         assert!((rhh - 1.5139).abs() < 1e-3, "rhh = {rhh}");
+    }
+
+    #[test]
+    fn stretched_water_scales_bonds_only() {
+        let w = stretched_water(2.0);
+        assert_eq!(w.natoms(), 3);
+        let roh = dist(w.atoms[0].position, w.atoms[1].position) / BOHR_PER_ANGSTROM;
+        assert!((roh - 2.0 * 0.9572).abs() < 1e-6, "roh = {roh}");
+        // Same angle as equilibrium: HH/OH ratio is preserved.
+        let rhh = dist(w.atoms[1].position, w.atoms[2].position) / BOHR_PER_ANGSTROM;
+        assert!((rhh / roh - 1.5139 / 0.9572).abs() < 1e-3);
+        // stretch = 1 reproduces the equilibrium geometry.
+        let eq = stretched_water(1.0);
+        for (a, b) in eq.atoms.iter().zip(&water().atoms) {
+            for d in 0..3 {
+                assert!((a.position[d] - b.position[d]).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ struct Args {
     basis: BasisFamily,
     method: String,
     quantized: bool,
+    rescue: bool,
     gpus: usize,
     trace: Option<String>,
 }
@@ -29,6 +30,7 @@ fn parse_args() -> Result<Args, String> {
         basis: BasisFamily::Sto3g,
         method: "rhf".to_string(),
         quantized: false,
+        rescue: false,
         gpus: 1,
         trace: None,
     };
@@ -49,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--method" => args.method = it.next().ok_or("--method needs rhf|b3lyp")?,
             "--quantized" => args.quantized = true,
+            "--rescue" => args.rescue = true,
             "--gpus" => {
                 args.gpus = it
                     .next()
@@ -60,8 +63,10 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: mako-cli --mol FILE.xyz [--basis sto-3g|def2-tzvp|def2-qzvp|cc-pvtz|cc-pvqz]\n\
-                     \x20              [--method rhf|b3lyp] [--quantized] [--gpus N] [--trace FILE.jsonl]\n\
+                     \x20              [--method rhf|b3lyp] [--quantized] [--rescue] [--gpus N] [--trace FILE.jsonl]\n\
                      \n\
+                     --rescue      enable the self-healing SCF layer (convergence watchdog +\n\
+                     \x20             staged rescue ladder); bitwise inert on healthy runs.\n\
                      --trace FILE  record a structured trace of the run (spans, counters) to FILE;\n\
                      \x20             `.chrome.json` suffix switches to the Chrome trace format.\n\
                      \x20             The MAKO_TRACE env var does the same for any Mako binary."
@@ -118,7 +123,9 @@ fn main() -> ExitCode {
     println!("device   : simulated NVIDIA A100 ×{}\n", args.gpus);
 
     // STO-3G only covers H/C/N/O; the synthetic families cover everything.
-    let engine = MakoEngine::new().with_quantization(args.quantized);
+    let engine = MakoEngine::new()
+        .with_quantization(args.quantized)
+        .with_rescue(args.rescue);
     let wall = std::time::Instant::now();
     let run = match args.method.as_str() {
         "rhf" => engine.run_rhf(&mol, args.basis),
@@ -150,6 +157,20 @@ fn main() -> ExitCode {
         "quartets: {} FP64 / {} quantized / {} pruned",
         result.stats.fp64_quartets, result.stats.quantized_quartets, result.stats.pruned_quartets
     );
+    if result.orth.n_dropped > 0 {
+        println!(
+            "orthogonalization dropped {} near-dependent AO direction(s) \
+             (smallest kept overlap eigenvalue {:.3e})",
+            result.orth.n_dropped, result.orth.smallest_kept
+        );
+    }
+    if args.rescue {
+        if result.rescue.is_empty() {
+            println!("rescue: enabled, never fired (trajectory healthy)");
+        } else {
+            println!("rescue: {} intervention(s) — {}", result.rescue.len(), result.rescue.summary());
+        }
+    }
 
     if args.gpus > 1 {
         // Multi-GPU estimate from the cluster model (one rank per GPU).

@@ -52,7 +52,7 @@ pub use mako_trace as trace;
 
 use mako_accel::DeviceSpec;
 use mako_chem::{BasisFamily, Molecule};
-use mako_scf::{ScfConfig, ScfDriver, ScfError, ScfMethod, ScfResult};
+use mako_scf::{RescueConfig, ScfConfig, ScfDriver, ScfError, ScfMethod, ScfResult};
 
 /// Commonly used items, one import away.
 pub mod prelude {
@@ -75,6 +75,9 @@ pub struct MakoEngine {
     pub quantized: bool,
     /// SCF energy tolerance (paper default 1e-7).
     pub e_tol: f64,
+    /// Enable the self-healing SCF layer (convergence watchdog + staged
+    /// rescue ladder); inert — bitwise — on healthy runs.
+    pub rescue: bool,
 }
 
 impl Default for MakoEngine {
@@ -91,12 +94,21 @@ impl MakoEngine {
             device: DeviceSpec::a100(),
             quantized: false,
             e_tol: 1e-7,
+            rescue: false,
         }
     }
 
     /// Enable the QuantMako quantized pipelines.
     pub fn with_quantization(mut self, on: bool) -> MakoEngine {
         self.quantized = on;
+        self
+    }
+
+    /// Enable the self-healing SCF layer (watchdog + rescue ladder with the
+    /// default [`RescueConfig`]). On a healthy trajectory the result is
+    /// bitwise identical to a run without it.
+    pub fn with_rescue(mut self, on: bool) -> MakoEngine {
+        self.rescue = on;
         self
     }
 
@@ -112,6 +124,7 @@ impl MakoEngine {
             e_tol: self.e_tol,
             quantized: self.quantized,
             device: self.device.clone(),
+            rescue: self.rescue.then(RescueConfig::default),
             ..ScfConfig::default()
         }
     }
@@ -156,6 +169,21 @@ mod tests {
             .expect("scf run");
         assert!(quant.converged);
         assert!((quant.energy - e_ref).abs() < 1e-3, "Δ = {}", quant.energy - e_ref);
+    }
+
+    #[test]
+    fn engine_rescue_is_inert_on_healthy_runs() {
+        let mol = builders::water();
+        let plain = MakoEngine::new()
+            .run_rhf(&mol, BasisFamily::Sto3g)
+            .expect("scf run");
+        let rescued = MakoEngine::new()
+            .with_rescue(true)
+            .run_rhf(&mol, BasisFamily::Sto3g)
+            .expect("scf run");
+        assert!(rescued.rescue.is_empty(), "healthy water must need no rescue");
+        assert_eq!(plain.energy.to_bits(), rescued.energy.to_bits());
+        assert_eq!(plain.iterations, rescued.iterations);
     }
 
     #[test]

@@ -27,7 +27,57 @@ pub fn sym_func(a: &Matrix, f: impl Fn(f64) -> f64) -> Result<Matrix, LinalgErro
 /// root set to zero) — the canonical-orthogonalization guard against
 /// near-linear-dependent basis sets.
 pub fn sym_inv_sqrt(a: &Matrix, threshold: f64) -> Result<Matrix, LinalgError> {
-    sym_func(a, |l| if l > threshold { 1.0 / l.sqrt() } else { 0.0 })
+    sym_inv_sqrt_diag(a, threshold).map(|o| o.matrix)
+}
+
+/// A canonical orthogonalizer together with its linear-dependence
+/// diagnostics — what [`sym_inv_sqrt`] used to discard.
+#[derive(Debug, Clone)]
+pub struct OrthFactor {
+    /// The projected `A^{-1/2}` (identical bits to [`sym_inv_sqrt`]).
+    pub matrix: Matrix,
+    /// Eigenvectors dropped (eigenvalue ≤ threshold): the dimension lost to
+    /// near linear dependence.
+    pub n_dropped: usize,
+    /// Smallest retained eigenvalue — the conditioning of the surviving
+    /// basis. `+∞` when everything was dropped.
+    pub smallest_kept: f64,
+    /// Smallest eigenvalue overall (dropped or not).
+    pub smallest: f64,
+}
+
+/// [`sym_inv_sqrt`] with linear-dependence diagnostics: how many overlap
+/// eigenvectors fell below `threshold` and how well-conditioned the
+/// retained space is. The returned matrix is bitwise identical to
+/// `sym_inv_sqrt(a, threshold)` — callers can adopt the diagnostic form
+/// without perturbing any trajectory.
+pub fn sym_inv_sqrt_diag(a: &Matrix, threshold: f64) -> Result<OrthFactor, LinalgError> {
+    let ed = eigh(a)?;
+    let n = ed.values.len();
+    let mut scaled = ed.vectors.clone();
+    let mut n_dropped = 0usize;
+    let mut smallest_kept = f64::INFINITY;
+    let mut smallest = f64::INFINITY;
+    for j in 0..n {
+        let l = ed.values[j];
+        smallest = smallest.min(l);
+        let fj = if l > threshold {
+            smallest_kept = smallest_kept.min(l);
+            1.0 / l.sqrt()
+        } else {
+            n_dropped += 1;
+            0.0
+        };
+        for i in 0..n {
+            scaled[(i, j)] *= fj;
+        }
+    }
+    Ok(OrthFactor {
+        matrix: gemm(&scaled, Transpose::No, &ed.vectors, Transpose::Yes),
+        n_dropped,
+        smallest_kept,
+        smallest,
+    })
 }
 
 /// `A^{1/2}` for a symmetric positive-semidefinite matrix (negative
@@ -76,6 +126,27 @@ mod tests {
         let a = spd(6, 3);
         let same = sym_func(&a, |l| l).unwrap();
         assert!(same.sub(&a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn diag_form_is_bitwise_identical_and_counts_drops() {
+        // Well-conditioned: nothing dropped, identical bits to sym_inv_sqrt.
+        let a = spd(10, 42);
+        let plain = sym_inv_sqrt(&a, 1e-10).unwrap();
+        let diag = sym_inv_sqrt_diag(&a, 1e-10).unwrap();
+        assert_eq!(plain, diag.matrix, "diagnostic form must not perturb X");
+        assert_eq!(diag.n_dropped, 0);
+        assert!(diag.smallest_kept > 0.0 && diag.smallest_kept.is_finite());
+        assert_eq!(diag.smallest, diag.smallest_kept);
+
+        // Rank-1: two directions dropped, the surviving eigenvalue reported.
+        let v = [2.0, 0.0, 1.0];
+        let r1 = Matrix::from_fn(3, 3, |i, j| v[i] * v[j]);
+        let d = sym_inv_sqrt_diag(&r1, 1e-8).unwrap();
+        assert_eq!(d.n_dropped, 2);
+        assert!((d.smallest_kept - 5.0).abs() < 1e-10, "{}", d.smallest_kept);
+        assert!(d.smallest.abs() < 1e-10);
+        assert_eq!(d.matrix, sym_inv_sqrt(&r1, 1e-8).unwrap());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod matrix;
 
 pub use cholesky::{cholesky, solve_cholesky};
 pub use eigen::{eigh, EigenDecomposition};
-pub use funcs::{sym_func, sym_inv_sqrt, sym_sqrt};
+pub use funcs::{sym_func, sym_inv_sqrt, sym_inv_sqrt_diag, sym_sqrt, OrthFactor};
 pub use gemm::{gemm, gemm_naive, gemm_par, gemm_tiled, Transpose};
 pub use lobpcg::{lobpcg, LobpcgResult};
 pub use matrix::Matrix;

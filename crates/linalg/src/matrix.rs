@@ -196,6 +196,12 @@ impl Matrix {
         self.data.iter().fold(0.0f64, |m, x| m.max(x.abs()))
     }
 
+    /// Whether every element is finite (no NaN/Inf). `max_abs` cannot be
+    /// used for this check: `f64::max` ignores NaN operands.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
     /// Force exact symmetry by averaging with the transpose (used after
     /// numerically-symmetric builds like Fock assembly).
     pub fn symmetrize(&mut self) {

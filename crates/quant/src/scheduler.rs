@@ -65,6 +65,20 @@ impl QuantSchedule {
         }
     }
 
+    /// The rescue ladder's quantization backoff (stage 4 of the SCF
+    /// self-healing ladder): when convergence stalls and the watchdog
+    /// suspects quantization noise, the driver abandons convergence-aware
+    /// scheduling for the rest of the run and pins every batch to FP64.
+    ///
+    /// Defined as exactly the reference schedule a *non-quantized* run uses
+    /// (`fp64_reference(tol · 1e-5)`), so a backed-off quantized run lands
+    /// bit-for-bit on the trajectory a pure-FP64 run would follow from the
+    /// same state — the backstop Dawson et al. (arXiv:2407.13299) argue
+    /// low-precision SCF must keep in reserve.
+    pub fn rescue_backoff(tol: f64) -> QuantSchedule {
+        QuantSchedule::fp64_reference(tol * 1e-5)
+    }
+
     /// The schedule for an SCF iteration with convergence measure
     /// `residual` (|ΔE| of the previous iteration or the DIIS error norm)
     /// and target convergence `tol` (e.g. 1e-7).
@@ -125,6 +139,19 @@ impl QuantSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rescue_backoff_is_the_reference_schedule() {
+        // The backstop contract: a backed-off quantized run must follow the
+        // exact schedule of a non-quantized run (same prune bar, no
+        // quantization, zero relative FP64 bar), so the trajectories fuse.
+        let b = QuantSchedule::rescue_backoff(1e-7);
+        let r = QuantSchedule::fp64_reference(1e-7 * 1e-5);
+        assert_eq!(b.rel_fp64_threshold.to_bits(), r.rel_fp64_threshold.to_bits());
+        assert_eq!(b.prune_threshold.to_bits(), r.prune_threshold.to_bits());
+        assert!(!b.allow_quantized);
+        assert_eq!(b.phase(), SchedulePhase::Final);
+    }
 
     #[test]
     fn early_iterations_quantize_most_work() {

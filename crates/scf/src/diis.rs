@@ -13,7 +13,28 @@ pub struct Diis {
     max_vectors: usize,
     focks: Vec<Matrix>,
     errors: Vec<Matrix>,
+    stats: DiisStats,
 }
+
+/// Conditioning-guard counters of a [`Diis`] accelerator: how often the
+/// augmented B system went singular or ill-conditioned and what it cost.
+/// Observability only — not part of [`DiisSnapshot`], so checkpoints are
+/// unaffected and restored accelerators start from zeroed counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiisStats {
+    /// Extrapolations that hit a singular or ill-conditioned B system at
+    /// least once.
+    pub conditioning_events: usize,
+    /// (Fock, error) pairs dropped (oldest first) to recondition B.
+    pub dropped_pairs: usize,
+    /// Extrapolations that exhausted the history and fell back to the raw
+    /// Fock (distinct from the normal warm-up pass-through).
+    pub raw_fallbacks: usize,
+}
+
+/// DIIS coefficients beyond this magnitude mean the solve amplified noise
+/// by ~1e8 — numerically a singular system even when elimination survived.
+const COEFF_CAP: f64 = 1e8;
 
 impl Diis {
     /// New accelerator keeping up to `max_vectors` history entries.
@@ -22,6 +43,7 @@ impl Diis {
             max_vectors: max_vectors.max(2),
             focks: Vec::new(),
             errors: Vec::new(),
+            stats: DiisStats::default(),
         }
     }
 
@@ -35,8 +57,14 @@ impl Diis {
     }
 
     /// Push a (Fock, error) pair and return the extrapolated Fock matrix.
-    /// Falls back to the raw Fock while the history is too short or the
-    /// B system is singular.
+    /// Falls back to the raw Fock while the history is too short.
+    ///
+    /// When the augmented B system is singular or ill-conditioned (solve
+    /// fails, or the coefficients are non-finite / absurdly large), the
+    /// guard drops the *oldest* pairs one at a time and re-solves — old
+    /// near-duplicate error vectors are what makes B rank-deficient — and
+    /// only returns the raw Fock once the history is exhausted. Every
+    /// degradation is counted in [`DiisStats`].
     pub fn extrapolate(&mut self, f: Matrix, error: Matrix) -> Matrix {
         let latest = f.clone();
         self.focks.push(f);
@@ -45,35 +73,58 @@ impl Diis {
             self.focks.remove(0);
             self.errors.remove(0);
         }
-        let m = self.focks.len();
-        if m < 2 {
+        if self.focks.len() < 2 {
             return latest;
         }
 
-        // Augmented B system: [B 1; 1 0][c; λ] = [0; 1].
-        let dim = m + 1;
-        let mut b = Matrix::zeros(dim, dim);
-        for i in 0..m {
-            for j in 0..m {
-                b[(i, j)] = self.errors[i].dot(&self.errors[j]);
-            }
-            b[(i, m)] = 1.0;
-            b[(m, i)] = 1.0;
-        }
-        let mut rhs = vec![0.0; dim];
-        rhs[m] = 1.0;
-
-        match solve_dense(&b, &rhs) {
-            Some(c) => {
-                let shape = &self.focks[0];
-                let mut out = Matrix::zeros(shape.rows(), shape.cols());
-                for (ci, fi) in c.iter().take(m).zip(&self.focks) {
-                    out.axpy(*ci, fi);
+        let mut degraded = false;
+        while self.focks.len() >= 2 {
+            let m = self.focks.len();
+            // Augmented B system: [B 1; 1 0][c; λ] = [0; 1].
+            let dim = m + 1;
+            let mut b = Matrix::zeros(dim, dim);
+            for i in 0..m {
+                for j in 0..m {
+                    b[(i, j)] = self.errors[i].dot(&self.errors[j]);
                 }
-                out
+                b[(i, m)] = 1.0;
+                b[(m, i)] = 1.0;
             }
-            None => latest,
+            let mut rhs = vec![0.0; dim];
+            rhs[m] = 1.0;
+
+            let solution = solve_dense(&b, &rhs).filter(|c| {
+                c.iter().take(m).all(|v| v.is_finite() && v.abs() < COEFF_CAP)
+            });
+            match solution {
+                Some(c) => {
+                    if degraded {
+                        self.stats.conditioning_events += 1;
+                    }
+                    let shape = &self.focks[0];
+                    let mut out = Matrix::zeros(shape.rows(), shape.cols());
+                    for (ci, fi) in c.iter().take(m).zip(&self.focks) {
+                        out.axpy(*ci, fi);
+                    }
+                    return out;
+                }
+                None => {
+                    degraded = true;
+                    self.stats.dropped_pairs += 1;
+                    self.focks.remove(0);
+                    self.errors.remove(0);
+                }
+            }
         }
+        // Even the two newest pairs formed a singular system: raw Fock.
+        self.stats.conditioning_events += 1;
+        self.stats.raw_fallbacks += 1;
+        latest
+    }
+
+    /// Conditioning-guard counters accumulated so far.
+    pub fn stats(&self) -> DiisStats {
+        self.stats
     }
 
     /// Capture the full history for checkpointing. The snapshot is
@@ -87,12 +138,15 @@ impl Diis {
         }
     }
 
-    /// Rebuild an accelerator from a checkpoint snapshot.
+    /// Rebuild an accelerator from a checkpoint snapshot. The conditioning
+    /// counters restart from zero — they are run-local observability, not
+    /// trajectory state (extrapolation is a pure function of the pairs).
     pub fn restore(snapshot: DiisSnapshot) -> Diis {
         Diis {
             max_vectors: snapshot.max_vectors.max(2),
             focks: snapshot.focks,
             errors: snapshot.errors,
+            stats: DiisStats::default(),
         }
     }
 
@@ -242,7 +296,9 @@ mod tests {
         let mut e = Matrix::zeros(2, 2);
         e[(0, 0)] = 0.5;
         let _ = diis.extrapolate(Matrix::identity(2), e.clone());
-        let _ = diis.extrapolate(Matrix::identity(2).scale(2.0), e);
+        // Independent second error so B stays nonsingular and the
+        // conditioning guard has no reason to shed history.
+        let _ = diis.extrapolate(Matrix::identity(2).scale(2.0), e.scale(-1.0));
         assert_eq!(diis.len(), 2);
         diis.reset();
         assert!(diis.is_empty());
@@ -275,6 +331,67 @@ mod tests {
         let a = diis.extrapolate(f_next.clone(), e_next.clone());
         let b = restored.extrapolate(f_next, e_next);
         assert_eq!(a, b, "restored DIIS diverged from the original");
+    }
+
+    #[test]
+    fn rank_deficient_history_is_reconditioned_not_silently_dropped() {
+        // Two pushes with *identical* error vectors make the augmented B
+        // system exactly singular. The guard must drop the oldest pair,
+        // fall back to the raw Fock (history exhausted at m = 1), and count
+        // both the drop and the fallback.
+        let mut diis = Diis::new(6);
+        let mut e = Matrix::zeros(2, 2);
+        e[(0, 0)] = 0.3;
+        let f1 = Matrix::identity(2);
+        let f2 = Matrix::identity(2).scale(2.0);
+        let _ = diis.extrapolate(f1, e.clone());
+        let out = diis.extrapolate(f2.clone(), e.clone());
+        assert_eq!(out, f2, "degenerate history must yield the raw Fock");
+        assert_eq!(diis.stats().dropped_pairs, 1);
+        assert_eq!(diis.stats().raw_fallbacks, 1);
+        assert_eq!(diis.stats().conditioning_events, 1);
+        assert_eq!(diis.len(), 1, "the offending oldest pair must be gone");
+
+        // With the history reconditioned, a genuinely independent third
+        // pair extrapolates normally again (opposite errors → mean Fock).
+        let f3 = Matrix::identity(2).scale(4.0);
+        let out = diis.extrapolate(f3, e.scale(-1.0));
+        assert!((out[(0, 0)] - 3.0).abs() < 1e-10, "{}", out[(0, 0)]);
+        assert_eq!(diis.stats().raw_fallbacks, 1, "no new fallback");
+    }
+
+    #[test]
+    fn near_duplicate_errors_trip_the_coefficient_cap() {
+        // Errors differing at the last ulp pass Gaussian elimination but
+        // produce O(1/ε²) coefficients — the cap must classify that as
+        // ill-conditioned and recondition instead of returning garbage.
+        let mut diis = Diis::new(6);
+        let mut e1 = Matrix::zeros(2, 2);
+        e1[(0, 0)] = 0.5;
+        let e2 = e1.scale(1.0 + 1e-15);
+        let e3 = e1.scale(-1.0); // independent direction
+        let _ = diis.extrapolate(Matrix::identity(2), e1);
+        let _ = diis.extrapolate(Matrix::identity(2).scale(2.0), e2);
+        let _ = diis.extrapolate(Matrix::identity(2).scale(3.0), e3);
+        let s = diis.stats();
+        assert!(
+            s.dropped_pairs >= 1,
+            "ill-conditioned B must shed history: {s:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_history_never_touches_the_guard() {
+        let mut diis = Diis::new(6);
+        let f1 = Matrix::identity(2);
+        let f2 = Matrix::identity(2).scale(3.0);
+        let mut e1 = Matrix::zeros(2, 2);
+        e1[(0, 0)] = 1.0;
+        let e2 = e1.scale(-1.0);
+        let _ = diis.extrapolate(f1, e1);
+        let out = diis.extrapolate(f2, e2);
+        assert!((out[(0, 0)] - 2.0).abs() < 1e-10);
+        assert_eq!(diis.stats(), DiisStats::default());
     }
 
     #[test]

@@ -103,6 +103,48 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+/// Where in the iteration a non-finite value was first detected — the
+/// containment checks run at fixed assembly points (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonFiniteStage {
+    /// NaN/Inf in the Coulomb matrix J after the ERI build.
+    Coulomb,
+    /// NaN/Inf in the exchange matrix K after the ERI build.
+    Exchange,
+    /// NaN/Inf in the assembled Fock matrix (or the DIIS extrapolate).
+    Fock,
+    /// The total energy evaluated to NaN/Inf.
+    Energy,
+    /// NaN/Inf in the density formed from the diagonalization.
+    Density,
+}
+
+impl NonFiniteStage {
+    /// Stable lowercase label (trace fields).
+    pub fn label(&self) -> &'static str {
+        match self {
+            NonFiniteStage::Coulomb => "coulomb",
+            NonFiniteStage::Exchange => "exchange",
+            NonFiniteStage::Fock => "fock",
+            NonFiniteStage::Energy => "energy",
+            NonFiniteStage::Density => "density",
+        }
+    }
+}
+
+impl std::fmt::Display for NonFiniteStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            NonFiniteStage::Coulomb => "Coulomb matrix",
+            NonFiniteStage::Exchange => "exchange matrix",
+            NonFiniteStage::Fock => "Fock matrix",
+            NonFiniteStage::Energy => "total energy",
+            NonFiniteStage::Density => "density matrix",
+        };
+        f.write_str(name)
+    }
+}
+
 /// Failure of an SCF run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScfError {
@@ -139,6 +181,15 @@ pub enum ScfError {
         /// Completed iterations before the kill.
         iterations: usize,
     },
+    /// A NaN/Inf poisoned the iteration and could not be contained (rescue
+    /// disabled, no good checkpoint to roll back to, or the single rollback
+    /// already spent). Garbage is never allowed to propagate silently.
+    NonFinite {
+        /// Iteration at which the non-finite value was detected.
+        iteration: usize,
+        /// Assembly point where it was first seen.
+        stage: NonFiniteStage,
+    },
 }
 
 impl std::fmt::Display for ScfError {
@@ -158,6 +209,9 @@ impl std::fmt::Display for ScfError {
             ScfError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             ScfError::Killed { iterations } => {
                 write!(f, "run killed after {iterations} iterations (chaos harness)")
+            }
+            ScfError::NonFinite { iteration, stage } => {
+                write!(f, "non-finite {stage} at iteration {iteration} (uncontained)")
             }
         }
     }
@@ -214,5 +268,13 @@ mod tests {
 
         let c: ScfError = CheckpointError::UnsupportedVersion { found: 99 }.into();
         assert!(c.to_string().contains("version 99"), "{c}");
+
+        let n = ScfError::NonFinite {
+            iteration: 4,
+            stage: NonFiniteStage::Coulomb,
+        };
+        let msg = n.to_string();
+        assert!(msg.contains("Coulomb"), "{msg}");
+        assert!(msg.contains("iteration 4"), "{msg}");
     }
 }

@@ -589,6 +589,58 @@ pub fn build_jk_reference(density: &Matrix, pairs_full: &[ScreenedPair], layout:
     JkMatrices { j, k }
 }
 
+/// Where a non-finite Fock build came from: the input density itself, or
+/// the first quartet whose ERI tensor evaluates to NaN/Inf.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NonFiniteSite {
+    /// The *input* density already carried NaN/Inf — the ERI batches are
+    /// innocent.
+    pub density_poisoned: bool,
+    /// Index of the first offending batch, when a quartet is to blame.
+    pub batch: Option<usize>,
+    /// Display label of the offending batch's ERI class.
+    pub class: Option<String>,
+    /// The offending quartet's screened-pair indices `(pi, qi)`.
+    pub quartet: Option<(usize, usize)>,
+}
+
+/// Post-mortem attribution of a non-finite J/K build (the SCF driver's
+/// non-finite containment, DESIGN.md §12): re-evaluates the quartet
+/// population serially in FP64 and reports the first tensor that goes
+/// non-finite, or flags the input density itself. Runs only on the failure
+/// path — the hot assembly loop stays untouched — so the cost (one serial
+/// full build) is irrelevant. A default (all-`None`) site means the
+/// poison appeared downstream of the ERI contraction (e.g. injected).
+pub fn attribute_non_finite(
+    density: &Matrix,
+    pairs: &[ScreenedPair],
+    batches: &[QuartetBatch],
+) -> NonFiniteSite {
+    if !density.all_finite() {
+        return NonFiniteSite {
+            density_poisoned: true,
+            ..NonFiniteSite::default()
+        };
+    }
+    let cfg = PipelineConfig::kernel_mako_fp64();
+    let mut t = Tensor4::zeros([0; 4]);
+    for (bi, batch) in batches.iter().enumerate() {
+        let runner = QuartetRunner::new(&batch.class, &cfg, 1.0);
+        for &(pi, qi) in &batch.quartets {
+            runner.run_into(&pairs[pi], &pairs[qi], &mut t);
+            if !t.data.iter().all(|v| v.is_finite()) {
+                return NonFiniteSite {
+                    density_poisoned: false,
+                    batch: Some(bi),
+                    class: Some(batch.class.label()),
+                    quartet: Some((pi, qi)),
+                };
+            }
+        }
+    }
+    NonFiniteSite::default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,6 +777,28 @@ mod tests {
         assert!(stats.fp64_quartets > 0);
         assert_eq!(stats.quantized_quartets, 0);
         assert!(stats.device_seconds > 0.0);
+    }
+
+    #[test]
+    fn non_finite_attribution_blames_density_or_nothing() {
+        let mol = builders::water();
+        let shells = sto3g().shells_for(&mol);
+        let layout = AoLayout::new(&shells);
+        let pairs = build_screened_pairs(&shells, 1e-12);
+        let batches = batch_quartets(&pairs, 1e-14);
+
+        // A poisoned input density is identified as the culprit.
+        let mut d = test_density(layout.nao);
+        d[(0, 0)] = f64::NAN;
+        let site = attribute_non_finite(&d, &pairs, &batches);
+        assert!(site.density_poisoned);
+        assert_eq!(site.batch, None);
+
+        // A clean density over clean batches blames nobody: the poison
+        // (when the driver saw one) appeared downstream of the ERIs.
+        let clean = attribute_non_finite(&test_density(layout.nao), &pairs, &batches);
+        assert_eq!(clean, NonFiniteSite::default());
+        assert!(!clean.density_poisoned);
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! * [`scf`] — restricted Hartree–Fock and restricted Kohn–Sham drivers
 //!   with simulated-device timing per iteration;
 //! * [`parallel`] — the multi-GPU execution model for the Figure 10
-//!   scalability experiment.
+//!   scalability experiment;
+//! * [`rescue`] — the self-healing layer: a convergence watchdog, a
+//!   deterministic staged rescue ladder (DIIS reset → damping → level
+//!   shift → quantization backoff → rollback), and non-finite containment,
+//!   all provably inert on healthy runs.
 #![deny(rust_2018_idioms)]
 
 
@@ -33,13 +37,16 @@ pub mod grid;
 pub mod mp2;
 pub mod properties;
 pub mod parallel;
+pub mod rescue;
 pub mod scf;
 pub mod xc;
 
 pub use checkpoint::{ScfCheckpoint, CHECKPOINT_VERSION};
-pub use diis::{Diis, DiisSnapshot};
-pub use error::{CheckpointError, FockBuildError, ScfError};
-pub use fock::{build_jk, FockBuildStats, FockEngineOptions, JkMatrices};
+pub use diis::{Diis, DiisSnapshot, DiisStats};
+pub use error::{CheckpointError, FockBuildError, NonFiniteStage, ScfError};
+pub use fock::{
+    attribute_non_finite, build_jk, FockBuildStats, FockEngineOptions, JkMatrices, NonFiniteSite,
+};
 pub use grid::MolecularGrid;
 pub use mp2::{mp2_from_orbitals, Mp2Result};
 pub use parallel::{
@@ -47,8 +54,11 @@ pub use parallel::{
     FaultToleranceOptions, FtFockOutcome,
 };
 pub use properties::{dipole_moment, mulliken_charges, Dipole};
+pub use rescue::{
+    classify, RescueConfig, RescueEvent, RescueLedger, RescueStage, TrajectoryClass,
+};
 pub use scf::{
-    CheckpointPolicy, DistributedScf, IncrementalPolicy, ScfConfig, ScfDriver, ScfMethod,
-    ScfResult, ScfRunOptions,
+    CheckpointPolicy, DistributedScf, IncrementalPolicy, OrthDiagnostics, ScfConfig, ScfDriver,
+    ScfMethod, ScfResult, ScfRunOptions,
 };
 pub use xc::{b3lyp, XcFunctional};

@@ -9,10 +9,11 @@
 
 use crate::checkpoint::ScfCheckpoint;
 use crate::diis::Diis;
-use crate::error::ScfError;
-use crate::fock::{build_jk_with_configs, FockBuildStats, FockEngineOptions};
+use crate::error::{NonFiniteStage, ScfError};
+use crate::fock::{attribute_non_finite, build_jk_with_configs, FockBuildStats, FockEngineOptions};
 use crate::grid::MolecularGrid;
 use crate::parallel::{build_jk_distributed_ft, FaultToleranceOptions};
+use crate::rescue::{RescueConfig, RescueLedger, RescueStage, RescueState, TrajectoryClass};
 use crate::xc::{evaluate_aos, evaluate_xc, hartree_fock, AoOnGrid, XcFunctional};
 use mako_accel::cluster::ClusterSpec;
 use mako_accel::fault::{FaultPlan, RecoveryLedger};
@@ -23,7 +24,7 @@ use mako_eri::batch::{batch_quartets, QuartetBatch};
 use mako_eri::one_electron::one_electron_matrices;
 use mako_eri::screening::{build_screened_pairs, ScreenedPair};
 use mako_kernels::pipeline::PipelineConfig;
-use mako_linalg::{eigh, gemm, sym_inv_sqrt, LinalgError, Matrix, Transpose};
+use mako_linalg::{eigh, gemm, sym_inv_sqrt_diag, LinalgError, Matrix, Transpose};
 use mako_precision::Precision;
 use mako_quant::QuantSchedule;
 use std::path::PathBuf;
@@ -126,6 +127,10 @@ pub struct ScfRunOptions {
     /// run can be killed again later). Checkpoints due on the final
     /// iteration are written before the kill fires.
     pub kill_after: Option<usize>,
+    /// Chaos harness: overwrite `J[(0,0)]` with NaN right after the Fock
+    /// build of this iteration, exercising the non-finite containment path
+    /// exactly as a poisoned kernel would.
+    pub poison_fock: Option<usize>,
 }
 
 /// SCF configuration.
@@ -164,6 +169,14 @@ pub struct ScfConfig {
     /// Distributed Fock execution (multi-rank, fault-tolerant); `None`
     /// builds on the single simulated device.
     pub distributed: Option<DistributedScf>,
+    /// Self-healing watchdog + staged rescue ladder (see [`crate::rescue`]);
+    /// `None` disables it. Enabled-but-idle is bitwise identical to
+    /// disabled — the inertness contract pinned by the golden suite.
+    pub rescue: Option<RescueConfig>,
+    /// Canonical-orthogonalization threshold: overlap eigenvectors with
+    /// eigenvalue at or below this are projected out (linear-dependence
+    /// guard); the count surfaces in [`ScfResult::orth`].
+    pub orth_threshold: f64,
 }
 
 impl Default for ScfConfig {
@@ -180,8 +193,23 @@ impl Default for ScfConfig {
             grid: (30, 10),
             device: DeviceSpec::a100(),
             distributed: None,
+            rescue: None,
+            orth_threshold: 1e-10,
         }
     }
+}
+
+/// Linear-dependence diagnostics of the canonical orthogonalization: how
+/// much of the AO basis survived the overlap-eigenvalue threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OrthDiagnostics {
+    /// Overlap eigenvectors projected out (eigenvalue ≤ threshold).
+    pub n_dropped: usize,
+    /// Smallest retained overlap eigenvalue — conditioning of the surviving
+    /// basis (`+∞` when everything was dropped).
+    pub smallest_kept: f64,
+    /// The threshold that was applied ([`ScfConfig::orth_threshold`]).
+    pub threshold: f64,
 }
 
 /// Converged (or not) SCF outcome.
@@ -212,6 +240,12 @@ pub struct ScfResult {
     /// the evaluated / skipped / pruned quartet populations and the rebuild
     /// flags of the incremental engine.
     pub clock: DeviceClock,
+    /// Every rescue-ladder intervention of the run, oldest first. Empty on
+    /// a healthy run (and then the run is bitwise identical to one with
+    /// rescue disabled).
+    pub rescue: RescueLedger,
+    /// Linear-dependence diagnostics of the orthogonalizer.
+    pub orth: OrthDiagnostics,
 }
 
 /// The SCF driver: owns the basis instantiation, screened pairs, quartet
@@ -331,8 +365,26 @@ impl ScfDriver {
 
         let (s, t, v) = one_electron_matrices(&self.shells, &self.mol);
         let h = t.add(&v);
-        let x = sym_inv_sqrt(&s, 1e-10)
+        let orth_factor = sym_inv_sqrt_diag(&s, self.config.orth_threshold)
             .map_err(|source| ScfError::OverlapNotPositiveDefinite { source })?;
+        let orth = OrthDiagnostics {
+            n_dropped: orth_factor.n_dropped,
+            smallest_kept: orth_factor.smallest_kept,
+            threshold: self.config.orth_threshold,
+        };
+        let x = orth_factor.matrix;
+        {
+            let mut setup = mako_trace::span("scf", "setup");
+            if setup.is_recording() {
+                setup.add_field("nao", self.layout.nao);
+                setup.add_field("orth_dropped", orth.n_dropped);
+                if orth.smallest_kept.is_finite() {
+                    setup.add_field("orth_smallest_kept", orth.smallest_kept);
+                }
+                setup.add_field("orth_threshold", orth.threshold);
+            }
+            setup.end();
+        }
         let e_nuc = self.mol.nuclear_repulsion();
 
         // Incremental-build state: accumulated G matrices, the density they
@@ -348,6 +400,16 @@ impl ScfDriver {
         let mut force_rebuild = false;
         let mut residual_prev = f64::INFINITY;
         let mut clock = DeviceClock::new();
+
+        // Self-healing engine (tentpole of the robustness PR). `None` when
+        // disabled; when enabled it stays strictly observational until a
+        // ladder stage fires, so a healthy enabled run is bitwise identical
+        // to a disabled one.
+        let mut rescue: Option<RescueState> = self
+            .config
+            .rescue
+            .clone()
+            .map(|cfg| RescueState::new(cfg, self.config.e_tol));
 
         let mut diis = Diis::new(8);
         let mut e_prev = f64::INFINITY;
@@ -401,9 +463,42 @@ impl ScfDriver {
             }
         }
 
+        // Restore the rescue engine's best-residual in-memory checkpoint:
+        // numeric state rewinds, accounting (clock, stats, iteration
+        // seconds) keeps running forward — wall time was really spent.
+        // The accumulators are purged and a full rebuild forced so no
+        // post-snapshot screening drift survives the rewind.
+        macro_rules! restore_rollback {
+            ($r:expr) => {{
+                let ck = $r
+                    .rollback_checkpoint()
+                    .expect("rollback stage implies a snapshot")
+                    .clone();
+                d = ck.density;
+                e_prev = ck.e_prev;
+                energy = ck.energy;
+                residual = ck.residual;
+                residual_prev = ck.residual_prev;
+                orbital_energies = ck.orbital_energies;
+                j_acc = Matrix::zeros(nao, nao);
+                k_acc = Matrix::zeros(nao, nao);
+                d_ref = Matrix::zeros(nao, nao);
+                since_rebuild = 0;
+                drift_bound = 0.0;
+                force_rebuild = true;
+                was_quantized_phase = false;
+                diis.reset();
+            }};
+        }
+
         for iter in start_iter..self.config.max_iterations {
             let mut iter_span = mako_trace::span("scf", "iteration");
-            let schedule = if self.config.quantized {
+            let backoff = rescue.as_ref().is_some_and(|r| r.quant_backoff());
+            let schedule = if backoff {
+                // Stage 4 fired: pinned to the FP64 reference schedule for
+                // the rest of the run.
+                QuantSchedule::rescue_backoff(self.config.e_tol)
+            } else if self.config.quantized {
                 QuantSchedule::for_iteration(residual, self.config.e_tol)
             } else {
                 QuantSchedule::fp64_reference(self.config.e_tol * 1e-5)
@@ -421,13 +516,16 @@ impl ScfDriver {
             //  * the accumulated analytic skip bound exceeds `drift_cap`,
             //  * the divergence guard tripped last iteration,
             //  * the convergence signal fired on a screened build and the
-            //    final energy must be certified on drift-free Fock.
+            //    final energy must be certified on drift-free Fock,
+            //  * the rescue ladder's quantization backoff is active (the
+            //    backed-off trajectory must be free of screening drift too).
             let leaving_quant_phase = was_quantized_phase && !schedule.allow_quantized;
             was_quantized_phase = schedule.allow_quantized;
             let rebuild = !self.config.incremental
                 || iter == 0
                 || leaving_quant_phase
                 || force_rebuild
+                || backoff
                 || (policy.rebuild_period > 0 && since_rebuild >= policy.rebuild_period)
                 || drift_bound > policy.drift_cap;
             if self.config.incremental && rebuild {
@@ -504,7 +602,78 @@ impl ScfDriver {
             recovery.absorb(&pending_recovery);
             pending_recovery = RecoveryLedger::default();
             let (mut j, mut k) = (jk.j, jk.k);
+            // Chaos harness: poison the build exactly as a broken kernel
+            // would, upstream of the containment checkpoints.
+            if run_opts.poison_fock == Some(iter) {
+                j[(0, 0)] = f64::NAN;
+            }
             let mut iter_seconds = st.device_seconds;
+
+            // Non-finite containment: a NaN/Inf caught at any assembly
+            // checkpoint is attributed (J/K only — the one stage with a
+            // per-batch structure to blame), traced, and — when the rescue
+            // engine holds an unspent good snapshot — contained by rolling
+            // back; otherwise the run fails with the typed error instead of
+            // iterating on garbage.
+            macro_rules! contain {
+                ($stage:expr) => {{
+                    let stage = $stage;
+                    let site = match stage {
+                        NonFiniteStage::Coulomb | NonFiniteStage::Exchange => Some(
+                            attribute_non_finite(&build_density, &self.pairs, &self.batches),
+                        ),
+                        _ => None,
+                    };
+                    let contained = rescue.as_mut().is_some_and(|r| r.contain_non_finite(iter));
+                    if mako_trace::enabled() {
+                        let mut fields = vec![
+                            mako_trace::field("iter", iter),
+                            mako_trace::field("stage", stage.label()),
+                            mako_trace::field("contained", contained),
+                        ];
+                        if let Some(site) = &site {
+                            fields.push(mako_trace::field(
+                                "density_poisoned",
+                                site.density_poisoned,
+                            ));
+                            if let Some(b) = site.batch {
+                                fields.push(mako_trace::field("batch", b));
+                            }
+                            if let Some(c) = &site.class {
+                                fields.push(mako_trace::field("class", c.clone()));
+                            }
+                        }
+                        mako_trace::instant("scf", "non_finite", fields);
+                    }
+                    // The poisoned work was still spent: account for it
+                    // before unwinding the iteration.
+                    iteration_seconds.push(iter_seconds);
+                    clock.push(IterationLedger {
+                        eri_seconds: st.device_seconds,
+                        total_seconds: iter_seconds,
+                        evaluated_quartets: st.evaluated_quartets(),
+                        skipped_quartets: st.skipped_quartets,
+                        pruned_quartets: st.pruned_quartets,
+                        skipped_bound: st.skipped_bound,
+                        rebuild,
+                    });
+                    clock.push_recovery(recovery);
+                    iter_span.end();
+                    if contained {
+                        let r = rescue.as_mut().expect("contained implies rescue");
+                        emit_rescue_span(
+                            iter,
+                            TrajectoryClass::NonFinite,
+                            RescueStage::Rollback,
+                            0.0,
+                            r.level(),
+                        );
+                        restore_rollback!(r);
+                        continue;
+                    }
+                    return Err(ScfError::NonFinite { iteration: iter, stage });
+                }};
+            }
             total_stats.fp64_quartets += st.fp64_quartets;
             total_stats.quantized_quartets += st.quantized_quartets;
             total_stats.pruned_quartets += st.pruned_quartets;
@@ -518,6 +687,12 @@ impl ScfDriver {
                 d_ref = d.clone();
                 since_rebuild += 1;
                 drift_bound += st.skipped_bound;
+            }
+            if !j.all_finite() {
+                contain!(NonFiniteStage::Coulomb);
+            }
+            if !k.all_finite() {
+                contain!(NonFiniteStage::Exchange);
             }
 
             // Exchange-correlation (DFT only).
@@ -543,6 +718,12 @@ impl ScfDriver {
             let e_elec = 2.0 * d.dot(&h) + 2.0 * d.dot(&j) - functional.hf_exchange * d.dot(&k)
                 + e_xc;
             energy = e_elec + e_nuc;
+            if !f.all_finite() {
+                contain!(NonFiniteStage::Fock);
+            }
+            if !energy.is_finite() {
+                contain!(NonFiniteStage::Energy);
+            }
 
             // DIIS extrapolation, with the divergence guard: a residual
             // jump by `divergence_factor` means the extrapolation went bad —
@@ -550,6 +731,9 @@ impl ScfDriver {
             // rebuild so accumulated screening drift cannot steer recovery.
             let err = Diis::error_vector(&f, &d, &s, &x);
             residual = err.norm_fro() / (self.layout.nao as f64);
+            // The watchdog observes the raw DIIS residual, before the
+            // |ΔE|-based scheduling floor below munges it.
+            let residual_diis = residual;
             // A rebuild iteration is exempt from the guard: removing the
             // accumulated screening drift legitimately bumps the residual
             // (the frozen phase before it drove the residual toward zero),
@@ -566,12 +750,33 @@ impl ScfDriver {
                 force_rebuild = true;
             }
             residual_prev = residual;
-            let f_diis = diis.extrapolate(f, err);
+            let mut f_diis = diis.extrapolate(f, err);
+
+            // Stage 3 (level shifting): raise the virtual block of the
+            // extrapolated Fock by σ. With CᵀSC = I and D = C_occ·C_occᵀ,
+            // Cᵀ(S − S·D·S)C = diag(0_occ, 1_virt), so occupied orbitals
+            // are untouched and every virtual rises by σ — the classic
+            // gap-opening rescue. Applied after DIIS so the history keeps
+            // unshifted matrices; strictly gated, so no FP operation runs
+            // until the stage fires.
+            if let Some(sigma) = rescue.as_ref().and_then(|r| r.shift()) {
+                let sd = gemm(&s, Transpose::No, &d, Transpose::No);
+                let sds = gemm(&sd, Transpose::No, &s, Transpose::No);
+                let mut proj = s.clone();
+                proj.axpy(-1.0, &sds);
+                f_diis.axpy(sigma, &proj);
+            }
+            if !f_diis.all_finite() {
+                contain!(NonFiniteStage::Fock);
+            }
 
             // Diagonalize (replicated serial stage — costed separately).
             let (d_new, eps) = density_from_fock(&f_diis, &x, n_occ)
                 .map_err(|source| ScfError::Diagonalization { iteration: iter, source })?;
             iter_seconds += self.diag_device_seconds();
+            if !d_new.all_finite() {
+                contain!(NonFiniteStage::Density);
+            }
             iteration_seconds.push(iter_seconds);
             clock.push(IterationLedger {
                 eri_seconds: st.device_seconds,
@@ -585,7 +790,14 @@ impl ScfDriver {
 
             let de = (energy - e_prev).abs();
             e_prev = energy;
-            d = d_new;
+            let d_prev = std::mem::replace(&mut d, d_new);
+            // Stage 2 (density damping): mix the previous density back in,
+            // D ← (1−α)·D_new + α·D_old. Gated — with damping off the
+            // replacement above is all that happens.
+            if let Some(alpha) = rescue.as_ref().and_then(|r| r.damping()) {
+                d.scale_mut(1.0 - alpha);
+                d.axpy(alpha, &d_prev);
+            }
             orbital_energies = eps;
 
             if iter_span.is_recording() {
@@ -627,6 +839,68 @@ impl ScfDriver {
             if !finishing {
                 // Use |ΔE| as the scheduling residual for the next iteration.
                 residual = residual.max(de.min(1.0));
+            }
+
+            // Convergence watchdog + staged rescue ladder. Strictly
+            // observational until a stage fires: on a healthy trajectory no
+            // floating-point value of the iteration changes (the inertness
+            // contract the golden suite pins bitwise). Decay runs first —
+            // this iteration already consumed the current α/σ — so a stage
+            // (re)armed by `escalate` starts the next iteration at full
+            // strength.
+            if !finishing {
+                if let Some(r) = rescue.as_mut() {
+                    r.decay();
+                    let class = r.observe(energy, residual_diis);
+                    if class == TrajectoryClass::Healthy {
+                        // Offer the current state as a rollback target; the
+                        // engine keeps the best-residual one. Only the
+                        // numeric fields matter to a rollback — accounting
+                        // always runs forward — so those stay empty.
+                        r.note_healthy(residual_diis, || ScfCheckpoint {
+                            nao,
+                            n_batches: self.batches.len(),
+                            n_quartets: self.nquartets(),
+                            next_iteration: iter + 1,
+                            density: d.clone(),
+                            e_prev,
+                            energy,
+                            residual,
+                            residual_prev,
+                            was_quantized_phase,
+                            j_acc: j_acc.clone(),
+                            k_acc: k_acc.clone(),
+                            d_ref: d_ref.clone(),
+                            since_rebuild,
+                            drift_bound,
+                            force_rebuild,
+                            diis: diis.snapshot(),
+                            orbital_energies: orbital_energies.clone(),
+                            iteration_seconds: Vec::new(),
+                            stats: FockBuildStats::default(),
+                            ledgers: Vec::new(),
+                            recoveries: Vec::new(),
+                        });
+                    } else if let Some(stage) = r.escalate(iter, class) {
+                        let detail =
+                            r.ledger().events().last().map(|e| e.detail).unwrap_or(0.0);
+                        emit_rescue_span(iter, class, stage, detail, r.level());
+                        match stage {
+                            RescueStage::DiisReset => {
+                                diis.reset();
+                                if self.config.incremental {
+                                    force_rebuild = true;
+                                }
+                            }
+                            // The engine already armed the knob; the driver
+                            // consumes it at its fixed point next iteration.
+                            RescueStage::Damp
+                            | RescueStage::LevelShift
+                            | RescueStage::QuantBackoff => {}
+                            RescueStage::Rollback => restore_rollback!(r),
+                        }
+                    }
+                }
             }
 
             // Periodic checkpoint: the state captured here is exactly what
@@ -698,6 +972,8 @@ impl ScfDriver {
             iteration_seconds,
             stats: total_stats,
             clock,
+            rescue: rescue.map(RescueState::into_ledger).unwrap_or_default(),
+            orth,
         })
     }
 
@@ -725,6 +1001,26 @@ impl ScfDriver {
         let flops = 9.0 * n * n * n;
         flops / (0.05 * self.model.device.cuda_peak(Precision::Fp64)) + 50.0e-6
     }
+}
+
+/// Emit a `scf.rescue` span for one ladder transition (a zero-duration
+/// marker; the fields are the payload).
+fn emit_rescue_span(
+    iteration: usize,
+    class: TrajectoryClass,
+    stage: RescueStage,
+    detail: f64,
+    level: usize,
+) {
+    let mut span = mako_trace::span("scf", "rescue");
+    if span.is_recording() {
+        span.add_field("iter", iteration);
+        span.add_field("classification", class.label());
+        span.add_field("stage", stage.label());
+        span.add_field("detail", detail);
+        span.add_field("level", level);
+    }
+    span.end();
 }
 
 /// Diagonalize a Fock matrix in the orthonormal basis and form the density:

@@ -254,6 +254,30 @@ pub fn parse_json(text: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// The documented `cat.name` identifiers of DESIGN.md §11. The validator
+/// itself is name-agnostic (new subsystems may emit new events before the
+/// docs catch up); this registry is for smoke tests that want to assert a
+/// specific producer ran — e.g. that a rescue run emitted `scf.rescue`.
+pub const KNOWN_EVENTS: &[&str] = &[
+    "scf.setup",
+    "scf.iteration",
+    "scf.rescue",
+    "scf.non_finite",
+    "fock.screen",
+    "fock.launch",
+    "fock.assemble",
+    "dist.build_jk_ft",
+    "compiler.tune_class",
+    "compiler.cache_hits",
+    "compiler.cache_misses",
+    "accel.clock",
+];
+
+/// Whether a `cat.name` identifier is part of the documented schema.
+pub fn is_known_event(name: &str) -> bool {
+    KNOWN_EVENTS.contains(&name)
+}
+
 /// What a validated JSON-lines trace contained.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
@@ -381,6 +405,14 @@ mod tests {
         assert_eq!((s.spans, s.counters), (1, 1));
         assert!(s.names.contains("scf.iteration"));
         assert_eq!(s.recorded, 2);
+    }
+
+    #[test]
+    fn known_event_registry_covers_the_rescue_events() {
+        for name in ["scf.setup", "scf.rescue", "scf.non_finite", "scf.iteration"] {
+            assert!(is_known_event(name), "{name} missing from KNOWN_EVENTS");
+        }
+        assert!(!is_known_event("scf.unheard_of"));
     }
 
     #[test]

@@ -31,6 +31,15 @@ MAKO_SMOKE=1 MAKO_THREADS=2 MAKO_FAULT_SEED=6 \
     MAKO_BENCH_OUT=target/BENCH_chaos_smoke.json \
     cargo run --release -p mako-bench --bin chaos_scf_bench
 
+echo "== tier2: rescue_scf_bench (smoke: healthy inertness + stretched-water ladder, traced) =="
+MAKO_SMOKE=1 MAKO_THREADS=1,2 \
+    MAKO_BENCH_OUT=target/BENCH_rescue_smoke.json \
+    MAKO_TRACE=target/rescue_trace_smoke.jsonl \
+    cargo run --release -p mako-bench --bin rescue_scf_bench
+cargo run --release -p mako-bench --bin trace_validate -- target/rescue_trace_smoke.jsonl
+grep -q '"cat":"scf","name":"rescue"' target/rescue_trace_smoke.jsonl \
+    || { echo "rescue trace is missing scf.rescue spans" >&2; exit 1; }
+
 echo "== tier2: trace smoke (host_fock_bench under MAKO_TRACE + schema check) =="
 MAKO_BENCH_MAX_QUARTETS=2000 MAKO_THREADS=1,2 \
     MAKO_BENCH_OUT=target/BENCH_fock_trace_smoke.json \

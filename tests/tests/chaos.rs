@@ -338,6 +338,7 @@ fn checkpoint_restart_survives_repeated_kills() {
             checkpoint: Some(policy.clone()),
             resume: resume.take(),
             kill_after: (kill_after != usize::MAX).then_some(kill_after),
+            poison_fock: None,
         };
         match driver.run_with(opts) {
             Ok(res) => {

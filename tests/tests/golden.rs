@@ -18,12 +18,15 @@
 use mako::accel::fault::FaultPlan;
 use mako::chem::basis::sto3g::sto3g;
 use mako::chem::builders;
-use mako::scf::{DistributedScf, ScfConfig, ScfDriver, ScfResult};
+use mako::scf::{DistributedScf, RescueConfig, RescueStage, ScfConfig, ScfDriver, ScfResult};
 
 /// Converged RHF/STO-3G total energy of the water monomer (Hartree).
 const E_WATER: f64 = -74.962_928_418_750;
 /// Converged RHF/STO-3G total energy of the water trimer (Hartree).
 const E_WATER3: f64 = -224.883_558_801_398;
+/// Converged RHF/STO-3G energy of 3×-stretched water, reachable only
+/// through the full rescue ladder (`e_tol = 1e-8`).
+const E_STRETCH3_RESCUED: f64 = -74.265_527_123_927;
 /// Conformance window around the pinned references.
 const TOL: f64 = 1e-9;
 
@@ -153,6 +156,129 @@ fn golden_trimer_energy_survives_rank_loss() {
     let recovered = lossy.clock.total_recovery();
     assert_eq!(recovered.ranks_lost, lossy.iterations, "one loss per iteration");
     assert!(recovered.rerun_batches > 0);
+}
+
+#[test]
+fn golden_rescue_is_bitwise_inert_on_healthy_trimer() {
+    // The self-healing layer's inertness contract, at golden strength: on a
+    // healthy trajectory the watchdog observes but never intervenes, and
+    // the run with rescue ENABLED is bitwise identical — energy, converged
+    // density, iteration count, and simulated device clock — to the run
+    // with rescue DISABLED, at every host thread count.
+    let mol = builders::water_cluster(3);
+    let plain = ScfDriver::new(&mol, &sto3g(), tight_config());
+    let rescued = ScfDriver::new(
+        &mol,
+        &sto3g(),
+        ScfConfig {
+            rescue: Some(RescueConfig::default()),
+            ..tight_config()
+        },
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let base = pool.install(|| plain.run().expect("plain scf run"));
+        let res = pool.install(|| rescued.run().expect("rescued scf run"));
+        assert!(base.converged && res.converged);
+        assert!((base.energy - E_WATER3).abs() < TOL, "trimer drifted from golden reference");
+        assert!(
+            res.rescue.is_empty(),
+            "watchdog intervened on a healthy trimer at {threads} threads: {}",
+            res.rescue.summary()
+        );
+        assert_eq!(
+            res.energy.to_bits(),
+            base.energy.to_bits(),
+            "rescue changed energy bits at {threads} threads: {:.15} vs {:.15}",
+            res.energy,
+            base.energy
+        );
+        assert_eq!(res.iterations, base.iterations, "iteration count changed at {threads} threads");
+        assert_eq!(
+            res.total_seconds.to_bits(),
+            base.total_seconds.to_bits(),
+            "device clock changed bits at {threads} threads"
+        );
+        assert!(
+            res.density
+                .as_slice()
+                .iter()
+                .zip(base.density.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "converged density changed bits at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn golden_pathological_stretch_recovers_only_with_full_ladder() {
+    // 3×-stretched water is the deterministic pathology: restricted SCF
+    // with plain DIIS never converges in 60 iterations, while the rescue
+    // ladder walks through ALL five stages — DIIS reset, density damping,
+    // level shifting, quantization backoff, checkpoint rollback — and
+    // lands on a pinned energy, bitwise reproducible across thread counts.
+    let mol = builders::stretched_water(3.0);
+    let config = |rescue: Option<RescueConfig>| ScfConfig {
+        e_tol: 1e-8,
+        max_iterations: 60,
+        rescue,
+        ..ScfConfig::default()
+    };
+
+    let plain = ScfDriver::new(&mol, &sto3g(), config(None)).run().expect("plain scf run");
+    assert!(
+        !plain.converged,
+        "stretched water unexpectedly converged without rescue (E = {:.12}); \
+         the pathological fixture no longer exercises the ladder",
+        plain.energy
+    );
+
+    let driver = ScfDriver::new(&mol, &sto3g(), config(Some(RescueConfig::default())));
+    let base = driver.run().expect("rescued scf run");
+    assert!(base.converged, "rescue ladder failed to recover stretched water");
+    assert!(
+        (base.energy - E_STRETCH3_RESCUED).abs() < TOL,
+        "rescued energy drifted from golden reference: {:.12} vs {:.12} (Δ = {:.3e} Ha)",
+        base.energy,
+        E_STRETCH3_RESCUED,
+        base.energy - E_STRETCH3_RESCUED
+    );
+    assert_eq!(
+        base.rescue.stage_sequence(),
+        vec![
+            RescueStage::DiisReset,
+            RescueStage::Damp,
+            RescueStage::LevelShift,
+            RescueStage::QuantBackoff,
+            RescueStage::Rollback,
+        ],
+        "rescue ladder fired a different stage sequence: {}",
+        base.rescue.summary()
+    );
+
+    for threads in [2usize, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let res = pool.install(|| driver.run().expect("rescued scf run"));
+        assert_eq!(
+            res.energy.to_bits(),
+            base.energy.to_bits(),
+            "rescued energy changed bits at {threads} threads: {:.15} vs {:.15}",
+            res.energy,
+            base.energy
+        );
+        assert_eq!(res.iterations, base.iterations);
+        assert_eq!(
+            res.rescue.stage_sequence(),
+            base.rescue.stage_sequence(),
+            "rescue ladder ran a different sequence at {threads} threads"
+        );
+    }
 }
 
 #[test]

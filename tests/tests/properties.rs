@@ -357,6 +357,100 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn watchdog_never_fires_on_monotone_convergence(
+        e0 in -100.0f64..0.0,
+        drops in prop::collection::vec(1e-9f64..0.5, 3..30),
+        r0 in 1e-2f64..10.0,
+        shrink in prop::collection::vec(0.05f64..0.95, 3..30),
+    ) {
+        // The inertness half of the classifier contract: a trajectory whose
+        // energy never rises and whose residual sheds at least 5% per
+        // iteration is Healthy at EVERY prefix — the watchdog may never
+        // perturb a run that is already converging.
+        use mako::scf::{classify, RescueConfig, TrajectoryClass};
+        let cfg = RescueConfig::default();
+        let e_tol = 1e-8;
+        let n = drops.len().min(shrink.len());
+        let mut energies = vec![e0];
+        let mut residuals = vec![r0];
+        for i in 0..n {
+            energies.push(energies[i] - drops[i]);
+            residuals.push(residuals[i] * shrink[i]);
+        }
+        for k in 1..=energies.len() {
+            let class = classify(&energies[..k], &residuals[..k], &cfg, e_tol);
+            prop_assert!(
+                class == TrajectoryClass::Healthy,
+                "watchdog fired ({class:?}) at step {k} of a monotonically converging trajectory"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_flags_residual_divergence_within_one_window(
+        e0 in -100.0f64..0.0,
+        r0 in 1e-3f64..1.0,
+        growth in 1.5f64..3.0,
+        e_step in -1e-4f64..1e-4,
+    ) {
+        // The liveness half: sustained residual growth (≥1.5× per step) is
+        // flagged as Diverging within one window of history, for any
+        // starting point above the convergence basin.
+        use mako::scf::{classify, RescueConfig, TrajectoryClass};
+        let cfg = RescueConfig::default();
+        let e_tol = 1e-8;
+        let mut energies = Vec::new();
+        let mut residuals = Vec::new();
+        let mut fired = None;
+        for k in 0..10usize {
+            energies.push(e0 + k as f64 * e_step);
+            residuals.push(r0 * growth.powi(k as i32));
+            let class = classify(&energies, &residuals, &cfg, e_tol);
+            if class != TrajectoryClass::Healthy {
+                fired = Some((k, class));
+                break;
+            }
+        }
+        prop_assert!(fired.is_some(), "watchdog never fired on a 1.5×/step divergent residual");
+        let (k, class) = fired.unwrap();
+        prop_assert!(class == TrajectoryClass::Diverging, "fired with the wrong class: {class:?}");
+        prop_assert!(k < cfg.window + cfg.min_history, "fired only at step {k}");
+    }
+
+    #[test]
+    fn watchdog_flags_sustained_oscillation_within_one_window(
+        e_base in -100.0f64..0.0,
+        amp in 1e-3f64..0.4,
+        r in 1e-3f64..1.0,
+    ) {
+        // Constant-amplitude ΔE alternation with a flat residual is the
+        // classic DIIS two-cycle; it must be flagged within one window.
+        use mako::scf::{classify, RescueConfig, TrajectoryClass};
+        let cfg = RescueConfig::default();
+        let e_tol = 1e-8;
+        let mut energies = Vec::new();
+        let mut residuals = Vec::new();
+        let mut fired = None;
+        for k in 0..10usize {
+            energies.push(e_base + if k % 2 == 0 { amp } else { -amp });
+            residuals.push(r);
+            let class = classify(&energies, &residuals, &cfg, e_tol);
+            if class != TrajectoryClass::Healthy {
+                fired = Some((k, class));
+                break;
+            }
+        }
+        prop_assert!(fired.is_some(), "watchdog never fired on a constant-amplitude oscillation");
+        let (k, class) = fired.unwrap();
+        prop_assert!(class == TrajectoryClass::Oscillating, "fired with the wrong class: {class:?}");
+        prop_assert!(k < cfg.window + cfg.min_history, "fired only at step {k}");
+    }
+}
+
 #[test]
 fn smem_layout_enum_is_exported() {
     // The prelude-level re-exports stay wired.
