@@ -1,0 +1,48 @@
+//! GEMM microkernel throughput sweep: GFLOP/s for the naive oracle, the
+//! generic packed kernel, and the runtime-dispatched kernel at square sizes
+//! 64–512, spliced into `BENCH_fock.json` as the `gemm` section.
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin gemm_microbench
+//! ```
+//!
+//! Knobs: `MAKO_SMOKE=1` shrinks the sweep (sizes 32/64, reduced FLOP
+//! budget) for CI; `MAKO_KERNEL=generic|avx2` pins the dispatched kernel;
+//! `MAKO_BENCH_OUT` (default `BENCH_fock.json`) selects the document to
+//! splice into — a fresh document is created when it does not exist.
+
+use mako_bench::gemm_bench::{json_object, splice_into_bench_json, sweep};
+
+fn main() {
+    mako_trace::init_from_env();
+    let smoke = std::env::var("MAKO_SMOKE").is_ok();
+    let (sizes, budget): (&[usize], f64) = if smoke {
+        (&[32, 64], 2e6)
+    } else {
+        (&[64, 128, 256, 512], 2e8)
+    };
+
+    println!(
+        "gemm_microbench: kernel = {} (override with MAKO_KERNEL=generic|avx2)",
+        mako_linalg::kernel_name()
+    );
+    let points = sweep(sizes, budget);
+    println!("  size    naive  generic  microkernel   (GFLOP/s)");
+    for p in &points {
+        println!(
+            "  {:>4}  {:>7.3}  {:>7.3}  {:>11.3}",
+            p.size, p.gflops_naive, p.gflops_generic, p.gflops_microkernel
+        );
+    }
+
+    let out = std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_fock.json".to_string());
+    let existing = std::fs::read_to_string(&out).ok();
+    let doc = splice_into_bench_json(existing.as_deref(), &json_object(&points));
+    std::fs::write(&out, doc).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nspliced gemm section into {out}");
+    match mako_trace::flush() {
+        Some(Ok(path)) => println!("trace written to {path}"),
+        Some(Err(e)) => eprintln!("warning: trace write failed: {e}"),
+        None => {}
+    }
+}

@@ -5,9 +5,17 @@
 //! scheduler stats, and the simulated `device_seconds` may not drift by a
 //! single bit (host parallelism must never touch the device clock).
 //!
-//! Results land in `BENCH_fock.json`. Wall-clock speedup is bounded by the
-//! host's actual core count (recorded as `host_cpus`); the bitwise checks
-//! hold regardless.
+//! Results land in `BENCH_fock.json` (the `gemm` throughput section is
+//! added by the companion `gemm_microbench` bin). Wall times are the best
+//! of several passes (3 serial, 2 per thread count) — the workload is
+//! deterministic, so the minimum is the least-noise estimator on a small
+//! shared CI host; the bitwise checks run on *every* pass, so repetition
+//! strengthens rather than dilutes the determinism claim. Wall-clock
+//! speedup is bounded by the host's actual core count (recorded as
+//! `host_cpus`): runs
+//! with more threads than CPUs keep their bitwise-identity check but are
+//! labeled `oversubscribed: true` instead of reporting a fake speedup. The
+//! selected microkernel is recorded in the `kernel` field.
 //!
 //! ```sh
 //! cargo run --release -p mako-bench --bin host_fock_bench
@@ -118,11 +126,28 @@ fn main() {
         pairs.len()
     );
 
-    let t0 = Instant::now();
-    let (jk_serial, st_serial) = build_jk_serial(
-        &density, &pairs, &batches, &layout, &schedule, &fp64_cfg, &quant_cfg, &model,
-    );
-    let serial_wall = t0.elapsed().as_secs_f64();
+    // Best-of-3 serial timing: the workload is deterministic, so the minimum
+    // is the least-noise estimator on a small shared CI host (single-pass
+    // walls swing ±15% with scheduler luck). Every pass must be bitwise
+    // identical to the first — re-running is also a self-consistency check.
+    let mut serial_wall = f64::INFINITY;
+    let mut serial: Option<(JkMatrices, FockBuildStats)> = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let (jk, st) = build_jk_serial(
+            &density, &pairs, &batches, &layout, &schedule, &fp64_cfg, &quant_cfg, &model,
+        );
+        serial_wall = serial_wall.min(t0.elapsed().as_secs_f64());
+        if let Some((jk0, st0)) = &serial {
+            assert!(
+                bits_equal(&jk.j, &jk0.j) && bits_equal(&jk.k, &jk0.k) && st == *st0,
+                "serial Fock build is not reproducible across passes"
+            );
+        } else {
+            serial = Some((jk, st));
+        }
+    }
+    let (jk_serial, st_serial) = serial.expect("at least one serial pass");
     let e_serial = two_electron_energy(&density, &jk_serial);
     println!(
         "  serial baseline: {serial_wall:.3} s  (device clock {:.6} s, E2 {e_serial:.12} Ha)",
@@ -135,31 +160,48 @@ fn main() {
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let thread_list = env_thread_list("MAKO_THREADS", &[1, 2, 4, 8]);
-    let mut rows: Vec<(usize, f64, bool)> = Vec::new();
+    let mut rows: Vec<(usize, f64, bool, bool)> = Vec::new();
     let mut all_bitwise = true;
     for threads in thread_list {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("build thread pool");
-        let t0 = Instant::now();
-        let (jk, st): (JkMatrices, FockBuildStats) = pool.install(|| {
-            build_jk(
-                &density, &pairs, &batches, &layout, &schedule, &fp64_cfg, &quant_cfg, &model,
-            )
-        });
-        let wall = t0.elapsed().as_secs_f64();
-        let bitwise = bits_equal(&jk.j, &jk_serial.j)
-            && bits_equal(&jk.k, &jk_serial.k)
-            && st == st_serial
-            && st.device_seconds.to_bits() == st_serial.device_seconds.to_bits()
-            && two_electron_energy(&density, &jk).to_bits() == e_serial.to_bits();
+        // Best-of-2 per thread count (same noise-damping rationale as the
+        // serial baseline); the bitwise check runs on every pass.
+        let mut wall = f64::INFINITY;
+        let mut bitwise = true;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let (jk, st): (JkMatrices, FockBuildStats) = pool.install(|| {
+                build_jk(
+                    &density, &pairs, &batches, &layout, &schedule, &fp64_cfg, &quant_cfg, &model,
+                )
+            });
+            wall = wall.min(t0.elapsed().as_secs_f64());
+            bitwise &= bits_equal(&jk.j, &jk_serial.j)
+                && bits_equal(&jk.k, &jk_serial.k)
+                && st == st_serial
+                && st.device_seconds.to_bits() == st_serial.device_seconds.to_bits()
+                && two_electron_energy(&density, &jk).to_bits() == e_serial.to_bits();
+        }
         all_bitwise &= bitwise;
-        println!(
-            "  {threads} thread(s): {wall:.3} s  speedup {:.2}x  bitwise_identical={bitwise}",
-            serial_wall / wall
-        );
-        rows.push((threads, wall, bitwise));
+        // More rayon threads than host CPUs measures scheduler churn, not
+        // scaling: keep the run for its bitwise-identity check but label the
+        // wall time oversubscribed instead of reporting a fake "speedup".
+        let oversubscribed = threads > host_cpus;
+        if oversubscribed {
+            println!(
+                "  {threads} thread(s): {wall:.3} s  (oversubscribed on {host_cpus}-cpu host; \
+                 bitwise check only)  bitwise_identical={bitwise}"
+            );
+        } else {
+            println!(
+                "  {threads} thread(s): {wall:.3} s  speedup {:.2}x  bitwise_identical={bitwise}",
+                serial_wall / wall
+            );
+        }
+        rows.push((threads, wall, bitwise, oversubscribed));
     }
 
     assert!(
@@ -177,6 +219,7 @@ fn main() {
     let _ = writeln!(json, "  \"schwarz_threshold\": {screen:e},");
     let _ = writeln!(json, "  \"quartet_cap\": {cap},");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"kernel\": \"{}\",", mako_linalg::kernel_name());
     let _ = writeln!(json, "  \"fp64_quartets\": {},", st_serial.fp64_quartets);
     let _ = writeln!(
         json,
@@ -190,12 +233,18 @@ fn main() {
     let _ = writeln!(json, "  \"device_seconds_unchanged\": true,");
     let _ = writeln!(json, "  \"bitwise_identical_all\": {all_bitwise},");
     let _ = writeln!(json, "  \"runs\": [");
-    for (i, (threads, wall, bitwise)) in rows.iter().enumerate() {
+    for (i, (threads, wall, bitwise, oversubscribed)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        // Oversubscribed rows get no "speedup" field at all — a wall time
+        // measured with more threads than CPUs is a scheduler artifact.
+        let speedup = if *oversubscribed {
+            String::new()
+        } else {
+            format!("\"speedup\": {:.4}, ", serial_wall / wall)
+        };
         let _ = writeln!(
             json,
-            "    {{\"threads\": {threads}, \"wall_s\": {wall:.6}, \"speedup\": {:.4}, \"bitwise_identical\": {bitwise}}}{comma}",
-            serial_wall / wall
+            "    {{\"threads\": {threads}, \"wall_s\": {wall:.6}, {speedup}\"oversubscribed\": {oversubscribed}, \"bitwise_identical\": {bitwise}}}{comma}",
         );
     }
     let _ = writeln!(json, "  ]");

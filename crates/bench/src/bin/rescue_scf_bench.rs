@@ -13,7 +13,8 @@
 //! Knobs: `MAKO_SMOKE=1` (water dimer + 1/2 threads — for CI boxes),
 //! `MAKO_THREADS` (comma-separated thread counts, default `1,2,4,8`),
 //! `MAKO_BENCH_STRETCH` (O–H stretch factor of the pathological geometry,
-//! default 3.0 — the full five-stage ladder), `MAKO_BENCH_OUT` (output
+//! default 3.5 — the full five-stage ladder; plain DIIS converges
+//! milder stretches since the packed-tile engine landed), `MAKO_BENCH_OUT` (output
 //! path, default `BENCH_rescue.json` — smoke harnesses point this at
 //! scratch).
 
@@ -61,7 +62,7 @@ fn main() {
     mako_trace::init_from_env();
     let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let stretch = env_f64("MAKO_BENCH_STRETCH", 3.0);
+    let stretch = env_f64("MAKO_BENCH_STRETCH", 3.5);
 
     // ---- Part 1: healthy overhead — rescue enabled must cost nothing. ----
     let (healthy_mol, healthy_label) = if smoke {

@@ -1,0 +1,213 @@
+//! Shared GEMM throughput sweep for `gemm_microbench` and the `gemm`
+//! section of `BENCH_fock.json`.
+//!
+//! Times three square-GEMM implementations at each size: the `gemm_naive`
+//! accuracy oracle, the packed microkernel engine pinned to the generic
+//! kernel, and the engine under its runtime-dispatched kernel (AVX2 where
+//! available). Every dispatched product is checked bitwise against the
+//! generic kernel before timings are reported — the determinism contract
+//! of DESIGN.md §13 holds in the benchmark itself, not just in tests.
+
+use mako_linalg::microkernel::gemm_with_kernel;
+use mako_linalg::{gemm_naive, gemm_tiled, KernelId, Matrix, Transpose};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Throughput of the three GEMM paths at one square size.
+pub struct GemmPoint {
+    /// Square dimension (m = k = n).
+    pub size: usize,
+    /// Triple-loop oracle, GFLOP/s.
+    pub gflops_naive: f64,
+    /// Packed engine with the generic (autovectorized) kernel, GFLOP/s.
+    pub gflops_generic: f64,
+    /// Packed engine with the runtime-dispatched kernel, GFLOP/s.
+    pub gflops_microkernel: f64,
+}
+
+fn fill(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut s = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+/// Time `body` over enough repetitions to amortize clock noise and return
+/// GFLOP/s for a `size³` matmul.
+fn time_gflops(size: usize, reps: usize, mut body: impl FnMut()) -> f64 {
+    let flops = 2.0 * (size as f64).powi(3);
+    // One warmup to fault in buffers and settle the dispatcher.
+    body();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        body();
+    }
+    flops * reps as f64 / t0.elapsed().as_secs_f64() / 1e9
+}
+
+/// Repetition count targeting a fixed FLOP budget per measurement so small
+/// sizes are not dominated by timer resolution.
+fn reps_for(size: usize, budget_flops: f64) -> usize {
+    ((budget_flops / (2.0 * (size as f64).powi(3))) as usize).max(2)
+}
+
+/// Run the sweep at the given square sizes. `budget_flops` is the per-point
+/// FLOP budget (≈2e8 for the full run, smaller for smoke).
+///
+/// Panics if the dispatched kernel ever disagrees bitwise with the generic
+/// kernel — throughput numbers for a non-deterministic engine would be
+/// meaningless.
+pub fn sweep(sizes: &[usize], budget_flops: f64) -> Vec<GemmPoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let a = fill(1, size, size);
+            let b = fill(2, size, size);
+            let mut c = Matrix::zeros(size, size);
+
+            let mut generic = Matrix::zeros(size, size);
+            assert!(
+                gemm_with_kernel(
+                    KernelId::Generic,
+                    1.0,
+                    &a,
+                    Transpose::No,
+                    &b,
+                    Transpose::No,
+                    0.0,
+                    &mut generic,
+                ),
+                "generic kernel must always be available"
+            );
+            let mut dispatched = Matrix::zeros(size, size);
+            gemm_tiled(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut dispatched);
+            assert!(
+                generic
+                    .as_slice()
+                    .iter()
+                    .zip(dispatched.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "dispatched kernel drifted bitwise from generic at size {size}"
+            );
+
+            // The naive oracle is ~an order of magnitude slower; give it a
+            // tenth of the budget so the sweep stays snappy.
+            let reps = reps_for(size, budget_flops);
+            let gflops_naive = time_gflops(size, reps_for(size, budget_flops / 10.0), || {
+                gemm_naive(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+            });
+            let gflops_generic = time_gflops(size, reps, || {
+                gemm_with_kernel(
+                    KernelId::Generic,
+                    1.0,
+                    &a,
+                    Transpose::No,
+                    &b,
+                    Transpose::No,
+                    0.0,
+                    &mut c,
+                );
+            });
+            let gflops_microkernel = time_gflops(size, reps, || {
+                gemm_tiled(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+            });
+            GemmPoint {
+                size,
+                gflops_naive,
+                gflops_generic,
+                gflops_microkernel,
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep as the `"gemm"` JSON object (no key, no trailing
+/// comma): `{"kernel": ..., "points": [...]}`.
+pub fn json_object(points: &[GemmPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "    \"kernel\": \"{}\",", mako_linalg::kernel_name());
+    let _ = writeln!(s, "    \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"size\": {}, \"gflops_naive\": {:.3}, \"gflops_generic\": {:.3}, \"gflops_microkernel\": {:.3}}}{comma}",
+            p.size, p.gflops_naive, p.gflops_generic, p.gflops_microkernel
+        );
+    }
+    let _ = writeln!(s, "    ]");
+    s.push_str("  }");
+    s
+}
+
+/// Splice a `"gemm": {...}` section into a `BENCH_fock.json` document
+/// produced by `host_fock_bench` (or start a fresh document when the file
+/// does not exist yet). An existing `"gemm"` section is replaced.
+///
+/// This is a line-oriented splice, not a JSON parser: both writers live in
+/// this crate and emit two-space-indented top-level keys, which is all the
+/// structure the splice relies on.
+pub fn splice_into_bench_json(doc: Option<&str>, gemm_object: &str) -> String {
+    let section = format!("  \"gemm\": {gemm_object},\n");
+    let Some(doc) = doc else {
+        return format!("{{\n{}\n}}\n", section.trim_end().trim_end_matches(','));
+    };
+    let mut out = String::with_capacity(doc.len() + section.len());
+    let mut skipping = false;
+    let mut inserted = false;
+    for line in doc.lines() {
+        if skipping {
+            // The old section ends at the first top-level close at indent 2.
+            if line.starts_with("  }") {
+                skipping = false;
+            }
+            continue;
+        }
+        if line.starts_with("  \"gemm\":") {
+            skipping = true;
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+        if !inserted && line.trim_end() == "{" {
+            out.push_str(&section);
+            inserted = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_inserts_and_replaces() {
+        let gemm = "{\n    \"kernel\": \"x\",\n    \"points\": [\n    ]\n  }";
+        let doc = "{\n  \"benchmark\": \"host_fock_bench\",\n  \"runs\": [\n  ]\n}\n";
+        let once = splice_into_bench_json(Some(doc), gemm);
+        assert!(once.contains("\"gemm\":"), "{once}");
+        assert!(once.contains("\"benchmark\""));
+        let twice = splice_into_bench_json(Some(&once), gemm);
+        assert_eq!(twice.matches("\"gemm\":").count(), 1, "{twice}");
+        assert!(twice.contains("\"runs\""));
+    }
+
+    #[test]
+    fn splice_creates_fresh_document() {
+        let gemm = "{\n    \"kernel\": \"x\",\n    \"points\": [\n    ]\n  }";
+        let doc = splice_into_bench_json(None, gemm);
+        assert!(doc.starts_with("{\n"), "{doc}");
+        assert!(doc.trim_end().ends_with('}'), "{doc}");
+    }
+
+    #[test]
+    fn tiny_sweep_produces_finite_throughput() {
+        let pts = sweep(&[16], 1e5);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].gflops_naive > 0.0 && pts[0].gflops_naive.is_finite());
+        assert!(pts[0].gflops_microkernel > 0.0);
+    }
+}

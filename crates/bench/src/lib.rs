@@ -21,6 +21,8 @@
 #![deny(rust_2018_idioms)]
 
 
+pub mod gemm_bench;
+
 use mako_chem::basis::ShellDef;
 use mako_chem::Shell;
 use mako_eri::batch::EriClass;

@@ -46,6 +46,20 @@ pub fn hermite_components(l: usize) -> Vec<(usize, usize, usize)> {
     out
 }
 
+/// Cached, shared [`hermite_components`] for per-primitive hot loops (the
+/// Hermite-to-spherical transforms rebuild the same triple list for every
+/// primitive pair otherwise). Built lazily once per `l`.
+pub fn hermite_components_cached(l: usize) -> &'static [(usize, usize, usize)] {
+    use std::sync::OnceLock;
+    /// Beyond any angular momentum the engine can produce (4 shells × g).
+    const L_CAP: usize = 32;
+    type Slot = OnceLock<Vec<(usize, usize, usize)>>;
+    static CACHE: OnceLock<Vec<Slot>> = OnceLock::new();
+    assert!(l <= L_CAP, "hermite order beyond cache capacity");
+    let slots = CACHE.get_or_init(|| (0..=L_CAP).map(|_| OnceLock::new()).collect());
+    slots[l].get_or_init(|| hermite_components(l))
+}
+
 /// Inverse map for Hermite components: `(t,u,v)` → flat index, valid for all
 /// triples with `t+u+v ≤ l_max` used to build it.
 pub fn hermite_index_map(l_max: usize) -> std::collections::HashMap<(usize, usize, usize), usize> {

@@ -104,8 +104,41 @@ impl BoysTable {
     /// Evaluate `F_0..=F_m` (m ≤ m_max) into `out`.
     pub fn eval(&self, m: usize, t: f64, out: &mut [f64]) {
         assert!(m <= self.m_max, "order exceeds table");
+        self.eval_one(m, t, out);
+    }
+
+    /// Evaluate `F_0..=F_m` for a batch of arguments: row `i` of `out`
+    /// (stride `m + 1`) receives `F_0..=F_m` at `ts[i]`.
+    ///
+    /// This is the vectorizable hot-loop entry: unlike [`boys_reference`],
+    /// whose series loop runs a data-dependent number of iterations, every
+    /// trip count here is fixed by `(m, self.order)` — the in-table branch
+    /// is a cubic interpolation plus a fixed-length downward recursion, the
+    /// out-of-table branch a closed-form asymptotic seed plus a fixed-length
+    /// upward recursion, and the split between them is a single predictable
+    /// comparison against the grid edge.
+    pub fn eval_batch(&self, m: usize, ts: &[f64], out: &mut Vec<f64>) {
+        assert!(m <= self.m_max, "order exceeds table");
+        let stride = m + 1;
+        out.clear();
+        out.resize(ts.len() * stride, 0.0);
+        for (row, &t) in out.chunks_exact_mut(stride).zip(ts) {
+            self.eval_one(m, t, row);
+        }
+    }
+
+    /// Shared per-argument core of [`BoysTable::eval`] / `eval_batch`.
+    #[inline]
+    fn eval_one(&self, m: usize, t: f64, out: &mut [f64]) {
         if t > self.t_max - 4.0 * self.h {
-            boys_reference(m, t, out);
+            // Beyond the grid: asymptotic F_0 plus upward recursion (the
+            // same fixed-trip branch `boys_reference` uses for large T; at
+            // the grid edge T ≈ 35 the neglected erfc tail is ~1e-16).
+            let et = (-t).exp();
+            out[0] = 0.5 * (std::f64::consts::PI / t).sqrt();
+            for k in 0..m {
+                out[k + 1] = ((2 * k + 1) as f64 * out[k] - et) / (2.0 * t);
+            }
             return;
         }
         // Cubic Lagrange on the 4 nearest grid points.
@@ -140,9 +173,25 @@ impl BoysTable {
     }
 }
 
+/// Process-wide shared [`BoysTable`] for orders `0..=m_max`, built lazily
+/// per `m_max` so low-angular-momentum classes pay only a short downward
+/// recursion (the table's headroom order is `m_max + 3`).
+///
+/// The quantized ERI pipeline routes every quartet's Boys batch through
+/// this; the FP64 reference path keeps [`boys_reference`] so golden
+/// energies are untouched by the ~1e-10 interpolation error.
+pub fn shared_table(m_max: usize) -> &'static BoysTable {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Vec<OnceLock<BoysTable>>> = OnceLock::new();
+    assert!(m_max <= M_MAX, "order exceeds table capacity");
+    let slots = TABLES.get_or_init(|| (0..=M_MAX).map(|_| OnceLock::new()).collect());
+    slots[m_max].get_or_init(|| BoysTable::new(m_max))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// Slow but independent check: adaptive Simpson on the defining
     /// integral.
@@ -238,6 +287,51 @@ mod tests {
             t += 0.0371;
         }
         assert!(worst < 5e-10, "table worst-case error {worst}");
+    }
+
+    #[test]
+    fn batch_matches_eval_bitwise() {
+        let table = shared_table(10);
+        let ts: Vec<f64> = (0..600).map(|i| i as f64 * 0.1).collect();
+        let mut batch = Vec::new();
+        table.eval_batch(10, &ts, &mut batch);
+        assert_eq!(batch.len(), ts.len() * 11);
+        let mut single = [0.0f64; 11];
+        for (row, &t) in batch.chunks_exact(11).zip(&ts) {
+            table.eval(10, t, &mut single);
+            for m in 0..=10 {
+                assert_eq!(
+                    row[m].to_bits(),
+                    single[m].to_bits(),
+                    "batch vs eval diverge at t={t} m={m}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// `eval_batch` stays within the table's accuracy envelope of the
+        /// full-precision reference over the whole argument range (grid
+        /// interior, grid edge, and asymptotic tail) at every order.
+        #[test]
+        fn batch_matches_reference(
+            m in 0usize..17,
+            ts in proptest::collection::vec(0.0f64..80.0, 1..40)
+        ) {
+            let table = shared_table(16);
+            let mut batch = Vec::new();
+            table.eval_batch(m, &ts, &mut batch);
+            let mut refv = [0.0f64; M_MAX + 1];
+            for (row, &t) in batch.chunks_exact(m + 1).zip(&ts) {
+                boys_reference(m, t, &mut refv);
+                for k in 0..=m {
+                    prop_assert!(
+                        (row[k] - refv[k]).abs() < 5e-10,
+                        "t={} m={} k={}: {} vs {}", t, m, k, row[k], refv[k]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

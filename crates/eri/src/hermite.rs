@@ -117,11 +117,35 @@ pub fn e_matrix(la: usize, lb: usize, a: f64, b: f64, ab: [f64; 3]) -> Vec<f64> 
 ///
 /// Returns a flat vector over [`hermite_components`]`(l)` ordering.
 pub fn r_integrals(l: usize, alpha: f64, pq: [f64; 3], boys: &[f64]) -> Vec<f64> {
+    let mut buf = Vec::new();
+    let mut out = Vec::new();
+    r_integrals_into(l, alpha, pq, boys, &mut buf, &mut out);
+    out
+}
+
+/// Allocation-free [`r_integrals`]: the recursion workspace `buf` and the
+/// result `out` are caller-provided and reused across the per-primitive hot
+/// loop of the quantized pipeline. `out` is overwritten with the
+/// [`nherm`]`(l)` values in [`hermite_components`] ordering.
+pub fn r_integrals_into(
+    l: usize,
+    alpha: f64,
+    pq: [f64; 3],
+    boys: &[f64],
+    buf: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
     assert!(boys.len() > l, "need F_0..F_l");
     let dim = l + 1;
     let stride_n = dim * dim * dim;
     let idx = |n: usize, t: usize, u: usize, v: usize| n * stride_n + (t * dim + u) * dim + v;
-    let mut buf = vec![0.0f64; (l + 1) * stride_n];
+    // The recursion only ever reads entries it has already written this
+    // call (seeds, then strictly lower total degrees), so the workspace can
+    // be reused without re-zeroing.
+    let need = (l + 1) * stride_n;
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
 
     let mut pow = 1.0;
     for n in 0..=l {
@@ -161,12 +185,12 @@ pub fn r_integrals(l: usize, alpha: f64, pq: [f64; 3], boys: &[f64]) -> Vec<f64>
         }
     }
 
-    let herm = hermite_components(l);
-    let mut out = Vec::with_capacity(nherm(l));
-    for &(t, u, v) in &herm {
+    let herm = mako_chem::cart::hermite_components_cached(l);
+    out.clear();
+    out.reserve(nherm(l));
+    for &(t, u, v) in herm {
         out.push(buf[idx(0, t, u, v)]);
     }
-    out
 }
 
 #[cfg(test)]

@@ -29,8 +29,11 @@ pub mod screening;
 pub mod tensor;
 
 pub use batch::{batch_quartets, EriClass, QuartetBatch};
-pub use boys::{boys_reference, boys_single, BoysTable};
-pub use mmd::{eri_quartet_mmd, eri_quartet_mmd_with, pq_matrix, shell_pair, PqIndex, PrimPair, ShellPairData};
+pub use boys::{boys_reference, boys_single, shared_table, BoysTable};
+pub use mmd::{
+    eri_quartet_mmd, eri_quartet_mmd_with, pq_geometry, pq_matrix, pq_matrix_from_boys,
+    pq_matrix_into, shell_pair, PqIndex, PqScratch, PrimPair, ShellPairData,
+};
 pub use one_electron::{kinetic_block, nuclear_block, one_electron_matrices, overlap_block};
 pub use os::{eri_quartet_os, EriError, OS_MAX_L};
 pub use screening::{

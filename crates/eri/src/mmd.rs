@@ -20,7 +20,7 @@
 //! math in simulated-device pipelines (fused/unfused, quantized, batched).
 
 use crate::boys::boys_reference;
-use crate::hermite::{e_matrix, r_integrals};
+use crate::hermite::{e_matrix, r_integrals_into};
 use crate::tensor::Tensor4;
 use mako_chem::cart::{hermite_components, hermite_index_map, ncart, nherm, nsph};
 use mako_chem::harmonics::cart_to_sph;
@@ -189,34 +189,116 @@ impl PqIndex {
     }
 }
 
-/// Assemble the `[p|q]` matrix for one primitive-pair × primitive-pair
-/// combination.
-pub fn pq_matrix(bra: &PrimPair, ket: &PrimPair, l_bra: usize, l_ket: usize, idx: &PqIndex) -> Matrix {
-    let p = bra.p;
-    let q = ket.p;
-    let alpha = p * q / (p + q);
+/// Reusable workspace for repeated `[p|q]` assembly: Boys values, the
+/// Hermite recursion buffer, and the `R_tuv` result. One instance per
+/// worker thread amortizes every allocation in the per-primitive hot loop.
+#[derive(Default)]
+pub struct PqScratch {
+    /// `F_0..F_l` for the current primitive pair.
+    pub boys: Vec<f64>,
+    /// Hermite `R` recursion workspace (see [`r_integrals_into`]).
+    pub rbuf: Vec<f64>,
+    /// Hermite Coulomb integrals `R_tuv` in component order.
+    pub r: Vec<f64>,
+}
+
+/// Geometric precursors of one primitive-pair combination: the reduced
+/// exponent `α = pq/(p+q)`, the separation `P − Q`, and the Boys argument
+/// `T = α|P−Q|²`.
+#[inline]
+pub fn pq_geometry(bra: &PrimPair, ket: &PrimPair) -> (f64, [f64; 3], f64) {
+    let alpha = bra.p * ket.p / (bra.p + ket.p);
     let pq = [
         bra.center[0] - ket.center[0],
         bra.center[1] - ket.center[1],
         bra.center[2] - ket.center[2],
     ];
     let t = alpha * (pq[0] * pq[0] + pq[1] * pq[1] + pq[2] * pq[2]);
+    (alpha, pq, t)
+}
+
+/// Assemble the `[p|q]` matrix for one primitive-pair × primitive-pair
+/// combination.
+pub fn pq_matrix(bra: &PrimPair, ket: &PrimPair, l_bra: usize, l_ket: usize, idx: &PqIndex) -> Matrix {
+    let mut scratch = PqScratch::default();
+    let mut m = Matrix::zeros(nherm(l_bra), nherm(l_ket));
+    pq_matrix_into(bra, ket, l_bra, l_ket, idx, &mut scratch, &mut m);
+    m
+}
+
+/// Allocation-free [`pq_matrix`]: full-precision Boys values via
+/// [`boys_reference`], result written into `out` (reshaped in place). This
+/// is the FP64-path workhorse.
+pub fn pq_matrix_into(
+    bra: &PrimPair,
+    ket: &PrimPair,
+    l_bra: usize,
+    l_ket: usize,
+    idx: &PqIndex,
+    scratch: &mut PqScratch,
+    out: &mut Matrix,
+) {
     let l_tot = l_bra + l_ket;
-    let mut boys = vec![0.0f64; l_tot + 1];
-    boys_reference(l_tot, t, &mut boys);
-    let r = r_integrals(l_tot, alpha, pq, &boys);
+    let (_, _, t) = pq_geometry(bra, ket);
+    scratch.boys.clear();
+    scratch.boys.resize(l_tot + 1, 0.0);
+    boys_reference(l_tot, t, &mut scratch.boys);
+    let boys = std::mem::take(&mut scratch.boys);
+    pq_matrix_from_boys(bra, ket, l_bra, l_ket, idx, &boys, scratch, out);
+    scratch.boys = boys;
+}
+
+/// Assemble `[p|q]` from caller-provided Boys values `F_0..F_{l_bra+l_ket}`
+/// — the quantized pipeline evaluates them in bulk per quartet through
+/// [`crate::boys::BoysTable::eval_batch`] and feeds each row here.
+#[allow(clippy::too_many_arguments)]
+pub fn pq_matrix_from_boys(
+    bra: &PrimPair,
+    ket: &PrimPair,
+    l_bra: usize,
+    l_ket: usize,
+    idx: &PqIndex,
+    boys: &[f64],
+    scratch: &mut PqScratch,
+    out: &mut Matrix,
+) {
+    let (alpha, pq, _) = pq_geometry(bra, ket);
+    pq_matrix_from_boys_geom(bra, ket, l_bra, l_ket, idx, alpha, pq, boys, scratch, out);
+}
+
+/// [`pq_matrix_from_boys`] with the [`pq_geometry`] precursors supplied by
+/// the caller — the quantized pipeline already computes them while gathering
+/// the quartet's Boys arguments, so the hot loop passes them back in instead
+/// of re-deriving the same `(α, P−Q)` per combination.
+#[allow(clippy::too_many_arguments)]
+pub fn pq_matrix_from_boys_geom(
+    bra: &PrimPair,
+    ket: &PrimPair,
+    l_bra: usize,
+    l_ket: usize,
+    idx: &PqIndex,
+    alpha: f64,
+    pq: [f64; 3],
+    boys: &[f64],
+    scratch: &mut PqScratch,
+    out: &mut Matrix,
+) {
+    let p = bra.p;
+    let q = ket.p;
+    let l_tot = l_bra + l_ket;
+    r_integrals_into(l_tot, alpha, pq, boys, &mut scratch.rbuf, &mut scratch.r);
 
     let prefac = 2.0 * std::f64::consts::PI.powf(2.5) / (p * q * (p + q).sqrt());
     let nb = nherm(l_bra);
     let nk = nherm(l_ket);
     debug_assert_eq!(idx.nherm_ket, nk);
-    let mut m = Matrix::zeros(nb, nk);
-    let data = m.as_mut_slice();
+    out.reset(nb, nk);
+    let data = out.as_mut_slice();
+    let r = &scratch.r;
     for (flat, &ci) in idx.combined.iter().enumerate() {
         let kj = flat % nk;
         data[flat] = prefac * idx.ket_sign[kj] * r[ci];
     }
-    m
 }
 
 /// Evaluate a shell quartet `(ab|cd)` in the spherical AO basis via the
@@ -237,13 +319,15 @@ pub fn eri_quartet_mmd_with(pab: &ShellPairData, pcd: &ShellPairData, idx: &PqIn
     let mut out = Matrix::zeros(pab.nsph_pair, pcd.nsph_pair);
 
     let mut abq = Matrix::zeros(pab.nsph_pair, pcd.nherm);
+    let mut scratch = PqScratch::default();
+    let mut pq = Matrix::zeros(nherm(pab.l_total()), nherm(pcd.l_total()));
     for ket in &pcd.prims {
         // Reset the (ab|q] accumulator for this ket primitive.
         for x in abq.as_mut_slice() {
             *x = 0.0;
         }
         for bra in &pab.prims {
-            let pq = pq_matrix(bra, ket, pab.l_total(), pcd.l_total(), idx);
+            pq_matrix_into(bra, ket, pab.l_total(), pcd.l_total(), idx, &mut scratch, &mut pq);
             gemm_tiled(1.0, &bra.e_sph, Transpose::No, &pq, Transpose::No, 1.0, &mut abq);
         }
         gemm_tiled(1.0, &abq, Transpose::No, &ket.e_sph, Transpose::Yes, 1.0, &mut out);

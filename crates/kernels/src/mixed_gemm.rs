@@ -10,6 +10,30 @@
 
 use mako_linalg::Matrix;
 use mako_precision::Precision;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread rounded-operand buffers so the quartet hot loop never
+    /// allocates inside [`gemm_rounded`].
+    static ROUND_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Round `src`, pre-scaled by `scale`, into `dst` (overwritten) — the
+/// "load into tensor-core registers" step, split out so pipelines can
+/// pre-round loop-invariant operands once per quartet.
+pub fn round_into(input: Precision, scale: f64, src: &[f64], dst: &mut Vec<f64>) {
+    dst.clear();
+    round_into_extend(input, scale, src, dst);
+}
+
+/// [`round_into`] that appends to `dst` instead of overwriting — used to
+/// concatenate the pre-rounded per-primitive operand blocks of a quartet.
+/// Delegates to the batched converter in `mako-precision` (hardware F16C on
+/// hosts that have it, bit-identical to the scalar path).
+pub fn round_into_extend(input: Precision, scale: f64, src: &[f64], dst: &mut Vec<f64>) {
+    input.round_scaled_extend(scale, src, dst);
+}
 
 /// How a quantized GEMM treats its operands.
 #[derive(Debug, Clone, Copy)]
@@ -85,40 +109,30 @@ pub fn gemm_rounded(a: &Matrix, b: &Matrix, spec: &QuantizedGemmSpec, c: &mut Ma
         return;
     }
 
-    // Round operands once (as the load into tensor-core registers does).
-    let ra: Vec<f64> = a
-        .as_slice()
-        .iter()
-        .map(|&x| spec.input.round(x * spec.scale_a))
-        .collect();
-    let rb: Vec<f64> = b
-        .as_slice()
-        .iter()
-        .map(|&x| spec.input.round(x * spec.scale_b))
-        .collect();
+    // Round operands once (as the load into tensor-core registers does),
+    // then hand the rounded slices to the packed microkernel engine. For
+    // FP32 accumulation each product is rounded to f32 and summed in f32
+    // per element in ascending k (products of two ≤11-bit-mantissa values
+    // are exact in f32; accumulation rounds per step, as hardware does).
     let descale = 1.0 / (spec.scale_a * spec.scale_b);
-
     let fp32_acc = spec.accumulate == Precision::Fp32;
-    for i in 0..m {
-        let arow = &ra[i * k..(i + 1) * k];
-        for j in 0..n {
-            if fp32_acc {
-                let mut acc: f32 = 0.0;
-                for (kk, &aik) in arow.iter().enumerate() {
-                    // Products of two ≤11-bit-mantissa values are exact in
-                    // f32; accumulation rounds per step, as hardware does.
-                    acc += (aik * rb[kk * n + j]) as f32;
-                }
-                c[(i, j)] += acc as f64 * descale;
-            } else {
-                let mut acc: f64 = 0.0;
-                for (kk, &aik) in arow.iter().enumerate() {
-                    acc += aik * rb[kk * n + j];
-                }
-                c[(i, j)] += acc * descale;
-            }
-        }
-    }
+    ROUND_SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        let (ra, rb) = &mut *s;
+        round_into(spec.input, spec.scale_a, a.as_slice(), ra);
+        round_into(spec.input, spec.scale_b, b.as_slice(), rb);
+        mako_linalg::gemm_rounded_engine(
+            m,
+            k,
+            n,
+            ra,
+            rb,
+            mako_linalg::Transpose::No,
+            fp32_acc,
+            descale,
+            c.as_mut_slice(),
+        );
+    });
 }
 
 #[cfg(test)]
@@ -208,6 +222,38 @@ mod tests {
             err_scaled * 10.0 < err_raw,
             "scaled {err_scaled} vs raw {err_raw}"
         );
+    }
+
+    /// The engine-backed quantized path must reproduce the pre-engine
+    /// scalar loop bit for bit (k ≤ KC, which covers every ERI transform).
+    #[test]
+    fn engine_path_matches_scalar_loop_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 4), (9, 10, 10), (16, 33, 12)] {
+            let a = mat(m, k, 11);
+            let b = mat(k, n, 12);
+            for spec in [
+                QuantizedGemmSpec::quantized_fp16(4.0, 0.5),
+                QuantizedGemmSpec::unscaled(Precision::Bf16),
+                QuantizedGemmSpec::unscaled(Precision::Tf32),
+            ] {
+                let ra: Vec<f64> = a.as_slice().iter().map(|&x| spec.input.round(x * spec.scale_a)).collect();
+                let rb: Vec<f64> = b.as_slice().iter().map(|&x| spec.input.round(x * spec.scale_b)).collect();
+                let descale = 1.0 / (spec.scale_a * spec.scale_b);
+                let mut c_ref = mat(m, n, 13);
+                let mut c_new = c_ref.clone();
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut acc: f32 = 0.0;
+                        for kk in 0..k {
+                            acc += (ra[i * k + kk] * rb[kk * n + j]) as f32;
+                        }
+                        c_ref[(i, j)] += acc as f64 * descale;
+                    }
+                }
+                gemm_rounded(&a, &b, &spec, &mut c_new);
+                assert_eq!(c_ref.as_slice(), c_new.as_slice(), "({m},{k},{n}) {:?}", spec.input);
+            }
+        }
     }
 
     #[test]

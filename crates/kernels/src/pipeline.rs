@@ -1,16 +1,17 @@
 //! The KernelMako execution pipelines: real quartet numerics + simulated
 //! device cost, per ERI-class batch.
 
-use crate::mixed_gemm::{gemm_rounded, QuantizedGemmSpec};
+use crate::mixed_gemm::{round_into, round_into_extend};
+use std::cell::RefCell;
 use mako_accel::{
     avg_column_conflict, CostModel, KernelProfile, SmemLayout,
 };
 use mako_eri::batch::{EriClass, QuartetBatch};
-use mako_eri::mmd::{pq_matrix, PqIndex};
+use mako_eri::mmd::{pq_geometry, pq_matrix_from_boys_geom, pq_matrix_into, PqIndex, PqScratch};
 use mako_eri::screening::ScreenedPair;
 use mako_eri::tensor::Tensor4;
 use mako_chem::cart::{nherm, nsph};
-use mako_linalg::Matrix;
+use mako_linalg::{gemm_rounded_engine, gemm_tiled, Matrix, Transpose};
 use mako_precision::{Precision, ScalePolicy};
 use rayon::prelude::*;
 
@@ -361,6 +362,55 @@ pub struct QuartetRunner {
     cfg: PipelineConfig,
     e_scale: f64,
     target: f64,
+    rounded: Option<RoundedPairCache>,
+}
+
+/// One shell pair's `E` matrices rounded at the frozen group scale: the
+/// per-primitive `round(e_sph · e_scale)` blocks, concatenated, with
+/// `off[i]` the start of primitive `i`'s block. A quartet reads its bra's
+/// entry as the A operand of the first transform and its ket's per-primitive
+/// blocks as the (transposed) B operand of the second — both consume the
+/// same rounded data, so a single entry serves a pair in either role.
+struct RoundedPair {
+    flat: Vec<f64>,
+    off: Vec<usize>,
+}
+
+/// Lazily-initialized per-batch cache of [`RoundedPair`]s, indexed by
+/// screened-pair index. Rounding at the group scale is a pure elementwise
+/// function, so it is pair-invariant across the whole batch — without the
+/// cache the hot loop re-rounds the same `E_AB`/`E_CD` blocks for every
+/// quartet the pair participates in (hundreds, for a water cluster).
+///
+/// Thread-safe via `OnceLock`: racing workers may both compute an entry,
+/// but they compute identical bits, so whichever wins preserves the
+/// pipeline's bitwise determinism.
+struct RoundedPairCache {
+    precision: Precision,
+    e_scale: f64,
+    slots: Vec<std::sync::OnceLock<RoundedPair>>,
+}
+
+impl RoundedPairCache {
+    fn new(cfg: &PipelineConfig, e_scale: f64, npairs: usize) -> RoundedPairCache {
+        RoundedPairCache {
+            precision: cfg.precision,
+            e_scale,
+            slots: (0..npairs).map(|_| std::sync::OnceLock::new()).collect(),
+        }
+    }
+
+    fn get(&self, i: usize, pair: &ScreenedPair) -> &RoundedPair {
+        self.slots[i].get_or_init(|| {
+            let mut flat = Vec::new();
+            let mut off = Vec::with_capacity(pair.data.prims.len());
+            for prim in &pair.data.prims {
+                off.push(flat.len());
+                round_into_extend(self.precision, self.e_scale, prim.e_sph.as_slice(), &mut flat);
+            }
+            RoundedPair { flat, off }
+        })
+    }
 }
 
 impl QuartetRunner {
@@ -373,12 +423,53 @@ impl QuartetRunner {
             cfg: *cfg,
             e_scale,
             target: Precision::Fp16.max_finite().sqrt() / 4.0,
+            rounded: None,
         }
+    }
+
+    /// [`QuartetRunner::new`] plus a rounded-operand cache over a screened
+    /// pair population of `npairs` — quartets submitted through
+    /// [`QuartetRunner::run_indexed`] then share each pair's rounded `E`
+    /// blocks instead of re-rounding them per quartet. (The FP64 pipeline
+    /// never rounds, so it skips the cache entirely.)
+    pub fn for_pairs(
+        class: &EriClass,
+        cfg: &PipelineConfig,
+        e_scale: f64,
+        npairs: usize,
+    ) -> QuartetRunner {
+        let mut runner = QuartetRunner::new(class, cfg, e_scale);
+        if cfg.precision != Precision::Fp64 {
+            runner.rounded = Some(RoundedPairCache::new(cfg, e_scale, npairs));
+        }
+        runner
     }
 
     /// Evaluate one quartet into `out`, reusing its allocation.
     pub fn run_into(&self, pab: &ScreenedPair, pcd: &ScreenedPair, out: &mut Tensor4) {
-        quartet_numerics_into(pab, pcd, &self.idx, &self.cfg, self.e_scale, self.target, out);
+        quartet_numerics_into(
+            pab, pcd, &self.idx, &self.cfg, self.e_scale, self.target, None, out,
+        );
+    }
+
+    /// [`QuartetRunner::run_into`] by screened-pair index, hitting the
+    /// rounded-operand cache of [`QuartetRunner::for_pairs`] (identical
+    /// bits either way — the cache only memoizes a pure function).
+    pub fn run_indexed(
+        &self,
+        pairs: &[ScreenedPair],
+        pi: usize,
+        qi: usize,
+        out: &mut Tensor4,
+    ) {
+        let (pab, pcd) = (&pairs[pi], &pairs[qi]);
+        let rounded = self
+            .rounded
+            .as_ref()
+            .map(|c| (c.get(pi, pab), c.get(qi, pcd)));
+        quartet_numerics_into(
+            pab, pcd, &self.idx, &self.cfg, self.e_scale, self.target, rounded, out,
+        );
     }
 
     /// Evaluate one quartet into a fresh tensor.
@@ -435,12 +526,60 @@ pub fn run_batch_tensors_into(
     out: &mut Vec<Tensor4>,
 ) {
     let e_scale = batch_group_scale(&batch.quartets, pairs, cfg);
-    let runner = QuartetRunner::new(&batch.class, cfg, e_scale);
+    let runner = QuartetRunner::for_pairs(&batch.class, cfg, e_scale, pairs.len());
     out.truncate(batch.len());
     out.resize_with(batch.len(), || Tensor4::zeros([0; 4]));
     out.par_iter_mut()
         .zip(batch.quartets.par_iter())
-        .for_each(|(t, &(pi, qi))| runner.run_into(&pairs[pi], &pairs[qi], t));
+        .for_each(|(t, &(pi, qi))| runner.run_indexed(pairs, pi, qi, t));
+}
+
+/// Per-thread workspace for [`quartet_numerics_into`]: every matrix,
+/// Boys batch, and rounded-operand buffer of the per-quartet hot loop is
+/// reused across the (tens of thousands of) quartets a worker evaluates.
+struct QuartetScratch {
+    /// `(ab|cd)` spherical-pair accumulator.
+    out: Matrix,
+    /// `(ab|q]` half-transformed accumulator.
+    abq: Matrix,
+    /// `[p|q]` matrix of the current primitive-pair combination.
+    pq: Matrix,
+    /// Hermite/Boys workspace for `[p|q]` assembly.
+    pqs: PqScratch,
+    /// Boys arguments for every (ket, bra) combination of the quartet.
+    ts: Vec<f64>,
+    /// `pq_geometry` precursors `(α, P−Q)` for the same combinations —
+    /// computed once while gathering `ts`, fed back to the `[p|q]` assembly.
+    geom: Vec<(f64, [f64; 3])>,
+    /// Batched Boys rows (stride `l_tot + 1`).
+    boys: Vec<f64>,
+    /// Pre-rounded bra `E_AB` operands, concatenated per primitive.
+    ra: Vec<f64>,
+    /// Start offset of each bra primitive's block in `ra`.
+    ra_off: Vec<usize>,
+    /// Rounded `[p|q]` of the current combination.
+    rb: Vec<f64>,
+    /// Rounded `(ab|q]` for the second transform.
+    rabq: Vec<f64>,
+    /// Rounded ket `E_CD` (untransposed; the engine reads it transposed).
+    rcd: Vec<f64>,
+}
+
+thread_local! {
+    static QSCRATCH: RefCell<QuartetScratch> = RefCell::new(QuartetScratch {
+        out: Matrix::zeros(0, 0),
+        abq: Matrix::zeros(0, 0),
+        pq: Matrix::zeros(0, 0),
+        pqs: PqScratch::default(),
+        ts: Vec::new(),
+        geom: Vec::new(),
+        boys: Vec::new(),
+        ra: Vec::new(),
+        ra_off: Vec::new(),
+        rb: Vec::new(),
+        rabq: Vec::new(),
+        rcd: Vec::new(),
+    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -451,6 +590,7 @@ fn quartet_numerics_into(
     cfg: &PipelineConfig,
     e_scale: f64,
     target: f64,
+    rounded: Option<(&RoundedPair, &RoundedPair)>,
     t: &mut Tensor4,
 ) {
     let ab = &pab.data;
@@ -459,38 +599,206 @@ fn quartet_numerics_into(
     let nb = nsph(ab.lb);
     let nc = nsph(cd.la);
     let nd = nsph(cd.lb);
-    let mut out = Matrix::zeros(ab.nsph_pair, cd.nsph_pair);
-    let mut abq = Matrix::zeros(ab.nsph_pair, cd.nherm);
+    QSCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        let QuartetScratch {
+            out,
+            abq,
+            pq,
+            pqs,
+            ts,
+            geom,
+            boys,
+            ra,
+            ra_off,
+            rb,
+            rabq,
+            rcd,
+        } = &mut *s;
+        out.reset(ab.nsph_pair, cd.nsph_pair);
+        abq.reset(ab.nsph_pair, cd.nherm);
 
-    for ket in &cd.prims {
-        for x in abq.as_mut_slice() {
-            *x = 0.0;
-        }
-        for bra in &ab.prims {
-            let pq = pq_matrix(bra, ket, ab.l_total(), cd.l_total(), idx);
-            let spec = spec_for(cfg, e_scale, &pq, target);
-            gemm_rounded(&bra.e_sph, &pq, &spec, &mut abq);
-        }
-        // Second transform: (ab|cd) += (ab|q] · E_CDᵀ.
-        let e_cd_t = ket.e_sph.transpose();
-        let spec = spec_for(cfg, scale_for(cfg, &abq, target), &e_cd_t, target);
-        let spec = QuantizedGemmSpec {
-            scale_a: spec.scale_a,
-            scale_b: e_scale,
-            ..spec
-        };
-        gemm_rounded(&abq, &e_cd_t, &spec, &mut out);
-    }
+        if cfg.precision == Precision::Fp64 {
+            // Exact path: full-precision Boys (series reference) and plain
+            // FP64 GEMMs through the packed engine. The ket transform reads
+            // E_CD transposed in place — no copy.
+            for ket in &cd.prims {
+                for x in abq.as_mut_slice() {
+                    *x = 0.0;
+                }
+                for bra in &ab.prims {
+                    pq_matrix_into(bra, ket, ab.l_total(), cd.l_total(), idx, pqs, pq);
+                    gemm_tiled(1.0, &bra.e_sph, Transpose::No, pq, Transpose::No, 1.0, abq);
+                }
+                gemm_tiled(1.0, abq, Transpose::No, &ket.e_sph, Transpose::Yes, 1.0, out);
+            }
+        } else {
+            // Quantized path. Three hoists keep the per-combination work to
+            // "assemble [p|q], round it, one packed small-GEMM":
+            //  1. Boys values for the whole quartet go through the shared
+            //     lookup table in one batch (fixed trip counts, no
+            //     data-dependent series) at the class's exact order;
+            //  2. bra E_AB rounding at the frozen group scale is
+            //     ket-invariant, so it happens once per quartet;
+            //  3. the ket transform feeds rounded E_CD to the engine as a
+            //     transposed view instead of materializing a transpose.
+            let l_tot = ab.l_total() + cd.l_total();
+            let stride = l_tot + 1;
+            let table = mako_eri::shared_table(l_tot);
+            ts.clear();
+            geom.clear();
+            for ket in &cd.prims {
+                for bra in &ab.prims {
+                    let (alpha, pq_sep, t_arg) = pq_geometry(bra, ket);
+                    ts.push(t_arg);
+                    geom.push((alpha, pq_sep));
+                }
+            }
+            table.eval_batch(l_tot, ts, boys);
 
-    t.reset([na, nb, nc, nd]);
-    for ia in 0..na {
-        for ib in 0..nb {
-            for ic in 0..nc {
-                for id in 0..nd {
-                    t.set(ia, ib, ic, id, out[(ia * nb + ib, ic * nd + id)]);
+            // Bra/ket E blocks rounded at the frozen group scale: served from
+            // the batch-wide pair cache when the caller provides one (same
+            // bits — the cache memoizes exactly this computation), rebuilt
+            // into thread-local scratch otherwise.
+            let (bra_flat, bra_off): (&[f64], &[usize]) = match rounded {
+                Some((rp, _)) => (&rp.flat, &rp.off),
+                None => {
+                    ra.clear();
+                    ra_off.clear();
+                    for bra in &ab.prims {
+                        ra_off.push(ra.len());
+                        round_into_extend(cfg.precision, e_scale, bra.e_sph.as_slice(), ra);
+                    }
+                    (ra.as_slice(), ra_off.as_slice())
+                }
+            };
+
+            let (m, hb, hk, ncd) = (ab.nsph_pair, ab.nherm, cd.nherm, cd.nsph_pair);
+
+            if l_tot == 0 {
+                // Degenerate (00|00) class: every operand is a 1×1 matrix, so
+                // each "GEMM" is a single multiply. This branch performs the
+                // same FP operations in the same order as the general loop
+                // below (assemble [p|q] → per-group scale → round → f32-acc
+                // multiply → descale) and is therefore bitwise inert — it
+                // only skips the per-combination call/dispatch plumbing,
+                // which for this class costs more than the arithmetic. It
+                // matters because s-only quartets dominate real workloads
+                // (~half the population for an STO-3G water cluster).
+                debug_assert!(m == 1 && hb == 1 && hk == 1 && ncd == 1);
+                let mut row = 0usize;
+                let out0 = &mut out.as_mut_slice()[0];
+                for (ki, ket) in cd.prims.iter().enumerate() {
+                    let mut abq0 = 0.0f64;
+                    for (bi, bra) in ab.prims.iter().enumerate() {
+                        let f0 = boys[row];
+                        row += 1;
+                        let prefac = 2.0 * std::f64::consts::PI.powf(2.5)
+                            / (bra.p * ket.p * (bra.p + ket.p).sqrt());
+                        let pq0 = prefac * idx.ket_sign[0] * f0;
+                        let sb = scale_for_scalar(cfg, pq0, target);
+                        let rb0 = cfg.precision.round(pq0 * sb);
+                        let ra0 = bra_flat[bra_off[bi]];
+                        abq0 += ((ra0 * rb0) as f32) as f64 * (1.0 / (e_scale * sb));
+                    }
+                    let sa = scale_for_scalar(cfg, abq0, target);
+                    let rabq0 = cfg.precision.round(abq0 * sa);
+                    let rcd0 = match rounded {
+                        Some((_, rk)) => rk.flat[rk.off[ki]],
+                        None => cfg.precision.round(ket.e_sph.as_slice()[0] * e_scale),
+                    };
+                    *out0 += ((rabq0 * rcd0) as f32) as f64 * (1.0 / (sa * e_scale));
+                }
+                t.reset([na, nb, nc, nd]);
+                t.set(0, 0, 0, 0, out[(0, 0)]);
+                return;
+            }
+
+            let mut row = 0usize;
+            for (ki, ket) in cd.prims.iter().enumerate() {
+                for x in abq.as_mut_slice() {
+                    *x = 0.0;
+                }
+                for (bi, bra) in ab.prims.iter().enumerate() {
+                    let boys_row = &boys[row * stride..(row + 1) * stride];
+                    let (alpha, pq_sep) = geom[row];
+                    row += 1;
+                    pq_matrix_from_boys_geom(
+                        bra,
+                        ket,
+                        ab.l_total(),
+                        cd.l_total(),
+                        idx,
+                        alpha,
+                        pq_sep,
+                        boys_row,
+                        pqs,
+                        pq,
+                    );
+                    let sb = scale_for(cfg, pq, target);
+                    round_into(cfg.precision, sb, pq.as_slice(), rb);
+                    gemm_rounded_engine(
+                        m,
+                        hb,
+                        hk,
+                        &bra_flat[bra_off[bi]..],
+                        rb,
+                        Transpose::No,
+                        true,
+                        1.0 / (e_scale * sb),
+                        abq.as_mut_slice(),
+                    );
+                }
+                // Second transform: (ab|cd) += (ab|q] · E_CDᵀ.
+                let sa = scale_for(cfg, abq, target);
+                round_into(cfg.precision, sa, abq.as_slice(), rabq);
+                let ket_block: &[f64] = match rounded {
+                    Some((_, rk)) => &rk.flat[rk.off[ki]..],
+                    None => {
+                        round_into(cfg.precision, e_scale, ket.e_sph.as_slice(), rcd);
+                        rcd.as_slice()
+                    }
+                };
+                gemm_rounded_engine(
+                    m,
+                    hk,
+                    ncd,
+                    rabq,
+                    ket_block,
+                    Transpose::Yes,
+                    true,
+                    1.0 / (sa * e_scale),
+                    out.as_mut_slice(),
+                );
+            }
+        }
+
+        t.reset([na, nb, nc, nd]);
+        for ia in 0..na {
+            for ib in 0..nb {
+                for ic in 0..nc {
+                    for id in 0..nd {
+                        t.set(ia, ib, ic, id, out[(ia * nb + ib, ic * nd + id)]);
+                    }
                 }
             }
         }
+    });
+}
+
+/// [`scale_for`] of a 1×1 matrix, without materializing it. `0.0.max(|v|)`
+/// reproduces `Matrix::max_abs`'s fold over the single element exactly.
+fn scale_for_scalar(cfg: &PipelineConfig, v: f64, target: f64) -> f64 {
+    match cfg.scale_policy {
+        ScalePolicy::PerGroup => {
+            let mx = 0.0f64.max(v.abs());
+            if mx > 0.0 {
+                target / mx
+            } else {
+                1.0
+            }
+        }
+        _ => 1.0,
     }
 }
 
@@ -505,19 +813,6 @@ fn scale_for(cfg: &PipelineConfig, m: &Matrix, target: f64) -> f64 {
             }
         }
         _ => 1.0,
-    }
-}
-
-fn spec_for(cfg: &PipelineConfig, a_scale: f64, b: &Matrix, target: f64) -> QuantizedGemmSpec {
-    if cfg.precision == Precision::Fp64 {
-        return QuantizedGemmSpec::fp64();
-    }
-    let b_scale = scale_for(cfg, b, target);
-    QuantizedGemmSpec {
-        input: cfg.precision,
-        accumulate: Precision::Fp32,
-        scale_a: a_scale,
-        scale_b: b_scale,
     }
 }
 

@@ -1,10 +1,14 @@
-//! General matrix multiplication: naive reference, cache-tiled, and
-//! Rayon-parallel variants.
+//! General matrix multiplication: naive reference plus the packed-tile
+//! microkernel engine ([`crate::microkernel`]).
 //!
-//! The tiled kernel mirrors the threadblock-tile structure of a CUTLASS GEMM
-//! (fixed `MC × NC × KC` tiles accumulated in registers); it is the numerical
-//! executor behind the simulated tensor-core pipelines in `mako-kernels`.
+//! [`gemm_tiled`] and [`gemm_par`] are thin entries into the BLIS-style
+//! 5-loop driver; `gemm_naive` stays as the obviously-correct accuracy
+//! oracle every other variant is tested against. The historical scalar
+//! tiled loops (including their data-dependent `aik == 0.0` skip, which
+//! defeated vectorization and made FLOP cost input-dependent) are gone:
+//! sparsity belongs to the screening layer, not the GEMM.
 
+use crate::microkernel::{self, View, MC};
 use crate::Matrix;
 use rayon::prelude::*;
 
@@ -16,11 +20,6 @@ pub enum Transpose {
     /// Use the operand's transpose.
     Yes,
 }
-
-/// Tile edge for the cache-blocked kernel. 64×64 f64 tiles (32 KiB) fit L1/L2
-/// comfortably on commodity CPUs; this deliberately matches the shared-memory
-/// tile budget the device model assigns to threadblocks.
-const TILE: usize = 64;
 
 /// Naive triple-loop reference GEMM: `C = alpha * op(A) op(B) + beta * C`.
 ///
@@ -50,8 +49,12 @@ pub fn gemm_naive(
     }
 }
 
-/// Cache-tiled GEMM, no transposes taken literally: operands are packed into
-/// contiguous tiles first (the equivalent of CUTLASS's global→shared staging).
+/// Serial packed-tile GEMM: `C = alpha * op(A) op(B) + beta * C` through the
+/// microkernel engine (AVX2 or generic, selected at startup — see
+/// [`crate::microkernel::selected_kernel`]).
+///
+/// The name survives from the pre-engine cache-tiled kernel; all callers
+/// (SCF, ERI transforms, the simulated tensor-core pipelines) route here.
 pub fn gemm_tiled(
     alpha: f64,
     a: &Matrix,
@@ -71,41 +74,17 @@ pub fn gemm_tiled(
             *x *= beta;
         }
     }
-
-    let mut a_tile = vec![0.0f64; TILE * TILE];
-    let mut b_tile = vec![0.0f64; TILE * TILE];
-
-    let cols = c.cols();
-    for i0 in (0..m).step_by(TILE) {
-        let ib = TILE.min(m - i0);
-        for k0 in (0..kk).step_by(TILE) {
-            let kb = TILE.min(kk - k0);
-            pack(a, ta, i0, k0, ib, kb, &mut a_tile);
-            for j0 in (0..n).step_by(TILE) {
-                let jb = TILE.min(n - j0);
-                pack(b, tb, k0, j0, kb, jb, &mut b_tile);
-                let cdata = c.as_mut_slice();
-                for i in 0..ib {
-                    let arow = &a_tile[i * TILE..i * TILE + kb];
-                    let crow = &mut cdata[(i0 + i) * cols + j0..(i0 + i) * cols + j0 + jb];
-                    for (k, &aik) in arow.iter().enumerate() {
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let brow = &b_tile[k * TILE..k * TILE + jb];
-                        let aik = alpha * aik;
-                        for (cij, &bkj) in crow.iter_mut().zip(brow) {
-                            *cij += aik * bkj;
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let av = View::of(a, ta);
+    let bv = View::of(b, tb);
+    microkernel::gemm_engine(alpha, av, bv, c.as_mut_slice(), n);
 }
 
-/// Rayon-parallel GEMM: rows of `C` are distributed across the thread pool,
-/// each worker running the tiled kernel over its row band.
+/// Rayon-parallel GEMM: rows of `C` are distributed across the thread pool
+/// in `MC`-row bands, each worker running the packed engine over its band.
+///
+/// Bitwise identical to [`gemm_tiled`] at every thread count: each output
+/// element's reduction sequence depends only on the fixed `KC` panel
+/// schedule, never on which band (or thread) owns its row.
 pub fn gemm_par(
     alpha: f64,
     a: &Matrix,
@@ -126,46 +105,24 @@ pub fn gemm_par(
         return;
     }
 
-    let cols = c.cols();
+    let av = View::of(a, ta);
+    let bv = View::of(b, tb);
     c.as_mut_slice()
-        .par_chunks_mut(TILE * cols)
+        .par_chunks_mut(MC * n)
         .enumerate()
         .for_each(|(band, c_band)| {
-            let i0 = band * TILE;
-            let ib = TILE.min(m - i0);
-            let mut a_tile = vec![0.0f64; TILE * TILE];
-            let mut b_tile = vec![0.0f64; TILE * TILE];
+            let i0 = band * MC;
+            let ib = MC.min(m - i0);
             if beta != 1.0 {
                 for x in c_band.iter_mut() {
                     *x *= beta;
                 }
             }
-            for k0 in (0..kk).step_by(TILE) {
-                let kb = TILE.min(kk - k0);
-                pack(a, ta, i0, k0, ib, kb, &mut a_tile);
-                for j0 in (0..n).step_by(TILE) {
-                    let jb = TILE.min(n - j0);
-                    pack(b, tb, k0, j0, kb, jb, &mut b_tile);
-                    for i in 0..ib {
-                        let arow = &a_tile[i * TILE..i * TILE + kb];
-                        let crow = &mut c_band[i * cols + j0..i * cols + j0 + jb];
-                        for (k, &aik) in arow.iter().enumerate() {
-                            if aik == 0.0 {
-                                continue;
-                            }
-                            let brow = &b_tile[k * TILE..k * TILE + jb];
-                            let aik = alpha * aik;
-                            for (cij, &bkj) in crow.iter_mut().zip(brow) {
-                                *cij += aik * bkj;
-                            }
-                        }
-                    }
-                }
-            }
+            microkernel::run_band_dispatch(&av, &bv, c_band, n, i0, ib, alpha, 1.0);
         });
 }
 
-/// Convenience wrapper: `op(A) op(B)` as a fresh matrix via the tiled kernel.
+/// Convenience wrapper: `op(A) op(B)` as a fresh matrix via the engine.
 pub fn gemm(a: &Matrix, ta: Transpose, b: &Matrix, tb: Transpose) -> Matrix {
     let (m, _) = op_shape(a, ta);
     let (_, n) = op_shape(b, tb);
@@ -187,27 +144,6 @@ fn get(a: &Matrix, t: Transpose, i: usize, j: usize) -> f64 {
     match t {
         Transpose::No => a[(i, j)],
         Transpose::Yes => a[(j, i)],
-    }
-}
-
-/// Pack the logical block `[r0..r0+nr) × [c0..c0+nc)` of `op(a)` into a
-/// TILE-strided contiguous buffer (zero-padded tail columns are left stale
-/// but never read because loop bounds use the true block sizes).
-fn pack(a: &Matrix, t: Transpose, r0: usize, c0: usize, nr: usize, nc: usize, buf: &mut [f64]) {
-    match t {
-        Transpose::No => {
-            for i in 0..nr {
-                let src = &a.row(r0 + i)[c0..c0 + nc];
-                buf[i * TILE..i * TILE + nc].copy_from_slice(src);
-            }
-        }
-        Transpose::Yes => {
-            for i in 0..nr {
-                for j in 0..nc {
-                    buf[i * TILE + j] = a[(c0 + j, r0 + i)];
-                }
-            }
-        }
     }
 }
 
@@ -261,6 +197,17 @@ mod tests {
         gemm_naive(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c1);
         gemm_par(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c2);
         assert_close(&c1, &c2, 1e-10);
+    }
+
+    #[test]
+    fn par_matches_tiled_bitwise() {
+        let a = deterministic(260, 100, 13);
+        let b = deterministic(100, 80, 14);
+        let mut c1 = deterministic(260, 80, 15);
+        let mut c2 = c1.clone();
+        gemm_tiled(0.9, &a, Transpose::No, &b, Transpose::No, 1.1, &mut c1);
+        gemm_par(0.9, &a, Transpose::No, &b, Transpose::No, 1.1, &mut c2);
+        assert_eq!(c1.as_slice(), c2.as_slice());
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! diagonalization), Cholesky factorization, and symmetric matrix functions
 //! (Löwdin orthogonalization `S^{-1/2}`).
 //!
-//! Everything operates on the row-major [`Matrix`] type. GEMMs come in naive,
-//! cache-tiled, and Rayon-parallel flavors; the tiled kernel is also the
+//! Everything operates on the row-major [`Matrix`] type. GEMMs come in
+//! naive, serial packed-tile, and Rayon-parallel flavors; the packed-tile
+//! [`microkernel`] engine (BLIS-style 5-loop blocking around an `MR × NR`
+//! register tile, AVX2 or generic kernel selected at startup) is also the
 //! numerical executor behind the simulated tensor-core GEMMs in
 //! `mako-kernels` (with operand rounding applied by the caller).
 
@@ -21,6 +23,7 @@ pub mod funcs;
 pub mod gemm;
 pub mod lobpcg;
 pub mod matrix;
+pub mod microkernel;
 
 pub use cholesky::{cholesky, solve_cholesky};
 pub use eigen::{eigh, EigenDecomposition};
@@ -28,6 +31,7 @@ pub use funcs::{sym_func, sym_inv_sqrt, sym_inv_sqrt_diag, sym_sqrt, OrthFactor}
 pub use gemm::{gemm, gemm_naive, gemm_par, gemm_tiled, Transpose};
 pub use lobpcg::{lobpcg, LobpcgResult};
 pub use matrix::Matrix;
+pub use microkernel::{gemm_rounded_engine, kernel_name, selected_kernel, KernelId};
 
 /// Errors surfaced by the linear-algebra routines.
 #[derive(Debug, Clone, PartialEq)]

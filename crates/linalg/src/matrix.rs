@@ -51,6 +51,15 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Reshape in place to `rows × cols` and zero-fill, reusing the backing
+    /// allocation — the scratch-reuse primitive for per-quartet hot loops.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

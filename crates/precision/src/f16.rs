@@ -194,6 +194,62 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
     out
 }
 
+/// Batched `round(x · scale)` through f16 storage, appended to `dst`:
+/// each element is `F16::from_f64(x * scale)` widened back to `f64`.
+///
+/// On x86-64 hosts with F16C + AVX this uses the hardware converter
+/// (`VCVTPD2PS` → `VCVTPS2PH` round-to-nearest-even → widen back), which
+/// implements the same IEEE conversion as [`f32_to_f16_bits`]: identical
+/// bits for every finite, subnormal, and infinite input. The only divergence
+/// class is NaN *payloads* (hardware propagates mantissa bits, the software
+/// path canonicalizes to `0x7E00`); the quantized pipeline never rounds
+/// NaNs, and [`tests::hardware_path_matches_software_bitwise`] pins the
+/// non-NaN equivalence exhaustively over the f16 range.
+pub fn round_scaled_extend_f16(scale: f64, src: &[f64], dst: &mut Vec<f64>) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("f16c") && std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: the required target features were just detected.
+        unsafe { round_scaled_extend_f16c(scale, src, dst) };
+        return;
+    }
+    dst.extend(
+        src.iter()
+            .map(|&x| f16_bits_to_f32(f32_to_f16_bits((x * scale) as f32)) as f64),
+    );
+}
+
+/// F16C body of [`round_scaled_extend_f16`]: 4 lanes per iteration, scalar
+/// software tail. Every step is a correctly-rounded IEEE conversion, so the
+/// lanes match the scalar path bit for bit (non-NaN inputs).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx,f16c")]
+unsafe fn round_scaled_extend_f16c(scale: f64, src: &[f64], dst: &mut Vec<f64>) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    dst.reserve(n);
+    let s = _mm256_set1_pd(scale);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        // SAFETY: `i + 4 <= n` bounds the load; `reserve(n)` above bounds
+        // the store; both intrinsics are unaligned-tolerant.
+        unsafe {
+            let x = _mm256_loadu_pd(src.as_ptr().add(i));
+            let scaled = _mm256_mul_pd(x, s); // one f64 multiply, as scalar
+            let narrow = _mm256_cvtpd_ps(scaled); // f64→f32 RN (== `as f32`)
+            let half = _mm_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(narrow);
+            let back = _mm_cvtph_ps(half); // exact widening
+            let wide = _mm256_cvtps_pd(back); // exact widening
+            let len = dst.len();
+            _mm256_storeu_pd(dst.as_mut_ptr().add(len), wide);
+            dst.set_len(len + 4);
+        }
+        i += 4;
+    }
+    for &x in &src[i..] {
+        dst.push(f16_bits_to_f32(f32_to_f16_bits((x * scale) as f32)) as f64);
+    }
+}
+
 /// Convert an `f16` bit pattern to `f32` exactly.
 pub fn f16_bits_to_f32(h: u16) -> f32 {
     let sign = ((h & 0x8000) as u32) << 16;
@@ -301,6 +357,55 @@ mod tests {
         assert_eq!((a * b).to_f32(), 3.375);
         assert_eq!((a - b).to_f32(), -0.75);
         assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    /// The batched converter (hardware F16C path where the host has it) must
+    /// match the scalar software path bit for bit on every non-NaN input:
+    /// all 2^16 exact f16 values, the rounding neighborhoods around each
+    /// (±ε perturbations exercising the ties-to-even logic), the
+    /// overflow/underflow boundaries, and a dense LCG sweep of f32 patterns.
+    #[test]
+    fn hardware_path_matches_software_bitwise() {
+        let mut inputs: Vec<f64> = Vec::new();
+        for bits in 0u16..=0xFFFF {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let v = h.to_f64();
+            inputs.push(v);
+            inputs.push(v * (1.0 + 3e-4)); // just above: round-down cases
+            inputs.push(v * (1.0 - 3e-4)); // just below: round-up cases
+            inputs.push(v * (1.0 + 2.44140625e-4)); // exact half-ulp: ties
+        }
+        for &b in &[65503.9, 65504.0, 65519.0, 65520.0, 65536.0, 1e30, -1e30] {
+            inputs.push(b);
+        }
+        inputs.push(f64::INFINITY);
+        inputs.push(f64::NEG_INFINITY);
+        // Dense pseudo-random f32 patterns (finite only).
+        let mut s = 0x9E3779B97F4A7C15u64;
+        for _ in 0..200_000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let f = f32::from_bits((s >> 32) as u32);
+            if f.is_finite() {
+                inputs.push(f as f64);
+            }
+        }
+
+        for &scale in &[1.0f64, 0.125, 3.0, 1.0e-3, 7.5e2] {
+            let mut batched = Vec::new();
+            round_scaled_extend_f16(scale, &inputs, &mut batched);
+            assert_eq!(batched.len(), inputs.len());
+            for (&x, &got) in inputs.iter().zip(&batched) {
+                let want = f16_bits_to_f32(f32_to_f16_bits((x * scale) as f32)) as f64;
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "x={x:e} scale={scale}: batched {got:e} vs scalar {want:e}"
+                );
+            }
+        }
     }
 
     #[test]

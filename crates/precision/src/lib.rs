@@ -98,6 +98,22 @@ impl Precision {
         }
     }
 
+    /// Batched [`Precision::round`] of `x · scale`, appended to `dst` — the
+    /// hot "load a pre-scaled operand block into tensor-core registers" step
+    /// of the quartet pipeline.
+    ///
+    /// Semantically identical to
+    /// `dst.extend(src.iter().map(|&x| self.round(x * scale)))`; the `Fp16`
+    /// case additionally takes a hardware fast path (F16C `VCVTPS2PH`, where
+    /// the host has it) that is bit-identical to the software converter for
+    /// every non-NaN input (see [`f16::round_scaled_extend_f16`]).
+    pub fn round_scaled_extend(self, scale: f64, src: &[f64], dst: &mut Vec<f64>) {
+        match self {
+            Precision::Fp16 => f16::round_scaled_extend_f16(scale, src, dst),
+            _ => dst.extend(src.iter().map(|&x| self.round(x * scale))),
+        }
+    }
+
     /// Short lowercase name used in benchmark output rows.
     pub const fn name(self) -> &'static str {
         match self {

@@ -304,7 +304,10 @@ pub fn build_jk_with_configs(
     // when tracing is on, so the untraced hot path pays zero clock reads.
     let (mut evaluate_seconds, mut scatter_seconds) = (0.0f64, 0.0f64);
     for u in &units {
-        let runner = QuartetRunner::new(&u.class, &u.cfg, u.e_scale);
+        // `for_pairs` carries the sub-unit's rounded-operand cache: each
+        // screened pair's E blocks are rounded at the group scale once and
+        // shared across every quartet (and wave) of the sub-unit.
+        let runner = QuartetRunner::for_pairs(&u.class, &u.cfg, u.e_scale, pairs.len());
         for wave in u.quartets.chunks(wave_len) {
             scratch.truncate(wave.len());
             scratch.resize_with(wave.len(), || Tensor4::zeros([0; 4]));
@@ -312,7 +315,7 @@ pub fn build_jk_with_configs(
             scratch
                 .par_iter_mut()
                 .zip(wave.par_iter())
-                .for_each(|(t, &(pi, qi))| runner.run_into(&pairs[pi], &pairs[qi], t));
+                .for_each(|(t, &(pi, qi))| runner.run_indexed(pairs, pi, qi, t));
             if let Some(t0) = t_eval {
                 evaluate_seconds += t0.elapsed().as_secs_f64();
             }

@@ -271,6 +271,9 @@ pub const KNOWN_EVENTS: &[&str] = &[
     "compiler.cache_hits",
     "compiler.cache_misses",
     "accel.clock",
+    "kernel.dispatch",
+    "gemm.pack",
+    "gemm.microkernel",
 ];
 
 /// Whether a `cat.name` identifier is part of the documented schema.

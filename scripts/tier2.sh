@@ -21,6 +21,15 @@ MAKO_BENCH_MAX_QUARTETS=2000 MAKO_THREADS=1,2 \
     MAKO_BENCH_OUT=target/BENCH_fock_smoke.json \
     cargo run --release -p mako-bench --bin host_fock_bench
 
+echo "== tier2: gemm_microbench (smoke: spliced into the smoke BENCH doc) =="
+MAKO_SMOKE=1 MAKO_BENCH_OUT=target/BENCH_fock_smoke.json \
+    cargo run --release -p mako-bench --bin gemm_microbench
+grep -q '"gemm":' target/BENCH_fock_smoke.json \
+    || { echo "gemm_microbench did not splice a gemm section" >&2; exit 1; }
+
+echo "== tier2: microkernel determinism (full linalg suite under MAKO_KERNEL=generic) =="
+MAKO_KERNEL=generic cargo test --release -q -p mako-linalg
+
 echo "== tier2: incremental_scf_bench (smoke: water4, 1/2 threads) =="
 MAKO_SMOKE=1 MAKO_THREADS=1,2 \
     MAKO_BENCH_OUT=target/BENCH_scf_smoke.json \

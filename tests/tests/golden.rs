@@ -24,9 +24,12 @@ use mako::scf::{DistributedScf, RescueConfig, RescueStage, ScfConfig, ScfDriver,
 const E_WATER: f64 = -74.962_928_418_750;
 /// Converged RHF/STO-3G total energy of the water trimer (Hartree).
 const E_WATER3: f64 = -224.883_558_801_398;
-/// Converged RHF/STO-3G energy of 3×-stretched water, reachable only
-/// through the full rescue ladder (`e_tol = 1e-8`).
-const E_STRETCH3_RESCUED: f64 = -74.265_527_123_927;
+/// Converged RHF/STO-3G energy of 3.5×-stretched water, reachable only
+/// through the full rescue ladder (`e_tol = 1e-8`). Re-pinned (3× → 3.5×)
+/// when the packed-microkernel GEMM regrouped FP64 summation: the 1-ulp
+/// Fock shifts nudged the 3× fixture off the edge of chaos and plain DIIS
+/// started converging on it, so it no longer exercised the ladder.
+const E_STRETCH3_RESCUED: f64 = -74.257_552_560_520;
 /// Conformance window around the pinned references.
 const TOL: f64 = 1e-9;
 
@@ -215,12 +218,12 @@ fn golden_rescue_is_bitwise_inert_on_healthy_trimer() {
 
 #[test]
 fn golden_pathological_stretch_recovers_only_with_full_ladder() {
-    // 3×-stretched water is the deterministic pathology: restricted SCF
+    // 3.5×-stretched water is the deterministic pathology: restricted SCF
     // with plain DIIS never converges in 60 iterations, while the rescue
     // ladder walks through ALL five stages — DIIS reset, density damping,
     // level shifting, quantization backoff, checkpoint rollback — and
     // lands on a pinned energy, bitwise reproducible across thread counts.
-    let mol = builders::stretched_water(3.0);
+    let mol = builders::stretched_water(3.5);
     let config = |rescue: Option<RescueConfig>| ScfConfig {
         e_tol: 1e-8,
         max_iterations: 60,
