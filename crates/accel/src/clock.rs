@@ -160,6 +160,44 @@ impl DeviceClock {
     }
 }
 
+/// Fleet-level accounting of an ensemble (lockstep multi-molecule) run.
+///
+/// Cross-molecule launch fusion changes *pricing only*: each member keeps
+/// its own [`DeviceClock`] trajectory, while the ensemble driver records
+/// here what the fusion saved — per super-iteration launch counts and the
+/// fused-vs-solo device seconds — plus the shared [`RecoveryLedger`] of the
+/// ensemble's fault-tolerant dispatch (faults hit *launches*, which belong
+/// to the fleet, so their accounting lives at the fleet level too; member
+/// results stay fault-silent by design).
+#[derive(Debug, Clone, Default)]
+pub struct EnsembleLedger {
+    /// Lockstep super-iterations executed (max member iteration count).
+    pub super_iterations: usize,
+    /// Fused cross-molecule launches actually priced.
+    pub fused_launches: usize,
+    /// Launches the same work would have cost one-molecule-at-a-time.
+    pub solo_launches: usize,
+    /// ERI device seconds as priced through the fused launches.
+    pub fused_device_seconds: f64,
+    /// ERI device seconds the same sub-batches would have been priced at
+    /// with per-molecule launches.
+    pub solo_device_seconds: f64,
+    /// Roll-up of the recovery machinery's work across the whole run.
+    pub recovery: crate::fault::RecoveryLedger,
+}
+
+impl EnsembleLedger {
+    /// Device seconds saved by fusing launches across molecules.
+    pub fn fusion_savings_seconds(&self) -> f64 {
+        self.solo_device_seconds - self.fused_device_seconds
+    }
+
+    /// Launches avoided by the fusion.
+    pub fn launches_avoided(&self) -> usize {
+        self.solo_launches.saturating_sub(self.fused_launches)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

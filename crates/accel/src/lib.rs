@@ -43,7 +43,7 @@ pub mod kernel;
 pub mod occupancy;
 pub mod swizzle;
 
-pub use clock::{DeviceClock, IterationLedger};
+pub use clock::{DeviceClock, EnsembleLedger, IterationLedger};
 pub use fault::{FaultConfig, FaultPlan, RankFaults, RecoveryLedger};
 pub use cluster::{ClusterSpec, InterconnectTier, RingAllreduce};
 pub use device::{DeviceKind, DeviceSpec};

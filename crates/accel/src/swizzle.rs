@@ -23,7 +23,7 @@ pub fn swizzle_xor(x_logical: usize, y_logical: usize, width: usize) -> (usize, 
 }
 
 /// Shared-memory layouts a tile can use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SmemLayout {
     /// Row-major as produced (striped across threads).
     Linear,

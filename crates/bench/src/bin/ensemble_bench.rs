@@ -1,0 +1,247 @@
+//! Ensemble throughput benchmark: N perturbed water clusters run
+//! one-at-a-time vs in lockstep through the [`mako_scf::EnsembleDriver`],
+//! which fuses same-class quartet sub-batches *across molecules* into shared
+//! kernel launches and shares one tuner cache fleet-wide.
+//!
+//! Reported both ways: **molecules/s** and **device-seconds/molecule** (the
+//! simulated-device clock, the paper's currency), plus host wall time. The
+//! batched run must beat the solo baseline on the device clock — launch
+//! latency is amortized across the fleet — while every member stays
+//! **bitwise identical** to its one-at-a-time run (energy, density,
+//! iterations; the device clock is the one observable fusion may change).
+//!
+//! Results land in `BENCH_batch.json` (schema documented in DESIGN.md §9).
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin ensemble_bench
+//! ```
+//!
+//! Knobs: `MAKO_SMOKE=1` (6 water monomers, 1/2 threads — for CI boxes),
+//! `MAKO_ENSEMBLE_SIZE` (member count, default 100), `MAKO_CLUSTER_WATERS`
+//! (waters per cluster, default 2), `MAKO_THREADS` (comma-separated thread
+//! counts, default `1,2,4,8`), `MAKO_BENCH_OUT` (output path, default
+//! `BENCH_batch.json` — smoke harnesses point this at scratch).
+
+use mako_chem::basis::sto3g::sto3g;
+use mako_chem::builders;
+use mako_scf::{EnsembleConfig, EnsembleDriver, ScfConfig, ScfDriver, ScfResult};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or(default)
+}
+
+fn env_thread_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Bitwise identity on every observable the fusion must not touch. The
+/// device clock (`total_seconds`, `iteration_seconds`) is deliberately
+/// excluded: fused launch pricing is the thing this benchmark measures.
+fn members_bitwise_equal(a: &ScfResult, b: &ScfResult) -> bool {
+    a.energy.to_bits() == b.energy.to_bits()
+        && a.iterations == b.iterations
+        && a.converged == b.converged
+        && a.density
+            .as_slice()
+            .iter()
+            .zip(b.density.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn main() {
+    mako_trace::init_from_env();
+    let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let (n_default, waters_default) = if smoke { (6, 1) } else { (100, 2) };
+    let n = env_usize("MAKO_ENSEMBLE_SIZE", n_default);
+    let waters = env_usize("MAKO_CLUSTER_WATERS", waters_default);
+    let config = ScfConfig::default();
+
+    let mols: Vec<_> = (0..n as u64)
+        .map(|seed| builders::perturbed_water_cluster(waters, seed, 0.02))
+        .collect();
+    println!(
+        "ensemble_bench: {n} perturbed (H2O){waters} clusters (STO-3G, ±0.02 Å)  \
+         host_cpus={host_cpus}  smoke={smoke}"
+    );
+
+    // ---- Solo baseline: one driver (and one tuning pass) per molecule. ----
+    let t0 = Instant::now();
+    let solo: Vec<ScfResult> = mols
+        .iter()
+        .map(|mol| {
+            ScfDriver::new(mol, &sto3g(), config.clone())
+                .run()
+                .expect("solo run")
+        })
+        .collect();
+    let solo_wall = t0.elapsed().as_secs_f64();
+    assert!(solo.iter().all(|r| r.converged), "solo baseline diverged");
+    let solo_device: f64 = solo.iter().map(|r| r.total_seconds).sum();
+
+    // ---- Batched: one fleet, shared tuning, fused launches. ----
+    let t0 = Instant::now();
+    let driver = EnsembleDriver::try_new(&mols, &sto3g(), config.clone(), EnsembleConfig::default())
+        .expect("ensemble driver");
+    let batch = driver.run();
+    let batch_wall = t0.elapsed().as_secs_f64();
+    assert!(batch.all_converged(), "batched run diverged");
+    let batch_device = batch.total_member_device_seconds();
+
+    // ---- Per-molecule bitwise identity (the fusion contract). ----
+    let mut identical = true;
+    for (m, member) in batch.members.iter().enumerate() {
+        let got = member.as_ref().expect("member result");
+        if !members_bitwise_equal(got, &solo[m]) {
+            identical = false;
+            eprintln!("member {m} diverged from its solo run: {}", mols[m].name);
+        }
+    }
+    assert!(identical, "fusion perturbed member numerics");
+
+    let ledger = &batch.ledger;
+    let solo_rate = n as f64 / solo_device;
+    let batch_rate = n as f64 / batch_device;
+    println!(
+        "  solo:    {solo_device:.6} device-s total  {:.6} device-s/molecule  \
+         {solo_rate:.2} molecules/device-s  ({solo_wall:.2} s wall)",
+        solo_device / n as f64
+    );
+    println!(
+        "  batched: {batch_device:.6} device-s total  {:.6} device-s/molecule  \
+         {batch_rate:.2} molecules/device-s  ({batch_wall:.2} s wall)",
+        batch_device / n as f64
+    );
+    println!(
+        "  fusion:  {} launches → {} ({} avoided)  saving {:.6} device-s  \
+         tuner: {} sweeps, {} cache hits",
+        ledger.solo_launches,
+        ledger.fused_launches,
+        ledger.launches_avoided(),
+        ledger.fusion_savings_seconds(),
+        driver.cache_tunes(),
+        driver.cache_hits(),
+    );
+    assert!(
+        batch_device < solo_device,
+        "batched device time did not beat solo: {batch_device} vs {solo_device}"
+    );
+
+    // ---- Thread sweep: the batched fleet is bitwise thread-invariant, ----
+    // ---- device clock included (fused pricing is deterministic).      ----
+    let default_threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let thread_list = env_thread_list("MAKO_THREADS", default_threads);
+    let mut rows: Vec<(usize, f64, bool)> = Vec::new();
+    let mut all_bitwise = true;
+    for &threads in &thread_list {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let t0 = Instant::now();
+        let rerun = pool.install(|| driver.run());
+        let wall = t0.elapsed().as_secs_f64();
+        let bitwise = rerun
+            .members
+            .iter()
+            .zip(&batch.members)
+            .all(|(a, b)| {
+                let (a, b) = (
+                    a.as_ref().expect("member result"),
+                    b.as_ref().expect("member result"),
+                );
+                members_bitwise_equal(a, b)
+                    && a.total_seconds.to_bits() == b.total_seconds.to_bits()
+            })
+            && rerun.ledger.fused_device_seconds.to_bits()
+                == ledger.fused_device_seconds.to_bits();
+        all_bitwise &= bitwise;
+        println!(
+            "  {threads} thread(s): {wall:.2} s wall  {:.2} molecules/s  bitwise_identical={bitwise}",
+            n as f64 / wall
+        );
+        rows.push((threads, wall, bitwise));
+    }
+    assert!(all_bitwise, "batched fleet drifted across thread counts");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"ensemble_bench\",");
+    let _ = writeln!(json, "  \"molecules\": {n},");
+    let _ = writeln!(json, "  \"waters_per_cluster\": {waters},");
+    let _ = writeln!(json, "  \"perturbation_angstrom\": 0.02,");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"solo\": {{\"wall_s\": {solo_wall:.6}, \"device_s\": {solo_device:.9}, \
+         \"device_s_per_molecule\": {:.9}, \"molecules_per_device_s\": {solo_rate:.6}, \
+         \"molecules_per_wall_s\": {:.6}}},",
+        solo_device / n as f64,
+        n as f64 / solo_wall
+    );
+    let _ = writeln!(
+        json,
+        "  \"batched\": {{\"wall_s\": {batch_wall:.6}, \"device_s\": {batch_device:.9}, \
+         \"device_s_per_molecule\": {:.9}, \"molecules_per_device_s\": {batch_rate:.6}, \
+         \"molecules_per_wall_s\": {:.6}}},",
+        batch_device / n as f64,
+        n as f64 / batch_wall
+    );
+    let _ = writeln!(
+        json,
+        "  \"device_speedup\": {:.6},",
+        solo_device / batch_device
+    );
+    let _ = writeln!(
+        json,
+        "  \"fusion\": {{\"super_iterations\": {}, \"fused_launches\": {}, \
+         \"solo_launches\": {}, \"launches_avoided\": {}, \"savings_device_s\": {:.9}}},",
+        ledger.super_iterations,
+        ledger.fused_launches,
+        ledger.solo_launches,
+        ledger.launches_avoided(),
+        ledger.fusion_savings_seconds()
+    );
+    let _ = writeln!(
+        json,
+        "  \"tuner\": {{\"sweeps\": {}, \"cache_hits\": {}}},",
+        driver.cache_tunes(),
+        driver.cache_hits()
+    );
+    let _ = writeln!(json, "  \"threads\": [");
+    for (i, (threads, wall, bitwise)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"wall_s\": {wall:.6}, \"bitwise_identical\": {bitwise}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"bitwise_identical_all\": {all_bitwise}");
+    let _ = writeln!(json, "}}");
+    let out =
+        std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_batch.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+    match mako_trace::flush() {
+        Some(Ok(path)) => println!("trace written to {path}"),
+        Some(Err(e)) => eprintln!("warning: trace write failed: {e}"),
+        None => {}
+    }
+}

@@ -98,6 +98,48 @@ pub fn water_cluster(n: usize) -> Molecule {
     m
 }
 
+/// Jitter every atomic coordinate by a seeded uniform offset in
+/// `[-magnitude, +magnitude]` Å. Deterministic (the LCG stream of
+/// [`synthetic_protein`], keyed by `seed`), so the same `(geometry, seed,
+/// magnitude)` always yields the same molecule — the supply line for
+/// ensemble conformance tests and the throughput bench, where hundreds of
+/// *distinct but reproducible* near-equilibrium geometries are needed.
+/// Keep `magnitude` small (≲ 0.05 Å) so the perturbed geometry stays in the
+/// same SCF basin as its parent.
+pub fn perturb_geometry(mut m: Molecule, seed: u64, magnitude_angstrom: f64) -> Molecule {
+    // Injective odd seeding (seed → 2·seed+1): adjacent seeds must yield
+    // distinct streams, which a plain `seed | 1` would collide on every
+    // even/odd pair.
+    let mut state = seed.wrapping_mul(2).wrapping_add(1);
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mag_bohr = magnitude_angstrom * BOHR_PER_ANGSTROM;
+    for atom in &mut m.atoms {
+        for c in &mut atom.position {
+            *c += mag_bohr * (2.0 * rnd() - 1.0);
+        }
+    }
+    m.name = format!("{}~{seed}", m.name);
+    m
+}
+
+/// A seeded near-equilibrium water monomer: [`water`] with every coordinate
+/// jittered by up to `magnitude_angstrom` (see [`perturb_geometry`]).
+pub fn perturbed_water(seed: u64, magnitude_angstrom: f64) -> Molecule {
+    perturb_geometry(water(), seed, magnitude_angstrom)
+}
+
+/// A seeded perturbed `(H2O)ₙ` cluster: [`water_cluster`] with every
+/// coordinate jittered by up to `magnitude_angstrom` — the "100 perturbed
+/// water clusters" ensemble workload.
+pub fn perturbed_water_cluster(n: usize, seed: u64, magnitude_angstrom: f64) -> Molecule {
+    perturb_geometry(water_cluster(n), seed, magnitude_angstrom)
+}
+
 /// A polyglycine chain (gly)ₙ in an extended (β-strand-like) conformation —
 /// the linear workloads of Figure 8.
 ///
@@ -337,6 +379,45 @@ mod tests {
     #[test]
     fn water_cluster_is_deterministic() {
         assert_eq!(water_cluster(7), water_cluster(7));
+    }
+
+    #[test]
+    fn perturbed_geometries_are_seeded_and_bounded() {
+        // Same seed → bitwise identical; different seed → different.
+        assert_eq!(perturbed_water(42, 0.02), perturbed_water(42, 0.02));
+        assert_ne!(perturbed_water(42, 0.02), perturbed_water(43, 0.02));
+        // Adjacent seeds must differ in *geometry*, not just in name (the
+        // molecule name records the seed, so `assert_ne!` alone would pass
+        // even if the jitter streams collided).
+        let a = perturbed_water(42, 0.02);
+        let b = perturbed_water(43, 0.02);
+        assert!(
+            a.atoms
+                .iter()
+                .zip(&b.atoms)
+                .any(|(x, y)| x.position != y.position),
+            "adjacent seeds produced identical geometries"
+        );
+        assert_eq!(
+            perturbed_water_cluster(4, 7, 0.02),
+            perturbed_water_cluster(4, 7, 0.02)
+        );
+        // Every coordinate moves by at most the magnitude.
+        let base = water_cluster(4);
+        let p = perturbed_water_cluster(4, 7, 0.02);
+        let bound = 0.02 * BOHR_PER_ANGSTROM;
+        let mut moved = false;
+        for (a, b) in base.atoms.iter().zip(&p.atoms) {
+            for d in 0..3 {
+                let delta = (a.position[d] - b.position[d]).abs();
+                assert!(delta <= bound + 1e-12, "delta {delta} exceeds {bound}");
+                moved |= delta > 0.0;
+            }
+        }
+        assert!(moved, "perturbation must actually move atoms");
+        // The name records the seed so traces and benches can tell members
+        // apart.
+        assert_eq!(p.name, "(H2O)4~7");
     }
 
     #[test]

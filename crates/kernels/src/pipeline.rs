@@ -32,7 +32,11 @@ pub enum FusionStrategy {
 }
 
 /// Configuration of a pipeline run — the tunables CompilerMako sweeps.
-#[derive(Debug, Clone, Copy)]
+///
+/// Equality and hashing are derived so callers can group quartet sub-batches
+/// by *launch identity* `(EriClass, PipelineConfig)`: two sub-batches with
+/// equal keys would compile to the same kernel and can share one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PipelineConfig {
     /// Fusion strategy.
     pub fusion: FusionStrategy,
@@ -317,6 +321,32 @@ pub fn batch_device_seconds(
         .iter()
         .map(|p| model.evaluate(p).total_s)
         .sum()
+}
+
+/// Price one *fused* launch covering several same-class, same-config quartet
+/// sub-batches (typically from independent molecules run in lockstep), and
+/// the per-launch baseline it replaces.
+///
+/// Returns `(fused_seconds, solo_seconds)`: the cost of a single launch over
+/// `Σ counts` quartets versus the sum of one launch per sub-batch. Because
+/// every [`KernelProfile`] carries fixed per-launch latency on top of its
+/// throughput terms, `fused ≤ solo` always, with strict savings whenever
+/// `counts.len() > 1` — that gap is exactly the launch-amortization win the
+/// ensemble driver banks. Pricing only: the numerics of each sub-batch are
+/// evaluated per molecule and never mixed.
+pub fn fused_batch_device_seconds(
+    class: &EriClass,
+    counts: &[usize],
+    cfg: &PipelineConfig,
+    model: &CostModel,
+) -> (f64, f64) {
+    let total: usize = counts.iter().sum();
+    let fused = batch_device_seconds(class, total, cfg, model);
+    let solo = counts
+        .iter()
+        .map(|&n| batch_device_seconds(class, n, cfg, model))
+        .sum();
+    (fused, solo)
 }
 
 /// Group scale for the E operands of one quartet population: one scale per
@@ -1008,6 +1038,39 @@ mod tests {
         let f64_foot = smem_footprint(&class, &tiled);
         let f16_foot = smem_footprint(&class, &PipelineConfig::quant_mako());
         assert!(f16_foot < f64_foot, "{f16_foot} !< {f64_foot}");
+    }
+
+    #[test]
+    fn fused_launch_never_costs_more_than_per_molecule_launches() {
+        // total_s = launches·latency + max(compute, memory) with compute and
+        // memory linear in n, so fusing k sub-batches into one launch saves
+        // at least (k−1) launch latencies — the amortization the ensemble
+        // driver measures.
+        let model = CostModel::new(DeviceSpec::a100());
+        let class = EriClass {
+            la: 1,
+            lb: 0,
+            lc: 1,
+            ld: 0,
+            kab: 3,
+            kcd: 3,
+        };
+        for cfg in [PipelineConfig::kernel_mako_fp64(), PipelineConfig::quant_mako()] {
+            for counts in [vec![7usize], vec![7, 13], vec![4, 4, 4, 4, 4, 4, 4, 4]] {
+                let (fused, solo) = fused_batch_device_seconds(&class, &counts, &cfg, &model);
+                assert!(fused > 0.0 && fused.is_finite());
+                assert!(fused <= solo, "fused {fused} > solo {solo} for {counts:?}");
+                if counts.len() > 1 {
+                    let latency = model.device.launch_latency;
+                    assert!(
+                        solo - fused >= (counts.len() - 1) as f64 * latency * 0.99,
+                        "amortization below the launch-latency floor: {} < {}",
+                        solo - fused,
+                        (counts.len() - 1) as f64 * latency
+                    );
+                }
+            }
+        }
     }
 
     #[test]

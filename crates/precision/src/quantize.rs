@@ -16,7 +16,7 @@
 use crate::{F16, Precision};
 
 /// How scale factors are assigned to data blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScalePolicy {
     /// One scale for the whole tensor (the naive strategy the paper warns
     /// about — kept for the ablation benches).

@@ -1,0 +1,477 @@
+//! Lockstep ensemble SCF: N independent molecules sharing one device.
+//!
+//! High-throughput workloads (conformer screens, perturbed-geometry sweeps,
+//! training-data generation) run *fleets* of small SCF jobs, and one
+//! molecule's sub-batches are too small to amortize kernel-launch latency —
+//! exactly the overhead the paper's batched execution model exists to hide.
+//! The [`EnsembleDriver`] runs its members in lockstep super-iterations and
+//! fuses same-shape work across molecules into shared launches:
+//!
+//! * **Tuning is shared.** All members are built through one
+//!   [`KernelCache`], so each `(EriClass, Precision)` pair is tuned once for
+//!   the fleet instead of once per molecule. `tune_class` is deterministic,
+//!   so a shared-cache driver is configured identically to a solo one — only
+//!   the tuning wall time is amortized.
+//! * **Launches are fused, pricing only.** Each super-iteration plans every
+//!   live member's Fock build (phases 0–1 of the engine), then groups the
+//!   resulting sub-batches across members by `(EriClass, PipelineConfig)` —
+//!   the launch-identity key — and prices each group as ONE batched launch
+//!   ([`fused_batch_device_seconds`]). The fused cost is apportioned back to
+//!   member clocks pro-rata by quartet count. Nothing numeric crosses
+//!   molecules: schedules, group quantization scales, densities, DIIS and
+//!   rescue state are all per-member, so every member's trajectory is
+//!   **bitwise identical** to its solo run — only its device clock (the
+//!   thing the fusion improves) differs.
+//! * **Members are isolated.** Each member steps its own
+//!   [`ScfSession`](crate::scf): a diverging or non-finite member escalates
+//!   through its own rescue ladder or drains out with its own error, without
+//!   perturbing or stalling its neighbors. Finished molecules leave the
+//!   lockstep; the fleet keeps going until every member is drained.
+//! * **Faults hit the fleet, not the members.** An optional seeded
+//!   [`FaultPlan`] injects transient launch failures and rank loss into the
+//!   fused-launch dispatch (round-robin over simulated ranks). Recovery
+//!   (retry with backoff, re-running a dead rank's launches on survivors) is
+//!   priced on the ensemble's [`EnsembleLedger`]; member results stay
+//!   fault-silent and bitwise identical to a fault-free batched run.
+//!
+//! Trace spans: `ensemble.run` (fleet), `ensemble.iteration` (per
+//! super-iteration), `ensemble.launch` (per fused launch, with its
+//! cross-molecule composition), `ensemble.member` (per member per
+//! super-iteration).
+
+use crate::error::ScfError;
+use crate::fock::{plan_jk, FockPlan};
+use crate::scf::{PreparedIteration, ScfConfig, ScfDriver, ScfResult, ScfRunOptions, ScfSession};
+use mako_accel::fault::{FaultPlan, RecoveryLedger};
+use mako_accel::EnsembleLedger;
+use mako_chem::{BasisSet, Molecule};
+use mako_compiler::KernelCache;
+use mako_eri::batch::EriClass;
+use mako_kernels::pipeline::{fused_batch_device_seconds, PipelineConfig};
+
+/// One fused cross-molecule launch: the launch-identity key plus the
+/// `(staged index, sub-unit index)` coordinates of every member sub-batch
+/// it covers.
+type LaunchGroup = ((EriClass, PipelineConfig), Vec<(usize, usize)>);
+
+/// Fleet-level knobs of an ensemble run.
+#[derive(Debug, Clone)]
+pub struct EnsembleConfig {
+    /// Simulated ranks the fused launches are dispatched over (round-robin).
+    /// With one rank the dispatch is trivially serial.
+    pub ranks: usize,
+    /// Optional seeded fault plan for chaos runs. Faults are injected into
+    /// the fused-launch dispatch and accounted on the ensemble ledger;
+    /// member numerics never see them.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> EnsembleConfig {
+        EnsembleConfig {
+            ranks: 1,
+            fault_plan: None,
+        }
+    }
+}
+
+/// The outcome of an ensemble run: one result per member, in input order,
+/// plus the fleet ledger.
+#[derive(Debug)]
+pub struct EnsembleResult {
+    /// Per-member outcomes, index-aligned with the input molecules. A
+    /// member that failed (non-finite without rescue, diagonalization
+    /// breakdown) carries its own error; its neighbors are unaffected.
+    pub members: Vec<Result<ScfResult, ScfError>>,
+    /// Fleet accounting: fused-vs-solo launch pricing and the recovery
+    /// machinery's work.
+    pub ledger: EnsembleLedger,
+}
+
+impl EnsembleResult {
+    /// True when every member converged.
+    pub fn all_converged(&self) -> bool {
+        self.members
+            .iter()
+            .all(|m| m.as_ref().is_ok_and(|r| r.converged))
+    }
+
+    /// Total ERI device seconds actually charged across member clocks
+    /// (the fused pricing, apportioned).
+    pub fn total_member_device_seconds(&self) -> f64 {
+        self.members
+            .iter()
+            .filter_map(|m| m.as_ref().ok())
+            .map(|r| r.total_seconds)
+            .sum()
+    }
+}
+
+/// Runs N independent molecules in lockstep with cross-molecule launch
+/// fusion. See the module docs for the execution and isolation model.
+pub struct EnsembleDriver {
+    drivers: Vec<ScfDriver>,
+    config: EnsembleConfig,
+    cache_tunes: usize,
+    cache_hits: usize,
+    cache_duplicates_avoided: usize,
+}
+
+impl EnsembleDriver {
+    /// Build drivers for every molecule through one shared [`KernelCache`].
+    ///
+    /// All members share `basis` and `config`. Per-member distributed
+    /// execution is disabled (`config.distributed` is stripped): the
+    /// ensemble owns the rank model — fused launches are dispatched over
+    /// [`EnsembleConfig::ranks`] — and the two layers must not double-price
+    /// the same work.
+    pub fn try_new(
+        mols: &[Molecule],
+        basis: &BasisSet,
+        config: ScfConfig,
+        ensemble: EnsembleConfig,
+    ) -> Result<EnsembleDriver, ScfError> {
+        assert!(ensemble.ranks >= 1, "an ensemble needs at least one rank");
+        let mut config = config;
+        config.distributed = None;
+        let cache = KernelCache::new();
+        let drivers = mols
+            .iter()
+            .map(|mol| ScfDriver::try_new_with_cache(mol, basis, config.clone(), &cache))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EnsembleDriver {
+            drivers,
+            config: ensemble,
+            cache_tunes: cache.tunes_performed(),
+            cache_hits: cache.hits(),
+            cache_duplicates_avoided: cache.duplicates_avoided(),
+        })
+    }
+
+    /// Number of member molecules.
+    pub fn len(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// True when the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.drivers.is_empty()
+    }
+
+    /// Tuner sweeps the shared cache actually performed (fleet-wide, not
+    /// per molecule).
+    pub fn cache_tunes(&self) -> usize {
+        self.cache_tunes
+    }
+
+    /// Tuner sweeps avoided because a member requested an already-cached
+    /// kernel — the amortization the shared cache exists for. Every hit is
+    /// a sweep a solo run would have paid.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Redundant sweeps additionally avoided by the cache's write-lock
+    /// double-check when members are built concurrently.
+    pub fn cache_duplicates_avoided(&self) -> usize {
+        self.cache_duplicates_avoided
+    }
+
+    /// Run every member to completion in lockstep. Never fails as a whole:
+    /// per-member failures drain into [`EnsembleResult::members`].
+    pub fn run(&self) -> EnsembleResult {
+        let n = self.drivers.len();
+        let mut run_span = mako_trace::span("ensemble", "run");
+        if run_span.is_recording() {
+            run_span.add_field("members", n);
+            run_span.add_field("ranks", self.config.ranks);
+        }
+
+        let mut outcomes: Vec<Option<Result<ScfResult, ScfError>>> =
+            (0..n).map(|_| None).collect();
+        let mut sessions: Vec<Option<ScfSession<'_>>> = Vec::with_capacity(n);
+        for (m, drv) in self.drivers.iter().enumerate() {
+            match ScfSession::new(drv, ScfRunOptions::default()) {
+                Ok(s) => sessions.push(Some(s)),
+                Err(e) => {
+                    outcomes[m] = Some(Err(e));
+                    sessions.push(None);
+                }
+            }
+        }
+
+        let fault_plan = self
+            .config
+            .fault_plan
+            .clone()
+            .unwrap_or_else(|| FaultPlan::quiet(self.config.ranks));
+        let ranks = fault_plan.ranks();
+        // Rank loss is persistent: a rank that dies stays dead for the rest
+        // of the run (unlike the per-call model of `build_jk_distributed_ft`,
+        // the ensemble run IS the lifetime of the simulated job).
+        let mut dead = vec![false; ranks];
+        // Global fused-launch counter: the coordinate of the fault plan's
+        // per-(rank, launch, attempt) transient stream, so a plan replays
+        // bit-for-bit regardless of how launches group into super-iterations.
+        let mut launch_counter = 0usize;
+
+        let mut ledger = EnsembleLedger::default();
+
+        loop {
+            // Drain members whose trajectory is over (converged or hit the
+            // iteration cap) out of the lockstep.
+            for m in 0..n {
+                if sessions[m].as_ref().is_some_and(|s| !s.active()) {
+                    let s = sessions[m].take().expect("checked is_some");
+                    outcomes[m] = Some(Ok(s.finish()));
+                }
+            }
+            if sessions.iter().all(Option::is_none) {
+                break;
+            }
+
+            let mut iter_span = mako_trace::span("ensemble", "iteration");
+
+            // ---- Stage: per-member trajectory decisions + build plans. ----
+            // `prepare` commits every schedule/rebuild decision per member;
+            // `plan_jk` runs phases 0–1 (screen + split); `freeze_scales`
+            // locks the per-molecule group quantization scales. After this
+            // point execution can only change pricing, never numerics.
+            let mut staged: Vec<(usize, PreparedIteration, FockPlan)> = Vec::new();
+            for (m, slot) in sessions.iter_mut().enumerate() {
+                let Some(sess) = slot.as_mut() else { continue };
+                let prep = sess.prepare();
+                let drv = &self.drivers[m];
+                let mut plan = plan_jk(
+                    &prep.build_density,
+                    &drv.pairs,
+                    &drv.batches,
+                    &prep.schedule,
+                    |bi| (drv.fp64_cfgs[bi], drv.quant_cfgs[bi]),
+                    &drv.layout,
+                    prep.opts,
+                );
+                plan.freeze_scales(&drv.pairs);
+                staged.push((m, prep, plan));
+            }
+            if iter_span.is_recording() {
+                iter_span.add_field("super_iter", ledger.super_iterations);
+                iter_span.add_field("live_members", staged.len());
+            }
+
+            // ---- Stage: cross-molecule launch fusion (pricing only). ----
+            // Group sub-batches by their launch identity in first-occurrence
+            // order (deterministic; the population of keys is tiny — classes
+            // × precisions — so a linear scan beats hashing).
+            let mut groups: Vec<LaunchGroup> = Vec::new();
+            for (si, (_, _, plan)) in staged.iter().enumerate() {
+                for (ui, u) in plan.units.iter().enumerate() {
+                    let key = (u.class, u.cfg);
+                    match groups.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, members)) => members.push((si, ui)),
+                        None => groups.push((key, vec![(si, ui)])),
+                    }
+                }
+            }
+
+            let model = &self.drivers[staged[0].0].model;
+            let mut member_share = vec![0.0f64; staged.len()];
+            let mut launch_costs: Vec<f64> = Vec::with_capacity(groups.len());
+            for ((class, cfg), members) in &groups {
+                let counts: Vec<usize> = members
+                    .iter()
+                    .map(|&(si, ui)| staged[si].2.units[ui].quartets.len())
+                    .collect();
+                let (fused, solo) = fused_batch_device_seconds(class, &counts, cfg, model);
+                let total: usize = counts.iter().sum();
+                for (&(si, _), &c) in members.iter().zip(&counts) {
+                    member_share[si] += fused * (c as f64 / total as f64);
+                }
+                ledger.fused_launches += 1;
+                ledger.solo_launches += counts.len();
+                ledger.fused_device_seconds += fused;
+                ledger.solo_device_seconds += solo;
+                launch_costs.push(fused);
+                if mako_trace::enabled() {
+                    mako_trace::instant(
+                        "ensemble",
+                        "launch",
+                        vec![
+                            mako_trace::field("class", class.label()),
+                            mako_trace::field("precision", format!("{:?}", cfg.precision)),
+                            mako_trace::field("members", counts.len()),
+                            mako_trace::field("quartets", total),
+                            mako_trace::field("device_seconds", fused),
+                            mako_trace::field("solo_seconds", solo),
+                        ],
+                    );
+                }
+            }
+
+            // ---- Stage: fault timeline of the fused dispatch. ----
+            self.chaos_pass(
+                &fault_plan,
+                &mut dead,
+                &mut launch_counter,
+                &launch_costs,
+                &mut ledger.recovery,
+            );
+
+            // ---- Stage: per-member assembly + trajectory advance. ----
+            // Strict member order; each session's advance is exactly the
+            // solo loop body, so the member trajectory is bitwise identical
+            // to its one-at-a-time run.
+            for ((m, prep, mut plan), share) in staged.into_iter().zip(member_share) {
+                plan.set_device_seconds(share);
+                let drv = &self.drivers[m];
+                let jk = plan.assemble(&prep.build_density, &drv.pairs, &drv.layout);
+                let sess = sessions[m].as_mut().expect("staged implies live");
+                match sess.advance(prep, jk, plan.stats, RecoveryLedger::default()) {
+                    Ok(()) => {
+                        if mako_trace::enabled() {
+                            mako_trace::instant(
+                                "ensemble",
+                                "member",
+                                vec![
+                                    mako_trace::field("member", m),
+                                    mako_trace::field("iter", sess.iteration()),
+                                    mako_trace::field("energy", sess.energy()),
+                                    mako_trace::field("residual", sess.residual()),
+                                    mako_trace::field("active", sess.active()),
+                                ],
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        // Failure containment: the member drains with its
+                        // own error; the lockstep carries on.
+                        if mako_trace::enabled() {
+                            mako_trace::instant(
+                                "ensemble",
+                                "member",
+                                vec![
+                                    mako_trace::field("member", m),
+                                    mako_trace::field("error", e.to_string()),
+                                    mako_trace::field("active", false),
+                                ],
+                            );
+                        }
+                        outcomes[m] = Some(Err(e));
+                        sessions[m] = None;
+                    }
+                }
+            }
+
+            iter_span.end();
+            ledger.super_iterations += 1;
+        }
+
+        if run_span.is_recording() {
+            run_span.add_field("super_iterations", ledger.super_iterations);
+            run_span.add_field("fused_launches", ledger.fused_launches);
+            run_span.add_field("solo_launches", ledger.solo_launches);
+            run_span.add_field("fused_device_seconds", ledger.fused_device_seconds);
+            run_span.add_field("solo_device_seconds", ledger.solo_device_seconds);
+            run_span.add_field("ranks_lost", ledger.recovery.ranks_lost);
+        }
+        run_span.end();
+
+        EnsembleResult {
+            members: outcomes
+                .into_iter()
+                .map(|o| o.expect("every member drained"))
+                .collect(),
+            ledger,
+        }
+    }
+
+    /// Walk one super-iteration's fused launches through the fault plan:
+    /// round-robin dispatch over surviving ranks, in-place transient
+    /// retries with capped exponential backoff, and persistent rank loss
+    /// with the dead rank's launches re-run on the least-loaded survivor.
+    /// Accounting only — the launches' numerical results are computed by
+    /// the (deterministic) assembly stage regardless of the timeline.
+    fn chaos_pass(
+        &self,
+        plan: &FaultPlan,
+        dead: &mut [bool],
+        launch_counter: &mut usize,
+        launch_costs: &[f64],
+        recovery: &mut RecoveryLedger,
+    ) {
+        let ranks = dead.len();
+        let survivors: Vec<usize> = (0..ranks).filter(|&r| !dead[r]).collect();
+        // The plan guarantees at least one survivor.
+        let mut shares: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ranks];
+        for (i, &cost) in launch_costs.iter().enumerate() {
+            let r = survivors[i % survivors.len()];
+            shares[r].push((*launch_counter + i, cost));
+        }
+        *launch_counter += launch_costs.len();
+
+        // Fault-free makespan of this super-iteration: the heaviest rank.
+        let budget = shares
+            .iter()
+            .map(|s| s.iter().map(|&(_, c)| c).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        recovery.fault_free_seconds += budget;
+
+        // Wasted attempts before one successful execution, charged to the
+        // executor's degraded clock. Capped as a safety valve; rates are
+        // clamped < 1 so the cap is unreachable in expectation.
+        let charge = |executor: usize,
+                      launch: usize,
+                      cost: f64,
+                      degraded: &mut f64,
+                      recovery: &mut RecoveryLedger| {
+            let slowdown = plan.slowdown(executor);
+            let mut attempt = 0u32;
+            while attempt < 1000 && plan.transient_fails(executor, launch, attempt) {
+                *degraded += cost * slowdown; // the failed launch
+                let pause = plan.backoff_seconds(attempt);
+                *degraded += pause;
+                recovery.transient_retries += 1;
+                recovery.backoff_seconds += pause;
+                attempt += 1;
+            }
+            *degraded += cost * slowdown; // the successful launch
+        };
+
+        let mut degraded = vec![0.0f64; ranks];
+        let mut rerun: Vec<(usize, f64)> = Vec::new();
+        for &r in &survivors {
+            let share = std::mem::take(&mut shares[r]);
+            if let Some(die_at) = plan.death_point(r, share.len()) {
+                // The rank executes (and pays for) its prefix, then
+                // vanishes; its device memory goes with it, so the full
+                // share re-runs on survivors.
+                for &(li, cost) in &share[..die_at] {
+                    charge(r, li, cost, &mut degraded[r], recovery);
+                }
+                dead[r] = true;
+                recovery.ranks_lost += 1;
+                recovery.rerun_batches += share.len();
+                rerun.extend_from_slice(&share);
+                continue;
+            }
+            for &(li, cost) in &share {
+                charge(r, li, cost, &mut degraded[r], recovery);
+            }
+        }
+        for (li, cost) in rerun {
+            let (thief, _) = degraded
+                .iter()
+                .enumerate()
+                .filter(|&(r, _)| !dead[r])
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("the plan leaves at least one survivor");
+            charge(thief, li, cost, &mut degraded[thief], recovery);
+        }
+        recovery.degraded_seconds += degraded
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| !dead[r])
+            .map(|(_, &t)| t)
+            .fold(0.0f64, f64::max);
+    }
+}

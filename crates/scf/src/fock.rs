@@ -138,61 +138,42 @@ pub struct FockEngineOptions {
 
 /// One schedulable sub-batch: the quartets of one batch that share an
 /// execution class (FP64 or quantized) and therefore one pipeline config.
-struct SubUnit {
-    class: EriClass,
-    cfg: PipelineConfig,
-    quartets: Vec<(usize, usize)>,
-    e_scale: f64,
+pub(crate) struct SubUnit {
+    pub(crate) class: EriClass,
+    pub(crate) cfg: PipelineConfig,
+    pub(crate) quartets: Vec<(usize, usize)>,
+    pub(crate) e_scale: f64,
 }
 
-/// Build J and K for density `D` from pre-batched quartets.
+/// A scheduled-but-not-yet-executed Fock build: the output of phases 0–1
+/// (ΔD screen + schedule split), before the device clock prices anything and
+/// before any quartet is evaluated.
 ///
-/// * `schedule` decides per batch sub-population whether to run FP64,
-///   quantized, or prune (QuantMako's convergence-aware scheduling);
-/// * `fp64_cfg` / `quant_cfg` are the tuned pipeline configurations
-///   (typically from `mako-compiler`'s kernel cache);
-/// * the returned stats carry the simulated device time.
-///
-/// Assembly runs across the current rayon pool; the result is bitwise
-/// identical to [`build_jk_serial`] for any thread count.
-#[allow(clippy::too_many_arguments)]
-pub fn build_jk(
+/// The split exists for the ensemble driver: it plans every member's build,
+/// fuses same-`(EriClass, PipelineConfig)` sub-units *across members* into
+/// shared launches for pricing, then assembles each member independently.
+/// The solo path ([`build_jk_with_configs`]) runs `plan → price → assemble`
+/// back-to-back and is bitwise (and byte-on-the-device-clock) identical to
+/// the pre-split engine: the phases are the same code in the same order.
+pub(crate) struct FockPlan {
+    pub(crate) units: Vec<SubUnit>,
+    pub(crate) stats: FockBuildStats,
+    chunk_quartets: Option<usize>,
+}
+
+/// Phases 0–1 of the engine: the incremental ΔD Schwarz screen and the
+/// convergence-aware schedule split, serial and deterministic. Emits the
+/// `fock.screen` span. The returned plan's `stats.device_seconds` is zero
+/// until the plan is priced.
+pub(crate) fn plan_jk(
     density: &Matrix,
     pairs: &[ScreenedPair],
     batches: &[QuartetBatch],
-    layout: &AoLayout,
-    schedule: &QuantSchedule,
-    fp64_cfg: &PipelineConfig,
-    quant_cfg: &PipelineConfig,
-    model: &CostModel,
-) -> (JkMatrices, FockBuildStats) {
-    build_jk_with_configs(
-        density,
-        pairs,
-        batches,
-        layout,
-        schedule,
-        |_| (*fp64_cfg, *quant_cfg),
-        model,
-        FockEngineOptions::default(),
-    )
-}
-
-/// The assembly engine with per-batch pipeline configurations: `cfg_for(bi)`
-/// returns the (FP64, quantized) configs for batch `bi` — the form the SCF
-/// driver and the distributed cluster driver share.
-#[allow(clippy::too_many_arguments)]
-pub fn build_jk_with_configs(
-    density: &Matrix,
-    pairs: &[ScreenedPair],
-    batches: &[QuartetBatch],
-    layout: &AoLayout,
     schedule: &QuantSchedule,
     cfg_for: impl Fn(usize) -> (PipelineConfig, PipelineConfig),
-    model: &CostModel,
+    layout: &AoLayout,
     opts: FockEngineOptions,
-) -> (JkMatrices, FockBuildStats) {
-    let n = layout.nao;
+) -> FockPlan {
     let mut stats = FockBuildStats::default();
     let d_max = density.max_abs();
     // System-wide estimate scale for the relative FP64 bar: the largest
@@ -261,89 +242,180 @@ pub fn build_jk_with_configs(
     }
     screen_span.end();
 
-    // Phase 2: the device clock and the group scales, in fixed sub-batch
-    // order. Each sub-batch is priced as ONE batched device launch — the
-    // host-side chunking below never changes the simulated device seconds.
-    let trace_on = mako_trace::enabled();
-    let mut device_seconds = 0.0;
-    for u in &mut units {
-        let launch_seconds = batch_device_seconds(&u.class, u.quartets.len(), &u.cfg, model);
-        device_seconds += launch_seconds;
-        u.e_scale = batch_group_scale(&u.quartets, pairs, &u.cfg);
+    FockPlan {
+        units,
+        stats,
+        chunk_quartets: opts.chunk_quartets,
+    }
+}
+
+impl FockPlan {
+    /// Phase 2 of the solo engine: price every sub-unit as ONE batched
+    /// device launch (fixed sub-batch order, so the clock is byte-identical
+    /// for any host parallelism), freeze the group scales, and emit the
+    /// `fock.launch` instants. Sets `stats.device_seconds`.
+    pub(crate) fn price(&mut self, pairs: &[ScreenedPair], model: &CostModel) {
+        let trace_on = mako_trace::enabled();
+        let mut device_seconds = 0.0;
+        for u in &mut self.units {
+            let launch_seconds =
+                batch_device_seconds(&u.class, u.quartets.len(), &u.cfg, model);
+            device_seconds += launch_seconds;
+            u.e_scale = batch_group_scale(&u.quartets, pairs, &u.cfg);
+            if trace_on {
+                mako_trace::instant(
+                    "fock",
+                    "launch",
+                    vec![
+                        mako_trace::field("class", u.class.label()),
+                        mako_trace::field("quartets", u.quartets.len()),
+                        mako_trace::field("precision", format!("{:?}", u.cfg.precision)),
+                        mako_trace::field("device_seconds", launch_seconds),
+                    ],
+                );
+            }
+        }
+        self.stats.device_seconds = device_seconds;
+    }
+
+    /// Freeze the group scales only — for plans whose launches are priced
+    /// *externally* (the ensemble driver fuses launches across molecules
+    /// and writes each member's apportioned share back via
+    /// [`FockPlan::set_device_seconds`]). The scales are per-molecule
+    /// sub-batch properties and never fuse: a neighbor's operand magnitudes
+    /// must not change this molecule's rounding.
+    pub(crate) fn freeze_scales(&mut self, pairs: &[ScreenedPair]) {
+        for u in &mut self.units {
+            u.e_scale = batch_group_scale(&u.quartets, pairs, &u.cfg);
+        }
+    }
+
+    /// Record an externally computed device-clock charge for this build
+    /// (accounting only — nothing downstream of the clock reads it back
+    /// into the numerics).
+    pub(crate) fn set_device_seconds(&mut self, seconds: f64) {
+        self.stats.device_seconds = seconds;
+    }
+
+    /// Phase 3: parallel evaluation, ordered scatter (module docs). Requires
+    /// the group scales to be frozen ([`FockPlan::price`] or
+    /// [`FockPlan::freeze_scales`]). Emits the `fock.assemble` instant.
+    pub(crate) fn assemble(
+        &self,
+        density: &Matrix,
+        pairs: &[ScreenedPair],
+        layout: &AoLayout,
+    ) -> JkMatrices {
+        let n = layout.nao;
+        let trace_on = mako_trace::enabled();
+        let threads = rayon::current_num_threads().max(1);
+        let wave_len = self
+            .chunk_quartets
+            .unwrap_or_else(|| (threads * 64).clamp(64, 4096))
+            .max(1);
+
+        let mut j = Matrix::zeros(n, n);
+        let mut k = Matrix::zeros(n, n);
+        let mut scratch: Vec<Tensor4> = Vec::new();
+        // Host-side wall timers for the evaluate/scatter phases. Only
+        // sampled when tracing is on, so the untraced hot path pays zero
+        // clock reads.
+        let (mut evaluate_seconds, mut scatter_seconds) = (0.0f64, 0.0f64);
+        for u in &self.units {
+            // `for_pairs` carries the sub-unit's rounded-operand cache: each
+            // screened pair's E blocks are rounded at the group scale once
+            // and shared across every quartet (and wave) of the sub-unit.
+            let runner = QuartetRunner::for_pairs(&u.class, &u.cfg, u.e_scale, pairs.len());
+            for wave in u.quartets.chunks(wave_len) {
+                scratch.truncate(wave.len());
+                scratch.resize_with(wave.len(), || Tensor4::zeros([0; 4]));
+                let t_eval = trace_on.then(std::time::Instant::now);
+                scratch
+                    .par_iter_mut()
+                    .zip(wave.par_iter())
+                    .for_each(|(t, &(pi, qi))| runner.run_indexed(pairs, pi, qi, t));
+                if let Some(t0) = t_eval {
+                    evaluate_seconds += t0.elapsed().as_secs_f64();
+                }
+                let t_scatter = trace_on.then(std::time::Instant::now);
+                for (t, &(pi, qi)) in scratch.iter().zip(wave) {
+                    scatter_quartet(t, &pairs[pi], &pairs[qi], density, layout, &mut j, &mut k);
+                }
+                if let Some(t0) = t_scatter {
+                    scatter_seconds += t0.elapsed().as_secs_f64();
+                }
+            }
+        }
         if trace_on {
             mako_trace::instant(
                 "fock",
-                "launch",
+                "assemble",
                 vec![
-                    mako_trace::field("class", u.class.label()),
-                    mako_trace::field("quartets", u.quartets.len()),
-                    mako_trace::field("precision", format!("{:?}", u.cfg.precision)),
-                    mako_trace::field("device_seconds", launch_seconds),
+                    mako_trace::field("evaluate_seconds", evaluate_seconds),
+                    mako_trace::field("scatter_seconds", scatter_seconds),
+                    mako_trace::field("device_seconds", self.stats.device_seconds),
+                    mako_trace::field("wave_len", wave_len),
                 ],
             );
         }
-    }
-    stats.device_seconds = device_seconds;
 
-    // Phase 3: parallel evaluation, ordered scatter. Each wave fans its
-    // quartet tensors out across the rayon pool (the tensors are pure
-    // functions of frozen inputs), then a single serial pass scatters them
-    // in canonical quartet order — replaying exactly the FP64 addition
-    // sequence of the serial single-buffer build (module docs). The wave
-    // length bounds live tensor scratch; buffers are recycled across waves.
-    let threads = rayon::current_num_threads().max(1);
-    let wave_len = opts
-        .chunk_quartets
-        .unwrap_or_else(|| (threads * 64).clamp(64, 4096))
-        .max(1);
-
-    let mut j = Matrix::zeros(n, n);
-    let mut k = Matrix::zeros(n, n);
-    let mut scratch: Vec<Tensor4> = Vec::new();
-    // Host-side wall timers for the evaluate/scatter phases. Only sampled
-    // when tracing is on, so the untraced hot path pays zero clock reads.
-    let (mut evaluate_seconds, mut scatter_seconds) = (0.0f64, 0.0f64);
-    for u in &units {
-        // `for_pairs` carries the sub-unit's rounded-operand cache: each
-        // screened pair's E blocks are rounded at the group scale once and
-        // shared across every quartet (and wave) of the sub-unit.
-        let runner = QuartetRunner::for_pairs(&u.class, &u.cfg, u.e_scale, pairs.len());
-        for wave in u.quartets.chunks(wave_len) {
-            scratch.truncate(wave.len());
-            scratch.resize_with(wave.len(), || Tensor4::zeros([0; 4]));
-            let t_eval = trace_on.then(std::time::Instant::now);
-            scratch
-                .par_iter_mut()
-                .zip(wave.par_iter())
-                .for_each(|(t, &(pi, qi))| runner.run_indexed(pairs, pi, qi, t));
-            if let Some(t0) = t_eval {
-                evaluate_seconds += t0.elapsed().as_secs_f64();
-            }
-            let t_scatter = trace_on.then(std::time::Instant::now);
-            for (t, &(pi, qi)) in scratch.iter().zip(wave) {
-                scatter_quartet(t, &pairs[pi], &pairs[qi], density, layout, &mut j, &mut k);
-            }
-            if let Some(t0) = t_scatter {
-                scatter_seconds += t0.elapsed().as_secs_f64();
-            }
-        }
+        j.symmetrize();
+        k.symmetrize();
+        JkMatrices { j, k }
     }
-    if trace_on {
-        mako_trace::instant(
-            "fock",
-            "assemble",
-            vec![
-                mako_trace::field("evaluate_seconds", evaluate_seconds),
-                mako_trace::field("scatter_seconds", scatter_seconds),
-                mako_trace::field("device_seconds", device_seconds),
-                mako_trace::field("wave_len", wave_len),
-            ],
-        );
-    }
+}
 
-    j.symmetrize();
-    k.symmetrize();
-    (JkMatrices { j, k }, stats)
+/// Build J and K for density `D` from pre-batched quartets.
+///
+/// * `schedule` decides per batch sub-population whether to run FP64,
+///   quantized, or prune (QuantMako's convergence-aware scheduling);
+/// * `fp64_cfg` / `quant_cfg` are the tuned pipeline configurations
+///   (typically from `mako-compiler`'s kernel cache);
+/// * the returned stats carry the simulated device time.
+///
+/// Assembly runs across the current rayon pool; the result is bitwise
+/// identical to [`build_jk_serial`] for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn build_jk(
+    density: &Matrix,
+    pairs: &[ScreenedPair],
+    batches: &[QuartetBatch],
+    layout: &AoLayout,
+    schedule: &QuantSchedule,
+    fp64_cfg: &PipelineConfig,
+    quant_cfg: &PipelineConfig,
+    model: &CostModel,
+) -> (JkMatrices, FockBuildStats) {
+    build_jk_with_configs(
+        density,
+        pairs,
+        batches,
+        layout,
+        schedule,
+        |_| (*fp64_cfg, *quant_cfg),
+        model,
+        FockEngineOptions::default(),
+    )
+}
+
+/// The assembly engine with per-batch pipeline configurations: `cfg_for(bi)`
+/// returns the (FP64, quantized) configs for batch `bi` — the form the SCF
+/// driver and the distributed cluster driver share.
+#[allow(clippy::too_many_arguments)]
+pub fn build_jk_with_configs(
+    density: &Matrix,
+    pairs: &[ScreenedPair],
+    batches: &[QuartetBatch],
+    layout: &AoLayout,
+    schedule: &QuantSchedule,
+    cfg_for: impl Fn(usize) -> (PipelineConfig, PipelineConfig),
+    model: &CostModel,
+    opts: FockEngineOptions,
+) -> (JkMatrices, FockBuildStats) {
+    let mut plan = plan_jk(density, pairs, batches, schedule, cfg_for, layout, opts);
+    plan.price(pairs, model);
+    let jk = plan.assemble(density, pairs, layout);
+    (jk, plan.stats)
 }
 
 /// The serial reference assembly: one thread, one pass, one J/K buffer —

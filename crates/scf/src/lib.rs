@@ -25,12 +25,18 @@
 //! * [`rescue`] — the self-healing layer: a convergence watchdog, a
 //!   deterministic staged rescue ladder (DIIS reset → damping → level
 //!   shift → quantization backoff → rollback), and non-finite containment,
-//!   all provably inert on healthy runs.
+//!   all provably inert on healthy runs;
+//! * [`ensemble`] — the lockstep fleet driver: N independent molecules
+//!   whose same-class quartet sub-batches are fused into shared kernel
+//!   launches (pricing only — every member stays bitwise identical to its
+//!   solo run), with per-member isolation of DIIS, incremental state, and
+//!   the rescue ladder.
 #![deny(rust_2018_idioms)]
 
 
 pub mod checkpoint;
 pub mod diis;
+pub mod ensemble;
 pub mod error;
 pub mod fock;
 pub mod grid;
@@ -43,6 +49,7 @@ pub mod xc;
 
 pub use checkpoint::{ScfCheckpoint, CHECKPOINT_VERSION};
 pub use diis::{Diis, DiisSnapshot, DiisStats};
+pub use ensemble::{EnsembleConfig, EnsembleDriver, EnsembleResult};
 pub use error::{CheckpointError, FockBuildError, NonFiniteStage, ScfError};
 pub use fock::{
     attribute_non_finite, build_jk, FockBuildStats, FockEngineOptions, JkMatrices, NonFiniteSite,

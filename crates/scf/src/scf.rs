@@ -10,7 +10,9 @@
 use crate::checkpoint::ScfCheckpoint;
 use crate::diis::Diis;
 use crate::error::{NonFiniteStage, ScfError};
-use crate::fock::{attribute_non_finite, build_jk_with_configs, FockBuildStats, FockEngineOptions};
+use crate::fock::{
+    attribute_non_finite, build_jk_with_configs, FockBuildStats, FockEngineOptions, JkMatrices,
+};
 use crate::grid::MolecularGrid;
 use crate::parallel::{build_jk_distributed_ft, FaultToleranceOptions};
 use crate::rescue::{RescueConfig, RescueLedger, RescueStage, RescueState, TrajectoryClass};
@@ -251,15 +253,15 @@ pub struct ScfResult {
 /// The SCF driver: owns the basis instantiation, screened pairs, quartet
 /// batches, tuned kernel configurations, and (for DFT) the grid.
 pub struct ScfDriver {
-    mol: Molecule,
-    shells: Vec<Shell>,
-    layout: AoLayout,
-    pairs: Vec<ScreenedPair>,
-    batches: Vec<QuartetBatch>,
-    model: CostModel,
-    config: ScfConfig,
-    fp64_cfgs: Vec<PipelineConfig>,
-    quant_cfgs: Vec<PipelineConfig>,
+    pub(crate) mol: Molecule,
+    pub(crate) shells: Vec<Shell>,
+    pub(crate) layout: AoLayout,
+    pub(crate) pairs: Vec<ScreenedPair>,
+    pub(crate) batches: Vec<QuartetBatch>,
+    pub(crate) model: CostModel,
+    pub(crate) config: ScfConfig,
+    pub(crate) fp64_cfgs: Vec<PipelineConfig>,
+    pub(crate) quant_cfgs: Vec<PipelineConfig>,
     grid: Option<MolecularGrid>,
     aos: Option<AoOnGrid>,
 }
@@ -277,6 +279,22 @@ impl ScfDriver {
     /// Fallible constructor: returns [`ScfError::Basis`] instead of
     /// panicking when the basis set lacks an element of the molecule.
     pub fn try_new(mol: &Molecule, basis: &BasisSet, config: ScfConfig) -> Result<ScfDriver, ScfError> {
+        ScfDriver::try_new_with_cache(mol, basis, config, &KernelCache::new())
+    }
+
+    /// [`Self::try_new`] against a caller-owned kernel cache. Drivers built
+    /// through the same cache share tuner sweeps: each `(ERI class,
+    /// precision, device)` key is swept once for the whole fleet instead of
+    /// once per molecule. `tune_class` is deterministic, so a shared-cache
+    /// driver is configured identically to a fresh-cache one — only the
+    /// tuning *wall time* is amortized. This is how the ensemble driver
+    /// builds its members.
+    pub fn try_new_with_cache(
+        mol: &Molecule,
+        basis: &BasisSet,
+        config: ScfConfig,
+        cache: &KernelCache,
+    ) -> Result<ScfDriver, ScfError> {
         let shells = basis.try_shells_for(mol)?;
         let layout = AoLayout::new(&shells);
         let pairs = build_screened_pairs(&shells, config.screening);
@@ -287,7 +305,6 @@ impl ScfDriver {
         let model = CostModel::new(config.device.clone());
 
         // Architecture-tuned configuration per ERI class and precision.
-        let cache = KernelCache::new();
         let fp64_cfgs: Vec<PipelineConfig> = batches
             .iter()
             .map(|b| cache.get_or_tune(&b.class, Precision::Fp64, &model).config)
@@ -352,31 +369,209 @@ impl ScfDriver {
     /// accumulators, residual bookkeeping, ledgers), all serialized through
     /// `f64::to_bits`.
     pub fn run_with(&self, run_opts: ScfRunOptions) -> Result<ScfResult, ScfError> {
-        if !self.mol.n_electrons().is_multiple_of(2) {
+        let mut session = ScfSession::new(self, run_opts)?;
+        while session.active() {
+            let prep = session.prepare();
+            let (jk, st, recovery) = self.execute_build(&prep, session.iteration())?;
+            session.advance(prep, jk, st, recovery)?;
+        }
+        Ok(session.finish())
+    }
+
+    /// Execute one prepared Fock build on this driver's execution path:
+    /// single simulated device, or the fault-tolerant multi-rank cluster.
+    /// The ensemble driver substitutes its own execution (cross-molecule
+    /// fused launches) for this call — everything else of the iteration is
+    /// the session's, shared verbatim.
+    fn execute_build(
+        &self,
+        prep: &PreparedIteration,
+        iter: usize,
+    ) -> Result<(JkMatrices, FockBuildStats, RecoveryLedger), ScfError> {
+        let nao = self.layout.nao;
+        match &self.config.distributed {
+            Some(dist) => {
+                // Fault-tolerant multi-rank build. The plan's fault
+                // stream is shared across iterations; the collective
+                // call index keys each iteration's allreduce timeouts.
+                let plan = dist
+                    .fault_plan
+                    .clone()
+                    .unwrap_or_else(|| FaultPlan::quiet(dist.ranks));
+                let ft = FaultToleranceOptions {
+                    plan,
+                    straggler_threshold: dist.straggler_threshold,
+                    cluster: dist.cluster.clone(),
+                    allreduce_bytes: 2.0 * (nao * nao) as f64 * 8.0,
+                    collective_call: iter as u64,
+                };
+                let out = build_jk_distributed_ft(
+                    &prep.build_density,
+                    &self.pairs,
+                    &self.batches,
+                    &self.layout,
+                    &prep.schedule,
+                    &|bi| (self.fp64_cfgs[bi], self.quant_cfgs[bi]),
+                    &self.model,
+                    dist.ranks,
+                    prep.opts,
+                    &ft,
+                )?;
+                Ok((out.jk, out.stats, out.recovery))
+            }
+            None => {
+                let (jk, st) = build_jk_with_configs(
+                    &prep.build_density,
+                    &self.pairs,
+                    &self.batches,
+                    &self.layout,
+                    &prep.schedule,
+                    |bi| (self.fp64_cfgs[bi], self.quant_cfgs[bi]),
+                    &self.model,
+                    prep.opts,
+                );
+                Ok((jk, st, RecoveryLedger::default()))
+            }
+        }
+    }
+
+    /// Simulated device time of the XC quadrature: three `npts × nao × nao`
+    /// GEMMs (FP64 tensor pipes) plus grid-local functional evaluation.
+    fn xc_device_seconds(&self, npts: usize) -> f64 {
+        let nao = self.layout.nao as f64;
+        let gemm_flops = 3.0 * 2.0 * npts as f64 * nao * nao;
+        let local_flops = 200.0 * npts as f64;
+        let bytes = (npts as f64 * nao * 8.0) * 2.0;
+        let mut p = mako_accel::KernelProfile::named("xc_quadrature");
+        p.tensor_flops.push((Precision::Fp64, gemm_flops));
+        p.cuda_flops.push((Precision::Fp64, local_flops));
+        p.global_read = bytes;
+        p.global_write = bytes * 0.1;
+        p.smem_per_block = 32 * 1024;
+        self.model.evaluate(&p).total_s
+    }
+
+    /// Simulated device time of the dense diagonalization — the replicated
+    /// serial stage of the distributed runs. Eigensolvers reach only a
+    /// small fraction of peak.
+    fn diag_device_seconds(&self) -> f64 {
+        let n = self.layout.nao as f64;
+        let flops = 9.0 * n * n * n;
+        flops / (0.05 * self.model.device.cuda_peak(Precision::Fp64)) + 50.0e-6
+    }
+}
+
+/// The Fock-build inputs of one SCF iteration, produced by
+/// [`ScfSession::prepare`] and consumed back by [`ScfSession::advance`] after
+/// an execution path has run the build. Between the two calls the caller owns
+/// the execution: the solo driver calls [`ScfDriver::execute_build`], the
+/// ensemble driver fuses same-class sub-batches across molecules into shared
+/// launches. `prepare` has already committed every schedule- and
+/// rebuild-policy decision, so execution cannot influence the trajectory —
+/// only how the work is priced.
+pub(crate) struct PreparedIteration {
+    /// Precision schedule for this iteration (per-molecule decision).
+    pub(crate) schedule: QuantSchedule,
+    /// Whether this is a full rebuild (accumulators purged) or an
+    /// incremental ΔD build.
+    pub(crate) rebuild: bool,
+    /// The density handed to the engine: ΔD on the incremental path, D
+    /// otherwise.
+    pub(crate) build_density: Matrix,
+    /// Engine options (ΔD screen threshold on the incremental path).
+    pub(crate) opts: FockEngineOptions,
+    /// The open `scf.iteration` span; `advance` fills its fields and ends it.
+    iter_span: mako_trace::Span,
+}
+
+/// One molecule's SCF trajectory as an explicit state machine.
+///
+/// This is `run_with`'s former loop body with the loop inverted out: `new`
+/// is everything before the first iteration, then `prepare → (execute) →
+/// advance` is one iteration, and `finish` is everything after the loop.
+/// The solo driver ([`ScfDriver::run_with`]) and the ensemble driver step
+/// the *same* session code, which is what makes batched-vs-solo per-molecule
+/// bitwise identity hold by construction rather than by parallel maintenance
+/// of two loops.
+///
+/// All numeric state (density, DIIS history, rescue ladder, incremental
+/// accumulators, watchdog) lives here, one instance per molecule; nothing in
+/// a session is shared, so a diverging ensemble member cannot perturb its
+/// neighbors.
+pub(crate) struct ScfSession<'a> {
+    driver: &'a ScfDriver,
+    run_opts: ScfRunOptions,
+    n_occ: usize,
+    functional: XcFunctional,
+    h: Matrix,
+    s: Matrix,
+    x: Matrix,
+    orth: OrthDiagnostics,
+    e_nuc: f64,
+    policy: IncrementalPolicy,
+    // Incremental-build state: accumulated G matrices, the density they
+    // correspond to, and the rebuild-policy bookkeeping.
+    j_acc: Matrix,
+    k_acc: Matrix,
+    d_ref: Matrix,
+    was_quantized_phase: bool,
+    since_rebuild: usize,
+    drift_bound: f64,
+    force_rebuild: bool,
+    residual_prev: f64,
+    clock: DeviceClock,
+    // Self-healing engine. `None` when disabled; when enabled it stays
+    // strictly observational until a ladder stage fires, so a healthy
+    // enabled run is bitwise identical to a disabled one.
+    rescue: Option<RescueState>,
+    diis: Diis,
+    e_prev: f64,
+    residual: f64,
+    iteration_seconds: Vec<f64>,
+    total_stats: FockBuildStats,
+    converged: bool,
+    energy: f64,
+    orbital_energies: Vec<f64>,
+    // Ledger credit (e.g. a checkpoint load) that lands on the next
+    // iteration's recovery record.
+    pending_recovery: RecoveryLedger,
+    d: Matrix,
+    iter: usize,
+    finished: bool,
+}
+
+impl<'a> ScfSession<'a> {
+    /// Everything before the first iteration: guess or checkpoint
+    /// resumption, one-electron matrices, orthogonalizer, rescue engine.
+    pub(crate) fn new(
+        driver: &'a ScfDriver,
+        mut run_opts: ScfRunOptions,
+    ) -> Result<ScfSession<'a>, ScfError> {
+        if !driver.mol.n_electrons().is_multiple_of(2) {
             return Err(ScfError::OpenShell {
-                electrons: self.mol.n_electrons(),
+                electrons: driver.mol.n_electrons(),
             });
         }
-        let n_occ = self.mol.n_electrons() / 2;
-        let functional = match &self.config.method {
+        let n_occ = driver.mol.n_electrons() / 2;
+        let functional = match &driver.config.method {
             ScfMethod::Rhf => hartree_fock(),
             ScfMethod::Rks(f) => f.clone(),
         };
 
-        let (s, t, v) = one_electron_matrices(&self.shells, &self.mol);
+        let (s, t, v) = one_electron_matrices(&driver.shells, &driver.mol);
         let h = t.add(&v);
-        let orth_factor = sym_inv_sqrt_diag(&s, self.config.orth_threshold)
+        let orth_factor = sym_inv_sqrt_diag(&s, driver.config.orth_threshold)
             .map_err(|source| ScfError::OverlapNotPositiveDefinite { source })?;
         let orth = OrthDiagnostics {
             n_dropped: orth_factor.n_dropped,
             smallest_kept: orth_factor.smallest_kept,
-            threshold: self.config.orth_threshold,
+            threshold: driver.config.orth_threshold,
         };
         let x = orth_factor.matrix;
         {
             let mut setup = mako_trace::span("scf", "setup");
             if setup.is_recording() {
-                setup.add_field("nao", self.layout.nao);
+                setup.add_field("nao", driver.layout.nao);
                 setup.add_field("orth_dropped", orth.n_dropped);
                 if orth.smallest_kept.is_finite() {
                     setup.add_field("orth_smallest_kept", orth.smallest_kept);
@@ -385,12 +580,10 @@ impl ScfDriver {
             }
             setup.end();
         }
-        let e_nuc = self.mol.nuclear_repulsion();
+        let e_nuc = driver.mol.nuclear_repulsion();
 
-        // Incremental-build state: accumulated G matrices, the density they
-        // correspond to, and the rebuild-policy bookkeeping.
-        let nao = self.layout.nao;
-        let policy = self.config.incremental_policy.clone();
+        let nao = driver.layout.nao;
+        let policy = driver.config.incremental_policy.clone();
         let mut j_acc = Matrix::zeros(nao, nao);
         let mut k_acc = Matrix::zeros(nao, nao);
         let mut d_ref = Matrix::zeros(nao, nao);
@@ -401,22 +594,17 @@ impl ScfDriver {
         let mut residual_prev = f64::INFINITY;
         let mut clock = DeviceClock::new();
 
-        // Self-healing engine (tentpole of the robustness PR). `None` when
-        // disabled; when enabled it stays strictly observational until a
-        // ladder stage fires, so a healthy enabled run is bitwise identical
-        // to a disabled one.
-        let mut rescue: Option<RescueState> = self
+        let rescue: Option<RescueState> = driver
             .config
             .rescue
             .clone()
-            .map(|cfg| RescueState::new(cfg, self.config.e_tol));
+            .map(|cfg| RescueState::new(cfg, driver.config.e_tol));
 
         let mut diis = Diis::new(8);
         let mut e_prev = f64::INFINITY;
         let mut residual = 1.0f64;
         let mut iteration_seconds = Vec::new();
         let mut total_stats = FockBuildStats::default();
-        let mut converged = false;
         let mut energy = 0.0;
         let mut orbital_energies = Vec::new();
 
@@ -424,10 +612,10 @@ impl ScfDriver {
         // The resume ledger credit lands on the first new iteration.
         let mut pending_recovery = RecoveryLedger::default();
         let start_iter;
-        let mut d;
-        match run_opts.resume {
+        let d;
+        match run_opts.resume.take() {
             Some(ck) => {
-                ck.validate(nao, self.batches.len(), self.nquartets())?;
+                ck.validate(nao, driver.batches.len(), driver.nquartets())?;
                 d = ck.density;
                 e_prev = ck.e_prev;
                 energy = ck.energy;
@@ -463,543 +651,591 @@ impl ScfDriver {
             }
         }
 
-        // Restore the rescue engine's best-residual in-memory checkpoint:
-        // numeric state rewinds, accounting (clock, stats, iteration
-        // seconds) keeps running forward — wall time was really spent.
-        // The accumulators are purged and a full rebuild forced so no
-        // post-snapshot screening drift survives the rewind.
-        macro_rules! restore_rollback {
-            ($r:expr) => {{
-                let ck = $r
-                    .rollback_checkpoint()
-                    .expect("rollback stage implies a snapshot")
-                    .clone();
-                d = ck.density;
-                e_prev = ck.e_prev;
-                energy = ck.energy;
-                residual = ck.residual;
-                residual_prev = ck.residual_prev;
-                orbital_energies = ck.orbital_energies;
-                j_acc = Matrix::zeros(nao, nao);
-                k_acc = Matrix::zeros(nao, nao);
-                d_ref = Matrix::zeros(nao, nao);
-                since_rebuild = 0;
-                drift_bound = 0.0;
-                force_rebuild = true;
-                was_quantized_phase = false;
-                diis.reset();
-            }};
-        }
-
-        for iter in start_iter..self.config.max_iterations {
-            let mut iter_span = mako_trace::span("scf", "iteration");
-            let backoff = rescue.as_ref().is_some_and(|r| r.quant_backoff());
-            let schedule = if backoff {
-                // Stage 4 fired: pinned to the FP64 reference schedule for
-                // the rest of the run.
-                QuantSchedule::rescue_backoff(self.config.e_tol)
-            } else if self.config.quantized {
-                QuantSchedule::for_iteration(residual, self.config.e_tol)
-            } else {
-                QuantSchedule::fp64_reference(self.config.e_tol * 1e-5)
-            };
-
-            // J/K build per batch with the tuned configs. With the
-            // incremental option, integrals contract against ΔD = D − D_ref
-            // under the dynamic ΔD Schwarz screen and accumulate onto the
-            // previous G. The accumulators are purged (full rebuild) when:
-            //  * the run starts (iteration 0, ΔD = D),
-            //  * the quantization phase ends — otherwise early low-precision
-            //    error would persist in G,
-            //  * `rebuild_period` incremental iterations have passed
-            //    (numerical hygiene, the standard direct-SCF reset),
-            //  * the accumulated analytic skip bound exceeds `drift_cap`,
-            //  * the divergence guard tripped last iteration,
-            //  * the convergence signal fired on a screened build and the
-            //    final energy must be certified on drift-free Fock,
-            //  * the rescue ladder's quantization backoff is active (the
-            //    backed-off trajectory must be free of screening drift too).
-            let leaving_quant_phase = was_quantized_phase && !schedule.allow_quantized;
-            was_quantized_phase = schedule.allow_quantized;
-            let rebuild = !self.config.incremental
-                || iter == 0
-                || leaving_quant_phase
-                || force_rebuild
-                || backoff
-                || (policy.rebuild_period > 0 && since_rebuild >= policy.rebuild_period)
-                || drift_bound > policy.drift_cap;
-            if self.config.incremental && rebuild {
-                j_acc = Matrix::zeros(nao, nao);
-                k_acc = Matrix::zeros(nao, nao);
-                d_ref = Matrix::zeros(nao, nao);
-                since_rebuild = 0;
-                drift_bound = 0.0;
-                force_rebuild = false;
-            }
-            let build_density = if self.config.incremental {
-                let mut delta = d.clone();
-                delta.axpy(-1.0, &d_ref);
-                delta
-            } else {
-                d.clone()
-            };
-            // One engine call assembles every batch with its own tuned
-            // configs; the engine parallelizes across the rayon pool. The
-            // ΔD screen (phase 0 of the engine) only engages on the
-            // incremental path.
-            let opts = FockEngineOptions {
-                delta_tau: if self.config.incremental {
-                    Some(policy.tau)
-                } else {
-                    None
-                },
-                ..FockEngineOptions::default()
-            };
-            let (jk, st, mut recovery) = match &self.config.distributed {
-                Some(dist) => {
-                    // Fault-tolerant multi-rank build. The plan's fault
-                    // stream is shared across iterations; the collective
-                    // call index keys each iteration's allreduce timeouts.
-                    let plan = dist
-                        .fault_plan
-                        .clone()
-                        .unwrap_or_else(|| FaultPlan::quiet(dist.ranks));
-                    let ft = FaultToleranceOptions {
-                        plan,
-                        straggler_threshold: dist.straggler_threshold,
-                        cluster: dist.cluster.clone(),
-                        allreduce_bytes: 2.0 * (nao * nao) as f64 * 8.0,
-                        collective_call: iter as u64,
-                    };
-                    let out = build_jk_distributed_ft(
-                        &build_density,
-                        &self.pairs,
-                        &self.batches,
-                        &self.layout,
-                        &schedule,
-                        &|bi| (self.fp64_cfgs[bi], self.quant_cfgs[bi]),
-                        &self.model,
-                        dist.ranks,
-                        opts,
-                        &ft,
-                    )?;
-                    (out.jk, out.stats, out.recovery)
-                }
-                None => {
-                    let (jk, st) = build_jk_with_configs(
-                        &build_density,
-                        &self.pairs,
-                        &self.batches,
-                        &self.layout,
-                        &schedule,
-                        |bi| (self.fp64_cfgs[bi], self.quant_cfgs[bi]),
-                        &self.model,
-                        opts,
-                    );
-                    (jk, st, RecoveryLedger::default())
-                }
-            };
-            recovery.absorb(&pending_recovery);
-            pending_recovery = RecoveryLedger::default();
-            let (mut j, mut k) = (jk.j, jk.k);
-            // Chaos harness: poison the build exactly as a broken kernel
-            // would, upstream of the containment checkpoints.
-            if run_opts.poison_fock == Some(iter) {
-                j[(0, 0)] = f64::NAN;
-            }
-            let mut iter_seconds = st.device_seconds;
-
-            // Non-finite containment: a NaN/Inf caught at any assembly
-            // checkpoint is attributed (J/K only — the one stage with a
-            // per-batch structure to blame), traced, and — when the rescue
-            // engine holds an unspent good snapshot — contained by rolling
-            // back; otherwise the run fails with the typed error instead of
-            // iterating on garbage.
-            macro_rules! contain {
-                ($stage:expr) => {{
-                    let stage = $stage;
-                    let site = match stage {
-                        NonFiniteStage::Coulomb | NonFiniteStage::Exchange => Some(
-                            attribute_non_finite(&build_density, &self.pairs, &self.batches),
-                        ),
-                        _ => None,
-                    };
-                    let contained = rescue.as_mut().is_some_and(|r| r.contain_non_finite(iter));
-                    if mako_trace::enabled() {
-                        let mut fields = vec![
-                            mako_trace::field("iter", iter),
-                            mako_trace::field("stage", stage.label()),
-                            mako_trace::field("contained", contained),
-                        ];
-                        if let Some(site) = &site {
-                            fields.push(mako_trace::field(
-                                "density_poisoned",
-                                site.density_poisoned,
-                            ));
-                            if let Some(b) = site.batch {
-                                fields.push(mako_trace::field("batch", b));
-                            }
-                            if let Some(c) = &site.class {
-                                fields.push(mako_trace::field("class", c.clone()));
-                            }
-                        }
-                        mako_trace::instant("scf", "non_finite", fields);
-                    }
-                    // The poisoned work was still spent: account for it
-                    // before unwinding the iteration.
-                    iteration_seconds.push(iter_seconds);
-                    clock.push(IterationLedger {
-                        eri_seconds: st.device_seconds,
-                        total_seconds: iter_seconds,
-                        evaluated_quartets: st.evaluated_quartets(),
-                        skipped_quartets: st.skipped_quartets,
-                        pruned_quartets: st.pruned_quartets,
-                        skipped_bound: st.skipped_bound,
-                        rebuild,
-                    });
-                    clock.push_recovery(recovery);
-                    iter_span.end();
-                    if contained {
-                        let r = rescue.as_mut().expect("contained implies rescue");
-                        emit_rescue_span(
-                            iter,
-                            TrajectoryClass::NonFinite,
-                            RescueStage::Rollback,
-                            0.0,
-                            r.level(),
-                        );
-                        restore_rollback!(r);
-                        continue;
-                    }
-                    return Err(ScfError::NonFinite { iteration: iter, stage });
-                }};
-            }
-            total_stats.fp64_quartets += st.fp64_quartets;
-            total_stats.quantized_quartets += st.quantized_quartets;
-            total_stats.pruned_quartets += st.pruned_quartets;
-            total_stats.skipped_quartets += st.skipped_quartets;
-            total_stats.skipped_bound += st.skipped_bound;
-            if self.config.incremental {
-                j_acc.axpy(1.0, &j);
-                k_acc.axpy(1.0, &k);
-                j = j_acc.clone();
-                k = k_acc.clone();
-                d_ref = d.clone();
-                since_rebuild += 1;
-                drift_bound += st.skipped_bound;
-            }
-            if !j.all_finite() {
-                contain!(NonFiniteStage::Coulomb);
-            }
-            if !k.all_finite() {
-                contain!(NonFiniteStage::Exchange);
-            }
-
-            // Exchange-correlation (DFT only).
-            let (e_xc, v_xc, xc_seconds) = match (&self.grid, &self.aos) {
-                (Some(grid), Some(aos)) => {
-                    let res = evaluate_xc(&functional, aos, grid, &d);
-                    let secs = self.xc_device_seconds(grid.len());
-                    (res.energy, Some(res.matrix), secs)
-                }
-                _ => (0.0, None, 0.0),
-            };
-            iter_seconds += xc_seconds;
-
-            // Fock matrix: F = H + 2J − a·K (+ V_xc).
-            let mut f = h.clone();
-            f.axpy(2.0, &j);
-            f.axpy(-functional.hf_exchange, &k);
-            if let Some(vxc) = &v_xc {
-                f.axpy(1.0, vxc);
-            }
-
-            // Energy.
-            let e_elec = 2.0 * d.dot(&h) + 2.0 * d.dot(&j) - functional.hf_exchange * d.dot(&k)
-                + e_xc;
-            energy = e_elec + e_nuc;
-            if !f.all_finite() {
-                contain!(NonFiniteStage::Fock);
-            }
-            if !energy.is_finite() {
-                contain!(NonFiniteStage::Energy);
-            }
-
-            // DIIS extrapolation, with the divergence guard: a residual
-            // jump by `divergence_factor` means the extrapolation went bad —
-            // restart DIIS (drop the stale history) and schedule a full
-            // rebuild so accumulated screening drift cannot steer recovery.
-            let err = Diis::error_vector(&f, &d, &s, &x);
-            residual = err.norm_fro() / (self.layout.nao as f64);
-            // The watchdog observes the raw DIIS residual, before the
-            // |ΔE|-based scheduling floor below munges it.
-            let residual_diis = residual;
-            // A rebuild iteration is exempt from the guard: removing the
-            // accumulated screening drift legitimately bumps the residual
-            // (the frozen phase before it drove the residual toward zero),
-            // and the guard's remedy — a rebuild — is what just happened.
-            // Tripping it here would force a redundant back-to-back rebuild
-            // and throw away healthy DIIS history.
-            let guard_exempt = self.config.incremental && rebuild;
-            if iter > 0
-                && !guard_exempt
-                && residual_prev.is_finite()
-                && residual > policy.divergence_factor * residual_prev
-            {
-                diis.reset();
-                force_rebuild = true;
-            }
-            residual_prev = residual;
-            let mut f_diis = diis.extrapolate(f, err);
-
-            // Stage 3 (level shifting): raise the virtual block of the
-            // extrapolated Fock by σ. With CᵀSC = I and D = C_occ·C_occᵀ,
-            // Cᵀ(S − S·D·S)C = diag(0_occ, 1_virt), so occupied orbitals
-            // are untouched and every virtual rises by σ — the classic
-            // gap-opening rescue. Applied after DIIS so the history keeps
-            // unshifted matrices; strictly gated, so no FP operation runs
-            // until the stage fires.
-            if let Some(sigma) = rescue.as_ref().and_then(|r| r.shift()) {
-                let sd = gemm(&s, Transpose::No, &d, Transpose::No);
-                let sds = gemm(&sd, Transpose::No, &s, Transpose::No);
-                let mut proj = s.clone();
-                proj.axpy(-1.0, &sds);
-                f_diis.axpy(sigma, &proj);
-            }
-            if !f_diis.all_finite() {
-                contain!(NonFiniteStage::Fock);
-            }
-
-            // Diagonalize (replicated serial stage — costed separately).
-            let (d_new, eps) = density_from_fock(&f_diis, &x, n_occ)
-                .map_err(|source| ScfError::Diagonalization { iteration: iter, source })?;
-            iter_seconds += self.diag_device_seconds();
-            if !d_new.all_finite() {
-                contain!(NonFiniteStage::Density);
-            }
-            iteration_seconds.push(iter_seconds);
-            clock.push(IterationLedger {
-                eri_seconds: st.device_seconds,
-                total_seconds: iter_seconds,
-                evaluated_quartets: st.evaluated_quartets(),
-                skipped_quartets: st.skipped_quartets,
-                pruned_quartets: st.pruned_quartets,
-                skipped_bound: st.skipped_bound,
-                rebuild,
-            });
-
-            let de = (energy - e_prev).abs();
-            e_prev = energy;
-            let d_prev = std::mem::replace(&mut d, d_new);
-            // Stage 2 (density damping): mix the previous density back in,
-            // D ← (1−α)·D_new + α·D_old. Gated — with damping off the
-            // replacement above is all that happens.
-            if let Some(alpha) = rescue.as_ref().and_then(|r| r.damping()) {
-                d.scale_mut(1.0 - alpha);
-                d.axpy(alpha, &d_prev);
-            }
-            orbital_energies = eps;
-
-            if iter_span.is_recording() {
-                iter_span.add_field("iter", iter);
-                iter_span.add_field("energy", energy);
-                iter_span.add_field("de", de);
-                iter_span.add_field("residual", residual);
-                iter_span.add_field("rebuild", rebuild);
-                iter_span.add_field("eri_seconds", st.device_seconds);
-                iter_span.add_field("total_seconds", iter_seconds);
-                iter_span.add_field("evaluated_quartets", st.evaluated_quartets());
-                iter_span.add_field("skipped_quartets", st.skipped_quartets);
-                iter_span.add_field("pruned_quartets", st.pruned_quartets);
-            }
-            iter_span.end();
-
-            let mut finishing = false;
-            if de < self.config.e_tol && residual < self.config.e_tol.sqrt() {
-                // Certified convergence: never accept the convergence signal
-                // off a screened incremental build. Near convergence the ΔD
-                // screen can skip every remaining quartet, freezing the Fock
-                // pieces — |ΔE| then collapses to zero *because nothing was
-                // updated*, not because the energy is right, and the run
-                // would stop carrying the accumulated screening drift. Force
-                // one full rebuild and only accept convergence re-confirmed
-                // on rebuilt (drift-free) Fock.
-                if self.config.incremental && !rebuild {
-                    force_rebuild = true;
-                } else {
-                    converged = true;
-                    // When quantized, require a final FP64-clean iteration:
-                    // the schedule disables quantization near convergence, so
-                    // one more pass confirms the energy at full precision.
-                    if !self.config.quantized || iter > 0 {
-                        finishing = true;
-                    }
-                }
-            }
-            if !finishing {
-                // Use |ΔE| as the scheduling residual for the next iteration.
-                residual = residual.max(de.min(1.0));
-            }
-
-            // Convergence watchdog + staged rescue ladder. Strictly
-            // observational until a stage fires: on a healthy trajectory no
-            // floating-point value of the iteration changes (the inertness
-            // contract the golden suite pins bitwise). Decay runs first —
-            // this iteration already consumed the current α/σ — so a stage
-            // (re)armed by `escalate` starts the next iteration at full
-            // strength.
-            if !finishing {
-                if let Some(r) = rescue.as_mut() {
-                    r.decay();
-                    let class = r.observe(energy, residual_diis);
-                    if class == TrajectoryClass::Healthy {
-                        // Offer the current state as a rollback target; the
-                        // engine keeps the best-residual one. Only the
-                        // numeric fields matter to a rollback — accounting
-                        // always runs forward — so those stay empty.
-                        r.note_healthy(residual_diis, || ScfCheckpoint {
-                            nao,
-                            n_batches: self.batches.len(),
-                            n_quartets: self.nquartets(),
-                            next_iteration: iter + 1,
-                            density: d.clone(),
-                            e_prev,
-                            energy,
-                            residual,
-                            residual_prev,
-                            was_quantized_phase,
-                            j_acc: j_acc.clone(),
-                            k_acc: k_acc.clone(),
-                            d_ref: d_ref.clone(),
-                            since_rebuild,
-                            drift_bound,
-                            force_rebuild,
-                            diis: diis.snapshot(),
-                            orbital_energies: orbital_energies.clone(),
-                            iteration_seconds: Vec::new(),
-                            stats: FockBuildStats::default(),
-                            ledgers: Vec::new(),
-                            recoveries: Vec::new(),
-                        });
-                    } else if let Some(stage) = r.escalate(iter, class) {
-                        let detail =
-                            r.ledger().events().last().map(|e| e.detail).unwrap_or(0.0);
-                        emit_rescue_span(iter, class, stage, detail, r.level());
-                        match stage {
-                            RescueStage::DiisReset => {
-                                diis.reset();
-                                if self.config.incremental {
-                                    force_rebuild = true;
-                                }
-                            }
-                            // The engine already armed the knob; the driver
-                            // consumes it at its fixed point next iteration.
-                            RescueStage::Damp
-                            | RescueStage::LevelShift
-                            | RescueStage::QuantBackoff => {}
-                            RescueStage::Rollback => restore_rollback!(r),
-                        }
-                    }
-                }
-            }
-
-            // Periodic checkpoint: the state captured here is exactly what
-            // iteration `iter + 1` consumes, so a resumed run replays the
-            // remaining trajectory bitwise.
-            let save_now = !finishing
-                && run_opts
-                    .checkpoint
-                    .as_ref()
-                    .is_some_and(|p| p.every > 0 && (iter + 1).is_multiple_of(p.every));
-            recovery.checkpoint_saves = save_now as usize;
-            clock.push_recovery(recovery);
-            if save_now {
-                let p = run_opts.checkpoint.as_ref().expect("save_now implies a policy");
-                let ck = ScfCheckpoint {
-                    nao,
-                    n_batches: self.batches.len(),
-                    n_quartets: self.nquartets(),
-                    next_iteration: iter + 1,
-                    density: d.clone(),
-                    e_prev,
-                    energy,
-                    residual,
-                    residual_prev,
-                    was_quantized_phase,
-                    j_acc: j_acc.clone(),
-                    k_acc: k_acc.clone(),
-                    d_ref: d_ref.clone(),
-                    since_rebuild,
-                    drift_bound,
-                    force_rebuild,
-                    diis: diis.snapshot(),
-                    orbital_energies: orbital_energies.clone(),
-                    iteration_seconds: iteration_seconds.clone(),
-                    stats: total_stats.clone(),
-                    ledgers: clock.iterations().to_vec(),
-                    recoveries: clock.recoveries().to_vec(),
-                };
-                ck.save(&p.path).map_err(ScfError::Checkpoint)?;
-            }
-            if finishing {
-                break;
-            }
-            // The chaos harness's deliberate kill — after the checkpoint,
-            // so the trajectory can be resumed from the latest save.
-            if let Some(n) = run_opts.kill_after {
-                if iter + 1 >= n {
-                    return Err(ScfError::Killed { iterations: iter + 1 });
-                }
-            }
-        }
-
-        let avg = if iteration_seconds.len() > 1 {
-            iteration_seconds[1..].iter().sum::<f64>() / (iteration_seconds.len() - 1) as f64
-        } else {
-            iteration_seconds.first().copied().unwrap_or(0.0)
-        };
-        total_stats.device_seconds = iteration_seconds.iter().sum();
-
-        Ok(ScfResult {
-            energy,
-            e_nuclear: e_nuc,
-            converged,
-            iterations: iteration_seconds.len(),
-            orbital_energies,
-            density: d,
-            avg_iteration_seconds: avg,
-            total_seconds: iteration_seconds.iter().sum(),
-            iteration_seconds,
-            stats: total_stats,
-            clock,
-            rescue: rescue.map(RescueState::into_ledger).unwrap_or_default(),
+        Ok(ScfSession {
+            driver,
+            run_opts,
+            n_occ,
+            functional,
+            h,
+            s,
+            x,
             orth,
+            e_nuc,
+            policy,
+            j_acc,
+            k_acc,
+            d_ref,
+            was_quantized_phase,
+            since_rebuild,
+            drift_bound,
+            force_rebuild,
+            residual_prev,
+            clock,
+            rescue,
+            diis,
+            e_prev,
+            residual,
+            iteration_seconds,
+            total_stats,
+            converged: false,
+            energy,
+            orbital_energies,
+            pending_recovery,
+            d,
+            iter: start_iter,
+            finished: false,
         })
     }
 
-    /// Simulated device time of the XC quadrature: three `npts × nao × nao`
-    /// GEMMs (FP64 tensor pipes) plus grid-local functional evaluation.
-    fn xc_device_seconds(&self, npts: usize) -> f64 {
-        let nao = self.layout.nao as f64;
-        let gemm_flops = 3.0 * 2.0 * npts as f64 * nao * nao;
-        let local_flops = 200.0 * npts as f64;
-        let bytes = (npts as f64 * nao * 8.0) * 2.0;
-        let mut p = mako_accel::KernelProfile::named("xc_quadrature");
-        p.tensor_flops.push((Precision::Fp64, gemm_flops));
-        p.cuda_flops.push((Precision::Fp64, local_flops));
-        p.global_read = bytes;
-        p.global_write = bytes * 0.1;
-        p.smem_per_block = 32 * 1024;
-        self.model.evaluate(&p).total_s
+    /// True while the trajectory has iterations left to run: not yet
+    /// converged (or failed), and under the iteration cap.
+    pub(crate) fn active(&self) -> bool {
+        !self.finished && self.iter < self.driver.config.max_iterations
     }
 
-    /// Simulated device time of the dense diagonalization — the replicated
-    /// serial stage of the distributed runs. Eigensolvers reach only a
-    /// small fraction of peak.
-    fn diag_device_seconds(&self) -> f64 {
-        let n = self.layout.nao as f64;
-        let flops = 9.0 * n * n * n;
-        flops / (0.05 * self.model.device.cuda_peak(Precision::Fp64)) + 50.0e-6
+    /// The iteration `prepare` will stage next.
+    pub(crate) fn iteration(&self) -> usize {
+        self.iter
+    }
+
+    /// Latest total energy (Ha). Trace/diagnostic use only.
+    pub(crate) fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Latest scheduling residual. Trace/diagnostic use only.
+    pub(crate) fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Stage the next iteration: commit the precision schedule and the
+    /// rebuild decision, purge the incremental accumulators on a rebuild,
+    /// and form the build density. Every trajectory-shaping decision is made
+    /// here — the execution path that follows only prices and evaluates.
+    pub(crate) fn prepare(&mut self) -> PreparedIteration {
+        let iter_span = mako_trace::span("scf", "iteration");
+        let cfg = &self.driver.config;
+        let backoff = self.rescue.as_ref().is_some_and(|r| r.quant_backoff());
+        let schedule = if backoff {
+            // Stage 4 fired: pinned to the FP64 reference schedule for
+            // the rest of the run.
+            QuantSchedule::rescue_backoff(cfg.e_tol)
+        } else if cfg.quantized {
+            QuantSchedule::for_iteration(self.residual, cfg.e_tol)
+        } else {
+            QuantSchedule::fp64_reference(cfg.e_tol * 1e-5)
+        };
+
+        // With the incremental option, integrals contract against ΔD =
+        // D − D_ref under the dynamic ΔD Schwarz screen and accumulate onto
+        // the previous G. The accumulators are purged (full rebuild) when:
+        //  * the run starts (iteration 0, ΔD = D),
+        //  * the quantization phase ends — otherwise early low-precision
+        //    error would persist in G,
+        //  * `rebuild_period` incremental iterations have passed
+        //    (numerical hygiene, the standard direct-SCF reset),
+        //  * the accumulated analytic skip bound exceeds `drift_cap`,
+        //  * the divergence guard tripped last iteration,
+        //  * the convergence signal fired on a screened build and the
+        //    final energy must be certified on drift-free Fock,
+        //  * the rescue ladder's quantization backoff is active (the
+        //    backed-off trajectory must be free of screening drift too).
+        let leaving_quant_phase = self.was_quantized_phase && !schedule.allow_quantized;
+        self.was_quantized_phase = schedule.allow_quantized;
+        let rebuild = !cfg.incremental
+            || self.iter == 0
+            || leaving_quant_phase
+            || self.force_rebuild
+            || backoff
+            || (self.policy.rebuild_period > 0 && self.since_rebuild >= self.policy.rebuild_period)
+            || self.drift_bound > self.policy.drift_cap;
+        if cfg.incremental && rebuild {
+            let nao = self.driver.layout.nao;
+            self.j_acc = Matrix::zeros(nao, nao);
+            self.k_acc = Matrix::zeros(nao, nao);
+            self.d_ref = Matrix::zeros(nao, nao);
+            self.since_rebuild = 0;
+            self.drift_bound = 0.0;
+            self.force_rebuild = false;
+        }
+        let build_density = if cfg.incremental {
+            let mut delta = self.d.clone();
+            delta.axpy(-1.0, &self.d_ref);
+            delta
+        } else {
+            self.d.clone()
+        };
+        // The ΔD screen (phase 0 of the engine) only engages on the
+        // incremental path.
+        let opts = FockEngineOptions {
+            delta_tau: if cfg.incremental { Some(self.policy.tau) } else { None },
+            ..FockEngineOptions::default()
+        };
+        PreparedIteration {
+            schedule,
+            rebuild,
+            build_density,
+            opts,
+            iter_span,
+        }
+    }
+
+    /// Fold one executed Fock build back into the trajectory: incremental
+    /// accumulation, XC, Fock/energy assembly, DIIS, rescue knobs, the
+    /// non-finite containment checkpoints, diagonalization, convergence
+    /// test, watchdog, and checkpointing. Exactly `run_with`'s former loop
+    /// body below the build — same operations, same order; that ordering is
+    /// the bitwise-identity contract between the solo and ensemble paths.
+    pub(crate) fn advance(
+        &mut self,
+        prep: PreparedIteration,
+        jk: JkMatrices,
+        st: FockBuildStats,
+        mut recovery: RecoveryLedger,
+    ) -> Result<(), ScfError> {
+        let PreparedIteration {
+            rebuild,
+            build_density,
+            mut iter_span,
+            ..
+        } = prep;
+        let iter = self.iter;
+        recovery.absorb(&self.pending_recovery);
+        self.pending_recovery = RecoveryLedger::default();
+        let (mut j, mut k) = (jk.j, jk.k);
+        // Chaos harness: poison the build exactly as a broken kernel
+        // would, upstream of the containment checkpoints.
+        if self.run_opts.poison_fock == Some(iter) {
+            j[(0, 0)] = f64::NAN;
+        }
+        let mut iter_seconds = st.device_seconds;
+
+        // Non-finite containment: a NaN/Inf caught at any assembly
+        // checkpoint is attributed (J/K only — the one stage with a
+        // per-batch structure to blame), traced, and — when the rescue
+        // engine holds an unspent good snapshot — contained by rolling
+        // back; otherwise the run fails with the typed error instead of
+        // iterating on garbage.
+        macro_rules! contain {
+            ($stage:expr) => {{
+                let stage = $stage;
+                let site = match stage {
+                    NonFiniteStage::Coulomb | NonFiniteStage::Exchange => Some(
+                        attribute_non_finite(
+                            &build_density,
+                            &self.driver.pairs,
+                            &self.driver.batches,
+                        ),
+                    ),
+                    _ => None,
+                };
+                let contained = self
+                    .rescue
+                    .as_mut()
+                    .is_some_and(|r| r.contain_non_finite(iter));
+                if mako_trace::enabled() {
+                    let mut fields = vec![
+                        mako_trace::field("iter", iter),
+                        mako_trace::field("stage", stage.label()),
+                        mako_trace::field("contained", contained),
+                    ];
+                    if let Some(site) = &site {
+                        fields.push(mako_trace::field(
+                            "density_poisoned",
+                            site.density_poisoned,
+                        ));
+                        if let Some(b) = site.batch {
+                            fields.push(mako_trace::field("batch", b));
+                        }
+                        if let Some(c) = &site.class {
+                            fields.push(mako_trace::field("class", c.clone()));
+                        }
+                    }
+                    mako_trace::instant("scf", "non_finite", fields);
+                }
+                // The poisoned work was still spent: account for it
+                // before unwinding the iteration.
+                self.iteration_seconds.push(iter_seconds);
+                self.clock.push(IterationLedger {
+                    eri_seconds: st.device_seconds,
+                    total_seconds: iter_seconds,
+                    evaluated_quartets: st.evaluated_quartets(),
+                    skipped_quartets: st.skipped_quartets,
+                    pruned_quartets: st.pruned_quartets,
+                    skipped_bound: st.skipped_bound,
+                    rebuild,
+                });
+                self.clock.push_recovery(recovery);
+                iter_span.end();
+                if contained {
+                    let level = self
+                        .rescue
+                        .as_ref()
+                        .expect("contained implies rescue")
+                        .level();
+                    emit_rescue_span(
+                        iter,
+                        TrajectoryClass::NonFinite,
+                        RescueStage::Rollback,
+                        0.0,
+                        level,
+                    );
+                    self.restore_rollback();
+                    self.iter += 1;
+                    return Ok(());
+                }
+                return Err(ScfError::NonFinite { iteration: iter, stage });
+            }};
+        }
+        self.total_stats.fp64_quartets += st.fp64_quartets;
+        self.total_stats.quantized_quartets += st.quantized_quartets;
+        self.total_stats.pruned_quartets += st.pruned_quartets;
+        self.total_stats.skipped_quartets += st.skipped_quartets;
+        self.total_stats.skipped_bound += st.skipped_bound;
+        if self.driver.config.incremental {
+            self.j_acc.axpy(1.0, &j);
+            self.k_acc.axpy(1.0, &k);
+            j = self.j_acc.clone();
+            k = self.k_acc.clone();
+            self.d_ref = self.d.clone();
+            self.since_rebuild += 1;
+            self.drift_bound += st.skipped_bound;
+        }
+        if !j.all_finite() {
+            contain!(NonFiniteStage::Coulomb);
+        }
+        if !k.all_finite() {
+            contain!(NonFiniteStage::Exchange);
+        }
+
+        // Exchange-correlation (DFT only).
+        let (e_xc, v_xc, xc_seconds) = match (&self.driver.grid, &self.driver.aos) {
+            (Some(grid), Some(aos)) => {
+                let res = evaluate_xc(&self.functional, aos, grid, &self.d);
+                let secs = self.driver.xc_device_seconds(grid.len());
+                (res.energy, Some(res.matrix), secs)
+            }
+            _ => (0.0, None, 0.0),
+        };
+        iter_seconds += xc_seconds;
+
+        // Fock matrix: F = H + 2J − a·K (+ V_xc).
+        let mut f = self.h.clone();
+        f.axpy(2.0, &j);
+        f.axpy(-self.functional.hf_exchange, &k);
+        if let Some(vxc) = &v_xc {
+            f.axpy(1.0, vxc);
+        }
+
+        // Energy.
+        let e_elec = 2.0 * self.d.dot(&self.h) + 2.0 * self.d.dot(&j)
+            - self.functional.hf_exchange * self.d.dot(&k)
+            + e_xc;
+        self.energy = e_elec + self.e_nuc;
+        if !f.all_finite() {
+            contain!(NonFiniteStage::Fock);
+        }
+        if !self.energy.is_finite() {
+            contain!(NonFiniteStage::Energy);
+        }
+
+        // DIIS extrapolation, with the divergence guard: a residual
+        // jump by `divergence_factor` means the extrapolation went bad —
+        // restart DIIS (drop the stale history) and schedule a full
+        // rebuild so accumulated screening drift cannot steer recovery.
+        let err = Diis::error_vector(&f, &self.d, &self.s, &self.x);
+        self.residual = err.norm_fro() / (self.driver.layout.nao as f64);
+        // The watchdog observes the raw DIIS residual, before the
+        // |ΔE|-based scheduling floor below munges it.
+        let residual_diis = self.residual;
+        // A rebuild iteration is exempt from the guard: removing the
+        // accumulated screening drift legitimately bumps the residual
+        // (the frozen phase before it drove the residual toward zero),
+        // and the guard's remedy — a rebuild — is what just happened.
+        // Tripping it here would force a redundant back-to-back rebuild
+        // and throw away healthy DIIS history.
+        let guard_exempt = self.driver.config.incremental && rebuild;
+        if iter > 0
+            && !guard_exempt
+            && self.residual_prev.is_finite()
+            && self.residual > self.policy.divergence_factor * self.residual_prev
+        {
+            self.diis.reset();
+            self.force_rebuild = true;
+        }
+        self.residual_prev = self.residual;
+        let mut f_diis = self.diis.extrapolate(f, err);
+
+        // Stage 3 (level shifting): raise the virtual block of the
+        // extrapolated Fock by σ. With CᵀSC = I and D = C_occ·C_occᵀ,
+        // Cᵀ(S − S·D·S)C = diag(0_occ, 1_virt), so occupied orbitals
+        // are untouched and every virtual rises by σ — the classic
+        // gap-opening rescue. Applied after DIIS so the history keeps
+        // unshifted matrices; strictly gated, so no FP operation runs
+        // until the stage fires.
+        if let Some(sigma) = self.rescue.as_ref().and_then(|r| r.shift()) {
+            let sd = gemm(&self.s, Transpose::No, &self.d, Transpose::No);
+            let sds = gemm(&sd, Transpose::No, &self.s, Transpose::No);
+            let mut proj = self.s.clone();
+            proj.axpy(-1.0, &sds);
+            f_diis.axpy(sigma, &proj);
+        }
+        if !f_diis.all_finite() {
+            contain!(NonFiniteStage::Fock);
+        }
+
+        // Diagonalize (replicated serial stage — costed separately).
+        let (d_new, eps) = density_from_fock(&f_diis, &self.x, self.n_occ)
+            .map_err(|source| ScfError::Diagonalization { iteration: iter, source })?;
+        iter_seconds += self.driver.diag_device_seconds();
+        if !d_new.all_finite() {
+            contain!(NonFiniteStage::Density);
+        }
+        self.iteration_seconds.push(iter_seconds);
+        self.clock.push(IterationLedger {
+            eri_seconds: st.device_seconds,
+            total_seconds: iter_seconds,
+            evaluated_quartets: st.evaluated_quartets(),
+            skipped_quartets: st.skipped_quartets,
+            pruned_quartets: st.pruned_quartets,
+            skipped_bound: st.skipped_bound,
+            rebuild,
+        });
+
+        let de = (self.energy - self.e_prev).abs();
+        self.e_prev = self.energy;
+        let d_prev = std::mem::replace(&mut self.d, d_new);
+        // Stage 2 (density damping): mix the previous density back in,
+        // D ← (1−α)·D_new + α·D_old. Gated — with damping off the
+        // replacement above is all that happens.
+        if let Some(alpha) = self.rescue.as_ref().and_then(|r| r.damping()) {
+            self.d.scale_mut(1.0 - alpha);
+            self.d.axpy(alpha, &d_prev);
+        }
+        self.orbital_energies = eps;
+
+        if iter_span.is_recording() {
+            iter_span.add_field("iter", iter);
+            iter_span.add_field("energy", self.energy);
+            iter_span.add_field("de", de);
+            iter_span.add_field("residual", self.residual);
+            iter_span.add_field("rebuild", rebuild);
+            iter_span.add_field("eri_seconds", st.device_seconds);
+            iter_span.add_field("total_seconds", iter_seconds);
+            iter_span.add_field("evaluated_quartets", st.evaluated_quartets());
+            iter_span.add_field("skipped_quartets", st.skipped_quartets);
+            iter_span.add_field("pruned_quartets", st.pruned_quartets);
+        }
+        iter_span.end();
+
+        let mut finishing = false;
+        if de < self.driver.config.e_tol && self.residual < self.driver.config.e_tol.sqrt() {
+            // Certified convergence: never accept the convergence signal
+            // off a screened incremental build. Near convergence the ΔD
+            // screen can skip every remaining quartet, freezing the Fock
+            // pieces — |ΔE| then collapses to zero *because nothing was
+            // updated*, not because the energy is right, and the run
+            // would stop carrying the accumulated screening drift. Force
+            // one full rebuild and only accept convergence re-confirmed
+            // on rebuilt (drift-free) Fock.
+            if self.driver.config.incremental && !rebuild {
+                self.force_rebuild = true;
+            } else {
+                self.converged = true;
+                // When quantized, require a final FP64-clean iteration:
+                // the schedule disables quantization near convergence, so
+                // one more pass confirms the energy at full precision.
+                if !self.driver.config.quantized || iter > 0 {
+                    finishing = true;
+                }
+            }
+        }
+        if !finishing {
+            // Use |ΔE| as the scheduling residual for the next iteration.
+            self.residual = self.residual.max(de.min(1.0));
+        }
+
+        // Convergence watchdog + staged rescue ladder. Strictly
+        // observational until a stage fires: on a healthy trajectory no
+        // floating-point value of the iteration changes (the inertness
+        // contract the golden suite pins bitwise). Decay runs first —
+        // this iteration already consumed the current α/σ — so a stage
+        // (re)armed by `escalate` starts the next iteration at full
+        // strength. The engine is taken out of `self` for the block so
+        // the snapshot closure can borrow the session state freely.
+        if !finishing {
+            let mut rescue = self.rescue.take();
+            let mut do_rollback = false;
+            if let Some(r) = rescue.as_mut() {
+                r.decay();
+                let class = r.observe(self.energy, residual_diis);
+                if class == TrajectoryClass::Healthy {
+                    // Offer the current state as a rollback target; the
+                    // engine keeps the best-residual one. Only the
+                    // numeric fields matter to a rollback — accounting
+                    // always runs forward — so those stay empty.
+                    r.note_healthy(residual_diis, || ScfCheckpoint {
+                        nao: self.driver.layout.nao,
+                        n_batches: self.driver.batches.len(),
+                        n_quartets: self.driver.nquartets(),
+                        next_iteration: iter + 1,
+                        density: self.d.clone(),
+                        e_prev: self.e_prev,
+                        energy: self.energy,
+                        residual: self.residual,
+                        residual_prev: self.residual_prev,
+                        was_quantized_phase: self.was_quantized_phase,
+                        j_acc: self.j_acc.clone(),
+                        k_acc: self.k_acc.clone(),
+                        d_ref: self.d_ref.clone(),
+                        since_rebuild: self.since_rebuild,
+                        drift_bound: self.drift_bound,
+                        force_rebuild: self.force_rebuild,
+                        diis: self.diis.snapshot(),
+                        orbital_energies: self.orbital_energies.clone(),
+                        iteration_seconds: Vec::new(),
+                        stats: FockBuildStats::default(),
+                        ledgers: Vec::new(),
+                        recoveries: Vec::new(),
+                    });
+                } else if let Some(stage) = r.escalate(iter, class) {
+                    let detail = r.ledger().events().last().map(|e| e.detail).unwrap_or(0.0);
+                    emit_rescue_span(iter, class, stage, detail, r.level());
+                    match stage {
+                        RescueStage::DiisReset => {
+                            self.diis.reset();
+                            if self.driver.config.incremental {
+                                self.force_rebuild = true;
+                            }
+                        }
+                        // The engine already armed the knob; the driver
+                        // consumes it at its fixed point next iteration.
+                        RescueStage::Damp
+                        | RescueStage::LevelShift
+                        | RescueStage::QuantBackoff => {}
+                        RescueStage::Rollback => do_rollback = true,
+                    }
+                }
+            }
+            self.rescue = rescue;
+            if do_rollback {
+                self.restore_rollback();
+            }
+        }
+
+        // Periodic checkpoint: the state captured here is exactly what
+        // iteration `iter + 1` consumes, so a resumed run replays the
+        // remaining trajectory bitwise.
+        let save_now = !finishing
+            && self
+                .run_opts
+                .checkpoint
+                .as_ref()
+                .is_some_and(|p| p.every > 0 && (iter + 1).is_multiple_of(p.every));
+        recovery.checkpoint_saves = save_now as usize;
+        self.clock.push_recovery(recovery);
+        if save_now {
+            let p = self
+                .run_opts
+                .checkpoint
+                .as_ref()
+                .expect("save_now implies a policy");
+            let ck = ScfCheckpoint {
+                nao: self.driver.layout.nao,
+                n_batches: self.driver.batches.len(),
+                n_quartets: self.driver.nquartets(),
+                next_iteration: iter + 1,
+                density: self.d.clone(),
+                e_prev: self.e_prev,
+                energy: self.energy,
+                residual: self.residual,
+                residual_prev: self.residual_prev,
+                was_quantized_phase: self.was_quantized_phase,
+                j_acc: self.j_acc.clone(),
+                k_acc: self.k_acc.clone(),
+                d_ref: self.d_ref.clone(),
+                since_rebuild: self.since_rebuild,
+                drift_bound: self.drift_bound,
+                force_rebuild: self.force_rebuild,
+                diis: self.diis.snapshot(),
+                orbital_energies: self.orbital_energies.clone(),
+                iteration_seconds: self.iteration_seconds.clone(),
+                stats: self.total_stats.clone(),
+                ledgers: self.clock.iterations().to_vec(),
+                recoveries: self.clock.recoveries().to_vec(),
+            };
+            ck.save(&p.path).map_err(ScfError::Checkpoint)?;
+        }
+        if finishing {
+            self.finished = true;
+            return Ok(());
+        }
+        // The chaos harness's deliberate kill — after the checkpoint,
+        // so the trajectory can be resumed from the latest save.
+        if let Some(n) = self.run_opts.kill_after {
+            if iter + 1 >= n {
+                return Err(ScfError::Killed { iterations: iter + 1 });
+            }
+        }
+        self.iter += 1;
+        Ok(())
+    }
+
+    /// Restore the rescue engine's best-residual in-memory checkpoint:
+    /// numeric state rewinds, accounting (clock, stats, iteration
+    /// seconds) keeps running forward — wall time was really spent.
+    /// The accumulators are purged and a full rebuild forced so no
+    /// post-snapshot screening drift survives the rewind.
+    fn restore_rollback(&mut self) {
+        let ck = self
+            .rescue
+            .as_ref()
+            .and_then(|r| r.rollback_checkpoint())
+            .expect("rollback stage implies a snapshot")
+            .clone();
+        let nao = self.driver.layout.nao;
+        self.d = ck.density;
+        self.e_prev = ck.e_prev;
+        self.energy = ck.energy;
+        self.residual = ck.residual;
+        self.residual_prev = ck.residual_prev;
+        self.orbital_energies = ck.orbital_energies;
+        self.j_acc = Matrix::zeros(nao, nao);
+        self.k_acc = Matrix::zeros(nao, nao);
+        self.d_ref = Matrix::zeros(nao, nao);
+        self.since_rebuild = 0;
+        self.drift_bound = 0.0;
+        self.force_rebuild = true;
+        self.was_quantized_phase = false;
+        self.diis.reset();
+    }
+
+    /// Everything after the last iteration: the paper's timing metrics and
+    /// the assembled [`ScfResult`].
+    pub(crate) fn finish(mut self) -> ScfResult {
+        let avg = if self.iteration_seconds.len() > 1 {
+            self.iteration_seconds[1..].iter().sum::<f64>()
+                / (self.iteration_seconds.len() - 1) as f64
+        } else {
+            self.iteration_seconds.first().copied().unwrap_or(0.0)
+        };
+        self.total_stats.device_seconds = self.iteration_seconds.iter().sum();
+
+        ScfResult {
+            energy: self.energy,
+            e_nuclear: self.e_nuc,
+            converged: self.converged,
+            iterations: self.iteration_seconds.len(),
+            orbital_energies: self.orbital_energies,
+            density: self.d,
+            avg_iteration_seconds: avg,
+            total_seconds: self.iteration_seconds.iter().sum(),
+            iteration_seconds: self.iteration_seconds,
+            stats: self.total_stats,
+            clock: self.clock,
+            rescue: self.rescue.map(RescueState::into_ledger).unwrap_or_default(),
+            orth: self.orth,
+        }
     }
 }
 

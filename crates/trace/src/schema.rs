@@ -267,10 +267,17 @@ pub const KNOWN_EVENTS: &[&str] = &[
     "fock.launch",
     "fock.assemble",
     "dist.build_jk_ft",
+    "ensemble.run",
+    "ensemble.iteration",
+    "ensemble.launch",
+    "ensemble.member",
     "compiler.tune_class",
-    "compiler.cache_hits",
-    "compiler.cache_misses",
+    "compiler.kernel_cache.hits",
+    "compiler.kernel_cache.tunes",
+    "compiler.kernel_cache.duplicates_avoided",
     "accel.clock",
+    "clock.iteration",
+    "clock.recovery",
     "kernel.dispatch",
     "gemm.pack",
     "gemm.microkernel",

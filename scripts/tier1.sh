@@ -16,6 +16,11 @@ echo "== tier1: PROPTEST_RNG_SEED=$PROPTEST_RNG_SEED =="
 echo "== tier1: cargo build --release =="
 cargo build --release
 
+# Examples are not covered by `cargo build`/`cargo test` (they only build on
+# an explicit request), so a broken example otherwise ships silently.
+echo "== tier1: cargo build --release --examples =="
+cargo build --release --examples
+
 echo "== tier1: cargo test -q =="
 cargo test -q
 

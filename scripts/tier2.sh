@@ -49,6 +49,19 @@ cargo run --release -p mako-bench --bin trace_validate -- target/rescue_trace_sm
 grep -q '"cat":"scf","name":"rescue"' target/rescue_trace_smoke.jsonl \
     || { echo "rescue trace is missing scf.rescue spans" >&2; exit 1; }
 
+echo "== tier2: ensemble_bench (smoke: 6 perturbed waters, batched vs solo, traced) =="
+MAKO_SMOKE=1 MAKO_THREADS=1,2 \
+    MAKO_BENCH_OUT=target/BENCH_batch_smoke.json \
+    MAKO_TRACE=target/ensemble_trace_smoke.jsonl \
+    cargo run --release -p mako-bench --bin ensemble_bench
+# The ensemble.* events must validate against the documented schema AND
+# actually appear — the fleet instrumentation is part of the contract.
+cargo run --release -p mako-bench --bin trace_validate -- target/ensemble_trace_smoke.jsonl \
+    --require ensemble.run --require ensemble.iteration \
+    --require ensemble.launch --require ensemble.member
+grep -q '"bitwise_identical_all": true' target/BENCH_batch_smoke.json \
+    || { echo "ensemble smoke lost per-molecule bitwise identity" >&2; exit 1; }
+
 echo "== tier2: trace smoke (host_fock_bench under MAKO_TRACE + schema check) =="
 MAKO_BENCH_MAX_QUARTETS=2000 MAKO_THREADS=1,2 \
     MAKO_BENCH_OUT=target/BENCH_fock_trace_smoke.json \
