@@ -1,0 +1,380 @@
+//! Serving benchmark: the multi-tenant job runtime under admission
+//! pressure, preemption, and seeded chaos — pinning the two serving-layer
+//! contracts as hard assertions:
+//!
+//! 1. **Chaos invariant** — every job that *completes* under worker kills,
+//!    checkpoint-write faults, straggler timeouts, and a poisoned Fock
+//!    build reports an energy bitwise identical to a quiet solo run of the
+//!    same spec.
+//! 2. **No starvation** — an interactive job arriving while a long batch
+//!    job owns the only worker starts within one preemption quantum.
+//!
+//! Results land in `BENCH_serve.json` (schema documented in DESIGN.md §9).
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin server_bench
+//! ```
+//!
+//! Knobs: `MAKO_SMOKE=1` (small molecules, short thread sweep),
+//! `MAKO_FAULT_SEED` (chaos seed, default 11), `MAKO_THREADS`
+//! (comma-separated host thread counts for the determinism sweep, default
+//! `1,2,4,8`), `MAKO_BENCH_OUT` (output path, default `BENCH_serve.json`).
+
+use mako_chem::builders;
+use mako_server::{
+    AdmissionConfig, JobOutcome, JobSpec, MakoServer, PriorityClass, RejectReason, ServeReport,
+    ServerChaos, ServerConfig,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn scratch_config() -> ServerConfig {
+    ServerConfig {
+        checkpoint_dir: std::env::temp_dir().join("mako-server-bench"),
+        ..ServerConfig::default()
+    }
+}
+
+/// The mixed multi-tenant workload of the chaos and determinism legs.
+fn workload(smoke: bool) -> Vec<JobSpec> {
+    let heavy = if smoke {
+        builders::water()
+    } else {
+        builders::water_cluster(2)
+    };
+    vec![
+        JobSpec::new("alice", PriorityClass::Interactive, builders::water()),
+        JobSpec::new("bob", PriorityClass::Batch, builders::methane()).at(1e-4),
+        JobSpec::new("bob", PriorityClass::Batch, builders::ammonia()).at(2e-4),
+        JobSpec::new("carol", PriorityClass::Batch, heavy).at(3e-4),
+        JobSpec::new("carol", PriorityClass::BestEffort, builders::perturbed_water(3, 5e-3))
+            .at(4e-4),
+        JobSpec::new("alice", PriorityClass::Interactive, builders::water()).at(5e-4),
+    ]
+}
+
+/// SplitMix64 fold — the digest the determinism sweep compares.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Digest every observable of a serve: outcome labels, energies, retry and
+/// preemption counts, the ledger, the makespan. Any scheduling or numeric
+/// divergence between two runs changes it.
+fn digest(report: &ServeReport) -> u64 {
+    let mut h = 0x4D41_4B4F_5345_5256; // b"MAKOSERV"
+    for outcome in &report.outcomes {
+        for b in outcome.label().bytes() {
+            h = mix(h, b as u64);
+        }
+        if let Some(rep) = outcome.report() {
+            h = mix(h, rep.energy.to_bits());
+            h = mix(h, rep.iterations as u64);
+            h = mix(h, rep.retries as u64);
+            h = mix(h, rep.preemptions as u64);
+            h = mix(h, rep.finished_at.to_bits());
+        }
+    }
+    let l = &report.ledger;
+    for v in [
+        l.admitted,
+        l.rejected,
+        l.completed,
+        l.failed,
+        l.deadline_exceeded,
+        l.preemptions,
+        l.quanta,
+        l.worker_deaths,
+        l.ckpt_write_faults,
+        l.timeouts,
+    ] {
+        h = mix(h, v as u64);
+    }
+    h = mix(h, l.retries as u64);
+    mix(h, report.makespan.to_bits())
+}
+
+fn main() {
+    mako_trace::init_from_env();
+    let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let seed = env_usize("MAKO_FAULT_SEED", 11) as u64;
+    let default_threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let thread_list = env_list("MAKO_THREADS", default_threads);
+    println!("server_bench: seed={seed} smoke={smoke} threads={thread_list:?}");
+
+    // ---- Leg 1: admission control under a tenant burst. --------------
+    // Tenant "bob" floods the queue; quotas and the shedding ladder must
+    // turn the excess away with typed reasons while alice's interactive
+    // job gets in untouched.
+    let server = MakoServer::new(ServerConfig {
+        admission: AdmissionConfig {
+            queue_soft_cap: 3,
+            queue_hard_cap: 5,
+            default_tenant_quota: 3,
+            tenant_quotas: Vec::new(),
+        },
+        ..scratch_config()
+    });
+    let mut burst: Vec<JobSpec> = (0..5)
+        .map(|_| JobSpec::new("bob", PriorityClass::Batch, builders::water()))
+        .collect();
+    for i in 0..6 {
+        let class = if i % 2 == 1 {
+            PriorityClass::BestEffort
+        } else {
+            PriorityClass::Batch
+        };
+        burst.push(JobSpec::new(&format!("tenant{i}"), class, builders::water()));
+    }
+    burst.push(JobSpec::new("alice", PriorityClass::Interactive, builders::methane()));
+    let admission = server.serve_quiet(&burst);
+    let mut quota_rejects = 0usize;
+    let mut shed_rejects = 0usize;
+    for outcome in &admission.outcomes {
+        if let JobOutcome::Rejected { reason } = outcome {
+            match reason {
+                RejectReason::TenantQuotaExceeded { .. } => quota_rejects += 1,
+                RejectReason::QueueFull { .. } | RejectReason::LoadShed { .. } => shed_rejects += 1,
+            }
+        }
+    }
+    assert!(quota_rejects >= 1, "the burst must trip bob's tenant quota");
+    assert!(shed_rejects >= 1, "the burst must drive the shedding ladder");
+    assert!(
+        admission.outcomes.last().unwrap().report().is_some(),
+        "alice's interactive job must complete through the burst"
+    );
+    println!(
+        "  admission: {} admitted, {} quota-rejected, {} shed (final state {})",
+        admission.ledger.admitted,
+        quota_rejects,
+        shed_rejects,
+        admission.final_state.label()
+    );
+
+    // ---- Leg 2: no starvation under a long batch job. ----------------
+    let server = MakoServer::new(ServerConfig {
+        workers: 1,
+        ..scratch_config()
+    });
+    let batch_spec = JobSpec::new(
+        "bulk",
+        PriorityClass::Batch,
+        if smoke { builders::water() } else { builders::water_cluster(2) },
+    );
+    let ui_spec =
+        JobSpec::new("ui", PriorityClass::Interactive, builders::methane()).at(1e-6);
+    let solo_batch = server.run_solo(&batch_spec).expect("solo batch");
+    let quantum = server.config().quantum_iterations;
+    // "One preemption quantum" in virtual seconds: the batch job's first
+    // `quantum` iterations.
+    let quantum_seconds: f64 = solo_batch.iteration_seconds[..quantum.min(solo_batch.iterations)]
+        .iter()
+        .sum();
+    let starvation = server.serve_quiet(&[batch_spec.clone(), ui_spec.clone()]);
+    let batch_rep = starvation.outcomes[0].report().expect("batch completed");
+    let ui_rep = starvation.outcomes[1].report().expect("interactive completed");
+    let ui_wait = ui_rep.started_at - ui_rep.submitted_at;
+    assert!(
+        ui_wait <= quantum_seconds + 1e-12,
+        "interactive waited {ui_wait} s > one quantum ({quantum_seconds} s)"
+    );
+    assert!(batch_rep.preemptions >= 1, "the batch job never yielded");
+    assert_eq!(
+        batch_rep.energy.to_bits(),
+        solo_batch.energy.to_bits(),
+        "preemption changed the batch job's energy"
+    );
+    println!(
+        "  starvation: interactive waited {:.6} s (bound: one quantum = {:.6} s), batch preempted {}x",
+        ui_wait, quantum_seconds, batch_rep.preemptions
+    );
+
+    // ---- Leg 3: chaos invariant. -------------------------------------
+    // Seeded plan faults + a targeted worker kill, checkpoint-write
+    // faults, a straggling worker pushed over the attempt-timeout bar,
+    // and one poisoned Fock build.
+    let jobs = workload(smoke);
+    let solo_reference = MakoServer::new(scratch_config());
+    // Straggler bar: generous for healthy attempts, fatal for the 8x
+    // straggler. Derived from the heaviest solo job so it scales with the
+    // workload.
+    let max_solo_seconds = jobs
+        .iter()
+        .map(|s| solo_reference.run_solo(s).expect("solo run").total_seconds)
+        .fold(0.0f64, f64::max);
+    let server = MakoServer::new(ServerConfig {
+        workers: 3,
+        attempt_timeout: 3.0 * max_solo_seconds,
+        ..scratch_config()
+    });
+    let chaos = ServerChaos::seeded(seed, 3)
+        .kill_worker(1, 0.1)
+        .slow_worker(2, 24.0)
+        .with_poison(1, 2)
+        .with_ckpt_io_rate(0.2);
+    let t0 = Instant::now();
+    let chaos_report = server.serve(&jobs, &chaos);
+    let chaos_wall = t0.elapsed().as_secs_f64();
+    let mut chaos_rows = String::new();
+    let mut completed_bitwise = true;
+    for (i, (spec, outcome)) in jobs.iter().zip(&chaos_report.outcomes).enumerate() {
+        let comma = if i + 1 < jobs.len() { "," } else { "" };
+        match outcome.report() {
+            Some(rep) => {
+                let solo = solo_reference.run_solo(spec).expect("solo run");
+                let bitwise = rep.energy.to_bits() == solo.energy.to_bits();
+                completed_bitwise &= bitwise;
+                let _ = writeln!(
+                    chaos_rows,
+                    "    {{\"job\": {i}, \"tenant\": \"{}\", \"class\": \"{}\", \"outcome\": \"completed\", \"energy_ha\": {:.12}, \"retries\": {}, \"preemptions\": {}, \"quanta\": {}, \"bitwise_vs_solo\": {bitwise}}}{comma}",
+                    spec.tenant,
+                    spec.class.label(),
+                    rep.energy,
+                    rep.retries,
+                    rep.preemptions,
+                    rep.quanta,
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    chaos_rows,
+                    "    {{\"job\": {i}, \"tenant\": \"{}\", \"class\": \"{}\", \"outcome\": \"{}\"}}{comma}",
+                    spec.tenant,
+                    spec.class.label(),
+                    outcome.label(),
+                );
+            }
+        }
+    }
+    assert!(
+        chaos_report.ledger.completed >= 1,
+        "the chaos schedule must leave survivors"
+    );
+    assert!(
+        completed_bitwise,
+        "a completed job diverged from its quiet solo run"
+    );
+    let cl = &chaos_report.ledger;
+    println!(
+        "  chaos: {}/{} completed  ({} retries, {} deaths, {} ckpt faults, {} timeouts, {} preemptions) — all completed bitwise vs solo",
+        cl.completed,
+        jobs.len(),
+        cl.retries,
+        cl.worker_deaths,
+        cl.ckpt_write_faults,
+        cl.timeouts,
+        cl.preemptions
+    );
+
+    // ---- Leg 4: host-thread determinism sweep. -----------------------
+    // The entire chaotic serve — scheduling, faults, retries, energies —
+    // must be bit-for-bit identical whatever the host thread count.
+    let mut digests: Vec<(usize, u64, f64)> = Vec::new();
+    for &threads in &thread_list {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let server = MakoServer::new(ServerConfig {
+            workers: 3,
+            attempt_timeout: 3.0 * max_solo_seconds,
+            ..scratch_config()
+        });
+        let t0 = Instant::now();
+        let report = pool.install(|| server.serve(&jobs, &chaos));
+        digests.push((threads, digest(&report), t0.elapsed().as_secs_f64()));
+    }
+    let reference_digest = digests[0].1;
+    let threads_bitwise = digests.iter().all(|&(_, d, _)| d == reference_digest);
+    for &(threads, d, wall) in &digests {
+        println!("  threads={threads}: digest={d:016x}  wall={wall:.3} s");
+    }
+    assert!(
+        threads_bitwise,
+        "the serve digest varies with host thread count"
+    );
+
+    // ---- BENCH_serve.json --------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"server_bench\",");
+    let _ = writeln!(json, "  \"fault_seed\": {seed},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"admission\": {{\"submitted\": {}, \"admitted\": {}, \"quota_rejected\": {quota_rejects}, \"shed\": {shed_rejects}, \"final_state\": \"{}\"}},",
+        burst.len(),
+        admission.ledger.admitted,
+        admission.final_state.label()
+    );
+    let _ = writeln!(
+        json,
+        "  \"starvation\": {{\"interactive_wait_s\": {ui_wait:.9}, \"quantum_bound_s\": {quantum_seconds:.9}, \"within_one_quantum\": {}, \"batch_preemptions\": {}, \"batch_bitwise_vs_solo\": true}},",
+        ui_wait <= quantum_seconds + 1e-12,
+        batch_rep.preemptions
+    );
+    let _ = writeln!(json, "  \"chaos\": {{");
+    let _ = writeln!(json, "    \"workers\": 3, \"wall_s\": {chaos_wall:.6},");
+    let _ = writeln!(
+        json,
+        "    \"ledger\": {{\"admitted\": {}, \"completed\": {}, \"failed\": {}, \"retries\": {}, \"worker_deaths\": {}, \"ckpt_write_faults\": {}, \"timeouts\": {}, \"preemptions\": {}, \"quanta\": {}}},",
+        cl.admitted,
+        cl.completed,
+        cl.failed,
+        cl.retries,
+        cl.worker_deaths,
+        cl.ckpt_write_faults,
+        cl.timeouts,
+        cl.preemptions,
+        cl.quanta
+    );
+    let _ = writeln!(json, "    \"makespan_virtual_s\": {:.9},", chaos_report.makespan);
+    let _ = writeln!(json, "    \"completed_bitwise_vs_solo\": {completed_bitwise},");
+    let _ = writeln!(json, "    \"jobs\": [");
+    json.push_str(&chaos_rows);
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"thread_sweep\": [");
+    for (i, &(threads, d, wall)) in digests.iter().enumerate() {
+        let comma = if i + 1 < digests.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"digest\": \"{d:016x}\", \"wall_s\": {wall:.6}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"threads_bitwise_identical\": {threads_bitwise}");
+    let _ = writeln!(json, "}}");
+    let out = std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+    match mako_trace::flush() {
+        Some(Ok(path)) => println!("trace written to {path}"),
+        Some(Err(e)) => eprintln!("warning: trace write failed: {e}"),
+        None => {}
+    }
+}

@@ -15,7 +15,7 @@ use mako_kernels::pipeline::{simulate_batch_cost, smem_footprint, PipelineConfig
 use mako_precision::{Precision, ScalePolicy};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A tuned kernel configuration with its modeled performance.
 #[derive(Debug, Clone)]
@@ -115,19 +115,55 @@ pub fn tune_class(class: &EriClass, precision: Precision, model: &CostModel) -> 
     }
 }
 
+/// One memoized tuner winner plus its LRU recency stamp. The stamp is
+/// atomic so a read-lock hit can refresh it without upgrading to the write
+/// lock — hits stay concurrent even when the cache is bounded.
+struct CacheEntry {
+    kernel: TunedKernel,
+    last_used: AtomicU64,
+}
+
 /// Process-wide cache of tuned kernels keyed by (class, precision, device).
+///
+/// By default the cache is unbounded — correct for a single workstation
+/// process, where the key population is small. A serving process that sees
+/// many (class, precision, device) combinations across tenants bounds it
+/// with [`KernelCache::with_capacity`]: inserts beyond the capacity evict
+/// the least-recently-used entry (counted in [`KernelCache::evictions`] and
+/// the `compiler.kernel_cache.evictions` trace counter). Eviction only
+/// costs re-tuning wall time — `tune_class` is deterministic, so a re-tuned
+/// entry is identical to the evicted one and cached results never change.
 #[derive(Default)]
 pub struct KernelCache {
-    map: RwLock<HashMap<(EriClass, Precision, DeviceKind), TunedKernel>>,
+    map: RwLock<HashMap<(EriClass, Precision, DeviceKind), CacheEntry>>,
+    /// Maximum entries; 0 = unbounded.
+    capacity: usize,
+    /// Monotonic recency clock; each touch takes a unique tick, so the LRU
+    /// minimum is unique and eviction order is deterministic.
+    tick: AtomicU64,
     hits: AtomicUsize,
     tunes: AtomicUsize,
     duplicates_avoided: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl KernelCache {
-    /// Empty cache.
+    /// Empty, unbounded cache.
     pub fn new() -> KernelCache {
         KernelCache::default()
+    }
+
+    /// Empty cache bounded to at most `capacity` entries (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> KernelCache {
+        KernelCache {
+            capacity,
+            ..KernelCache::default()
+        }
+    }
+
+    /// The configured bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Fetch the tuned kernel for a class, tuning on first use.
@@ -135,29 +171,53 @@ impl KernelCache {
     /// Race-free: a read-lock miss is re-checked under the write lock
     /// before tuning, so concurrent callers of the same key never run the
     /// sweep twice (the loser of the lock race finds the entry and counts a
-    /// `duplicates_avoided`). Tuning holds the write lock — misses on
+    /// `duplicates_avoided`) — including when the cache is full and the
+    /// insert must evict. Tuning holds the write lock — misses on
     /// *different* keys serialize, which is the price of never clobbering
     /// an insert; the sweep is milliseconds and runs once per key per
     /// process, so the trade is right.
     pub fn get_or_tune(&self, class: &EriClass, precision: Precision, model: &CostModel) -> TunedKernel {
         let key = (*class, precision, model.device.kind);
         if let Some(hit) = self.map.read().get(&key) {
+            hit.last_used
+                .store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
             let hits = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
             mako_trace::counter("compiler", "kernel_cache.hits", hits as f64);
-            return hit.clone();
+            return hit.kernel.clone();
         }
         let mut map = self.map.write();
         if let Some(hit) = map.get(&key) {
             // Another caller tuned this key between our read miss and the
             // write acquisition.
+            hit.last_used
+                .store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
             let avoided = self.duplicates_avoided.fetch_add(1, Ordering::Relaxed) + 1;
             mako_trace::counter("compiler", "kernel_cache.duplicates_avoided", avoided as f64);
-            return hit.clone();
+            return hit.kernel.clone();
         }
         let tuned = tune_class(class, precision, model);
         let tunes = self.tunes.fetch_add(1, Ordering::Relaxed) + 1;
         mako_trace::counter("compiler", "kernel_cache.tunes", tunes as f64);
-        map.insert(key, tuned.clone());
+        if self.capacity > 0 && map.len() >= self.capacity {
+            // Evict the least-recently-used entry. Ticks are unique, so the
+            // minimum is unique and the victim deterministic.
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+            {
+                map.remove(&victim);
+                let ev = self.evictions.fetch_add(1, Ordering::Relaxed) + 1;
+                mako_trace::counter("compiler", "kernel_cache.evictions", ev as f64);
+            }
+        }
+        map.insert(
+            key,
+            CacheEntry {
+                kernel: tuned.clone(),
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed) + 1),
+            },
+        );
         tuned
     }
 
@@ -184,6 +244,11 @@ impl KernelCache {
     /// Redundant sweeps avoided by the write-lock double-check.
     pub fn duplicates_avoided(&self) -> usize {
         self.duplicates_avoided.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU bound (0 while unbounded).
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -351,6 +416,51 @@ mod tests {
             8,
             "every caller is accounted as tune, avoided duplicate, or hit"
         );
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_retains_hot_keys() {
+        let model = CostModel::new(DeviceSpec::a100());
+        let cache = KernelCache::with_capacity(2);
+        let (a, b, c) = (class(0, 1), class(1, 1), class(2, 1));
+        cache.get_or_tune(&a, Precision::Fp64, &model);
+        cache.get_or_tune(&b, Precision::Fp64, &model);
+        // Touch A so B becomes the LRU victim.
+        cache.get_or_tune(&a, Precision::Fp64, &model);
+        cache.get_or_tune(&c, Precision::Fp64, &model);
+        assert_eq!(cache.len(), 2, "bound holds");
+        assert_eq!(cache.evictions(), 1);
+        // A stayed (hot), B was evicted: re-requesting A is a hit, B re-tunes.
+        let tunes_before = cache.tunes_performed();
+        cache.get_or_tune(&a, Precision::Fp64, &model);
+        assert_eq!(cache.tunes_performed(), tunes_before, "hot key survived");
+        cache.get_or_tune(&b, Precision::Fp64, &model);
+        assert_eq!(cache.tunes_performed(), tunes_before + 1, "LRU key was evicted");
+    }
+
+    #[test]
+    fn full_cache_still_dedupes_concurrent_tunes() {
+        // Regression: a cache at capacity must keep the write-lock
+        // double-check intact — N concurrent callers of one *new* key run
+        // exactly one sweep plus exactly one eviction, never N of either.
+        let model = CostModel::new(DeviceSpec::a100());
+        let cache = KernelCache::with_capacity(1);
+        cache.get_or_tune(&class(0, 1), Precision::Fp64, &model);
+        assert_eq!(cache.len(), 1, "premise: cache is full");
+        let tunes_before = cache.tunes_performed();
+        let fresh = class(2, 5);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| cache.get_or_tune(&fresh, Precision::Fp64, &model));
+            }
+        });
+        assert_eq!(cache.len(), 1, "bound holds under concurrency");
+        assert_eq!(
+            cache.tunes_performed(),
+            tunes_before + 1,
+            "exactly one sweep for the contested key"
+        );
+        assert_eq!(cache.evictions(), 1, "exactly one eviction");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! | [`quant`] | `mako-quant` | QuantMako scheduling + accumulation |
 //! | [`compiler`] | `mako-compiler` | CompilerMako planning + autotuning |
 //! | [`scf`] | `mako-scf` | RHF/RKS drivers, XC stack, scaling model |
+//! | [`server`] | `mako-server` | multi-tenant job runtime: admission, deadlines, preemption |
 //! | [`trace`] | `mako-trace` | structured tracing + metrics (spans, counters, exporters) |
 
 pub use mako_accel as accel;
@@ -48,6 +49,7 @@ pub use mako_linalg as linalg;
 pub use mako_precision as precision;
 pub use mako_quant as quant;
 pub use mako_scf as scf;
+pub use mako_server as server;
 pub use mako_trace as trace;
 
 use mako_accel::DeviceSpec;
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use mako_accel::{DeviceKind, DeviceSpec};
     pub use mako_chem::{BasisFamily, Element, Molecule};
     pub use mako_scf::{ScfConfig, ScfError, ScfMethod, ScfResult};
+    pub use mako_server::{JobOutcome, JobSpec, MakoServer, PriorityClass, ServerChaos};
 }
 
 /// High-level entry point: configure once, run calculations.

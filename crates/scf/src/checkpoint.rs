@@ -10,15 +10,15 @@
 //! the remaining iterations **bitwise identically** to the uninterrupted
 //! one (DESIGN.md §10).
 //!
-//! ## Format (version 1)
+//! ## Format (version 2)
 //!
 //! Little-endian binary. `f64` values are serialized via
 //! [`f64::to_bits`], never through text, so restore is bit-exact.
 //!
 //! ```text
 //! magic   b"MAKOCKPT"            8 bytes
-//! version u32                    (currently 1)
-//! fingerprint: nao u64, n_batches u64, n_quartets u64
+//! version u32                    (currently 2)
+//! fingerprint: nao u64, n_batches u64, n_quartets u64, problem_hash u64
 //! scalars: next_iteration u64, e_prev, energy, residual, residual_prev,
 //!          drift_bound f64; since_rebuild u64;
 //!          flags u8 (bit0 was_quantized_phase, bit1 force_rebuild)
@@ -32,8 +32,24 @@
 //! ```
 //!
 //! Readers reject wrong magic, versions they don't understand, truncated
-//! payloads, and checkpoints whose fingerprint (basis size / batch
-//! population) disagrees with the run being resumed.
+//! payloads, and checkpoints whose fingerprint disagrees with the run being
+//! resumed. Version 2 extends the fingerprint beyond gross sizes (basis
+//! size / batch population) with a `problem_hash` — a content hash of the
+//! molecule geometry, contracted shells, device kind, method, and screening
+//! configuration (see `ScfDriver::problem_fingerprint`) — so a checkpoint
+//! from one tenant's job cannot be resumed against a *different* problem
+//! that happens to have the same matrix shapes (e.g. a slightly perturbed
+//! geometry, or the same molecule priced on a different device).
+//!
+//! ## Durability
+//!
+//! [`ScfCheckpoint::save`] writes a sibling temp file, `fsync`s it, then
+//! atomically renames it over the destination (and best-effort-syncs the
+//! parent directory so the rename itself is durable). A crash mid-save
+//! therefore never corrupts the previous checkpoint, and a completed save
+//! survives power loss. Transient IO errors are retried up to three times
+//! with capped exponential backoff before surfacing as
+//! [`CheckpointError::Io`].
 
 use crate::diis::DiisSnapshot;
 use crate::error::CheckpointError;
@@ -44,7 +60,13 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"MAKOCKPT";
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// IO retry schedule for [`ScfCheckpoint::save`]: attempts and capped
+/// exponential backoff between them (milliseconds of host time).
+const SAVE_ATTEMPTS: u32 = 3;
+const SAVE_BACKOFF_BASE_MS: u64 = 1;
+const SAVE_BACKOFF_CAP_MS: u64 = 50;
 
 /// The complete mid-trajectory state of an SCF run, captured after a whole
 /// number of completed iterations.
@@ -56,6 +78,10 @@ pub struct ScfCheckpoint {
     pub n_batches: usize,
     /// Total-quartet fingerprint.
     pub n_quartets: usize,
+    /// Content hash of the problem (geometry, shells, device, method,
+    /// screening) — rejects cross-tenant resume against a different problem
+    /// with coincidentally identical matrix shapes.
+    pub problem_hash: u64,
     /// The iteration the resumed run executes next (= completed iterations).
     pub next_iteration: usize,
     /// Density matrix entering `next_iteration`.
@@ -109,7 +135,7 @@ impl ScfCheckpoint {
         clock
     }
 
-    /// Serialize to the version-1 binary format.
+    /// Serialize to the version-2 binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.density.as_slice().len() * 8 * 4);
         out.extend_from_slice(MAGIC);
@@ -117,6 +143,7 @@ impl ScfCheckpoint {
         put_u64(&mut out, self.nao as u64);
         put_u64(&mut out, self.n_batches as u64);
         put_u64(&mut out, self.n_quartets as u64);
+        put_u64(&mut out, self.problem_hash);
         put_u64(&mut out, self.next_iteration as u64);
         put_f64(&mut out, self.e_prev);
         put_f64(&mut out, self.energy);
@@ -172,7 +199,7 @@ impl ScfCheckpoint {
         out
     }
 
-    /// Parse a version-1 checkpoint.
+    /// Parse a version-2 checkpoint.
     pub fn from_bytes(bytes: &[u8]) -> Result<ScfCheckpoint, CheckpointError> {
         let mut r = Reader { buf: bytes, pos: 0 };
         let magic = r.take(8)?;
@@ -186,6 +213,7 @@ impl ScfCheckpoint {
         let nao = r.u64()? as usize;
         let n_batches = r.u64()? as usize;
         let n_quartets = r.u64()? as usize;
+        let problem_hash = r.u64()?;
         let next_iteration = r.u64()? as usize;
         let e_prev = r.f64()?;
         let energy = r.f64()?;
@@ -259,6 +287,7 @@ impl ScfCheckpoint {
             nao,
             n_batches,
             n_quartets,
+            problem_hash,
             next_iteration,
             density,
             e_prev,
@@ -285,13 +314,36 @@ impl ScfCheckpoint {
         })
     }
 
-    /// Write to disk (atomically via a sibling temp file, so a crash during
-    /// the save never corrupts the previous checkpoint).
+    /// Write to disk durably and atomically.
+    ///
+    /// The bytes go to a sibling temp file which is `fsync`ed *before* the
+    /// atomic rename, so a crash at any point leaves either the previous
+    /// checkpoint or the complete new one — never a torn file that merely
+    /// made it to the page cache. After the rename the parent directory is
+    /// synced best-effort so the rename itself survives power loss.
+    ///
+    /// Transient IO errors (full disk briefly reclaimed, NFS hiccup, …) are
+    /// retried up to three times with capped exponential backoff; only a
+    /// persistent failure surfaces as [`CheckpointError::Io`].
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        let bytes = self.to_bytes();
+        let mut last_err = String::new();
+        for attempt in 0..SAVE_ATTEMPTS {
+            if attempt > 0 {
+                let ms = (SAVE_BACKOFF_BASE_MS << (attempt - 1)).min(SAVE_BACKOFF_CAP_MS);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            match write_durable(path, &bytes) {
+                Ok(()) => return Ok(()),
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        Err(CheckpointError::Io(format!(
+            "checkpoint save to {} failed after {} attempts: {}",
+            path.display(),
+            SAVE_ATTEMPTS,
+            last_err
+        )))
     }
 
     /// Read a checkpoint back from disk.
@@ -302,11 +354,16 @@ impl ScfCheckpoint {
 
     /// Validate that this checkpoint belongs to a run with the given
     /// problem fingerprint.
+    ///
+    /// The size triple catches gross mismatches cheaply (and gives the more
+    /// diagnostic error when shapes differ); `problem_hash` closes the
+    /// cross-tenant gap where two different problems share all three sizes.
     pub fn validate(
         &self,
         nao: usize,
         n_batches: usize,
         n_quartets: usize,
+        problem_hash: u64,
     ) -> Result<(), CheckpointError> {
         if self.nao != nao {
             return Err(CheckpointError::Mismatch { field: "nao" });
@@ -317,8 +374,33 @@ impl ScfCheckpoint {
         if self.n_quartets != n_quartets {
             return Err(CheckpointError::Mismatch { field: "n_quartets" });
         }
+        if self.problem_hash != problem_hash {
+            return Err(CheckpointError::Mismatch { field: "problem" });
+        }
         Ok(())
     }
+}
+
+/// One attempt at the fsync-then-rename protocol.
+fn write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            // Directory fsync is advisory: some filesystems refuse to open
+            // directories for sync, and the rename is already atomic.
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -413,6 +495,7 @@ mod tests {
             nao: 3,
             n_batches: 7,
             n_quartets: 91,
+            problem_hash: 0xDEAD_BEEF_CAFE_F00D,
             next_iteration: 4,
             density: m(1.0),
             e_prev: -74.9629,
@@ -514,19 +597,40 @@ mod tests {
     #[test]
     fn fingerprint_validation() {
         let ck = sample();
-        assert!(ck.validate(3, 7, 91).is_ok());
+        let hash = ck.problem_hash;
+        assert!(ck.validate(3, 7, 91, hash).is_ok());
         assert_eq!(
-            ck.validate(4, 7, 91),
+            ck.validate(4, 7, 91, hash),
             Err(CheckpointError::Mismatch { field: "nao" })
         );
         assert_eq!(
-            ck.validate(3, 8, 91),
+            ck.validate(3, 8, 91, hash),
             Err(CheckpointError::Mismatch { field: "n_batches" })
         );
         assert_eq!(
-            ck.validate(3, 7, 90),
+            ck.validate(3, 7, 90, hash),
             Err(CheckpointError::Mismatch { field: "n_quartets" })
         );
+        // Same shapes, different problem content: the v2 hash catches it.
+        assert_eq!(
+            ck.validate(3, 7, 91, hash ^ 1),
+            Err(CheckpointError::Mismatch { field: "problem" })
+        );
+    }
+
+    #[test]
+    fn save_surfaces_persistent_io_failure_as_typed_error() {
+        let ck = sample();
+        let path = std::env::temp_dir()
+            .join("mako_ckpt_no_such_dir")
+            .join("deeper")
+            .join("scf.ckpt");
+        match ck.save(&path) {
+            Err(CheckpointError::Io(msg)) => {
+                assert!(msg.contains("3 attempts"), "retry count in message: {msg}");
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -678,6 +678,7 @@ mod tests {
             nao: 2,
             n_batches: 0,
             n_quartets: 0,
+            problem_hash: 0,
             next_iteration: 1,
             density: Matrix::identity(2),
             e_prev: -1.0,

@@ -262,6 +262,7 @@ pub struct ScfDriver {
     pub(crate) config: ScfConfig,
     pub(crate) fp64_cfgs: Vec<PipelineConfig>,
     pub(crate) quant_cfgs: Vec<PipelineConfig>,
+    pub(crate) problem_hash: u64,
     grid: Option<MolecularGrid>,
     aos: Option<AoOnGrid>,
 }
@@ -295,9 +296,30 @@ impl ScfDriver {
         config: ScfConfig,
         cache: &KernelCache,
     ) -> Result<ScfDriver, ScfError> {
+        ScfDriver::try_new_with_artifacts(mol, basis, config, cache, None)
+    }
+
+    /// [`Self::try_new_with_cache`] with an optional injection of the
+    /// screened shell-pair list. Screening is a pure function of the shells
+    /// and the threshold, so a server that has already screened an identical
+    /// problem (same molecule fingerprint, basis, device) can hand the pair
+    /// list back instead of recomputing it — the driver it yields is
+    /// indistinguishable from a fresh one. Callers are responsible for the
+    /// key discipline; `mako-server`'s artifact cache keys by the problem
+    /// fingerprint, which pins every input of `build_screened_pairs`.
+    pub fn try_new_with_artifacts(
+        mol: &Molecule,
+        basis: &BasisSet,
+        config: ScfConfig,
+        cache: &KernelCache,
+        pairs_override: Option<Vec<ScreenedPair>>,
+    ) -> Result<ScfDriver, ScfError> {
         let shells = basis.try_shells_for(mol)?;
         let layout = AoLayout::new(&shells);
-        let pairs = build_screened_pairs(&shells, config.screening);
+        let pairs = match pairs_override {
+            Some(p) => p,
+            None => build_screened_pairs(&shells, config.screening),
+        };
         let quartet_threshold = config
             .quartet_threshold
             .unwrap_or(config.screening * config.screening);
@@ -323,6 +345,7 @@ impl ScfDriver {
             ScfMethod::Rhf => (None, None),
         };
 
+        let problem_hash = problem_hash(mol, &shells, &config);
         Ok(ScfDriver {
             mol: mol.clone(),
             shells,
@@ -333,6 +356,7 @@ impl ScfDriver {
             config,
             fp64_cfgs,
             quant_cfgs,
+            problem_hash,
             grid,
             aos,
         })
@@ -352,6 +376,26 @@ impl ScfDriver {
     /// full (non-incremental) build before any dynamic screening.
     pub fn nquartets(&self) -> usize {
         self.batches.iter().map(|b| b.quartets.len()).sum()
+    }
+
+    /// Content hash of the problem this driver solves: molecule geometry,
+    /// contracted shells, device kind, method, quantization/incremental
+    /// mode, and screening thresholds. Drivers for *different* problems that
+    /// happen to share all the gross sizes (nao, batch count, quartet count)
+    /// still get distinct fingerprints, which is the key both for checkpoint
+    /// cross-tenant validation and for `mako-server`'s screening-artifact
+    /// cache. Convergence *budget* knobs (`e_tol`, `max_iterations`) are
+    /// deliberately excluded: resuming the same problem with a tighter
+    /// tolerance or a larger iteration budget is legitimate.
+    pub fn problem_fingerprint(&self) -> u64 {
+        self.problem_hash
+    }
+
+    /// The screened shell-pair list (with Schwarz bounds) this driver was
+    /// built on — the reusable artifact for
+    /// [`Self::try_new_with_artifacts`].
+    pub fn screened_pairs(&self) -> &[ScreenedPair] {
+        &self.pairs
     }
 
     /// Run the SCF to convergence (no checkpointing, no resumption).
@@ -615,7 +659,12 @@ impl<'a> ScfSession<'a> {
         let d;
         match run_opts.resume.take() {
             Some(ck) => {
-                ck.validate(nao, driver.batches.len(), driver.nquartets())?;
+                ck.validate(
+                    nao,
+                    driver.batches.len(),
+                    driver.nquartets(),
+                    driver.problem_hash,
+                )?;
                 d = ck.density;
                 e_prev = ck.e_prev;
                 energy = ck.energy;
@@ -1078,6 +1127,7 @@ impl<'a> ScfSession<'a> {
                         nao: self.driver.layout.nao,
                         n_batches: self.driver.batches.len(),
                         n_quartets: self.driver.nquartets(),
+                        problem_hash: self.driver.problem_hash,
                         next_iteration: iter + 1,
                         density: self.d.clone(),
                         e_prev: self.e_prev,
@@ -1144,6 +1194,7 @@ impl<'a> ScfSession<'a> {
                 nao: self.driver.layout.nao,
                 n_batches: self.driver.batches.len(),
                 n_quartets: self.driver.nquartets(),
+                problem_hash: self.driver.problem_hash,
                 next_iteration: iter + 1,
                 density: self.d.clone(),
                 e_prev: self.e_prev,
@@ -1237,6 +1288,62 @@ impl<'a> ScfSession<'a> {
             orth: self.orth,
         }
     }
+}
+
+/// Content hash of the (molecule, shells, device, method, screening)
+/// problem — the version-2 checkpoint fingerprint. SplitMix64 finalizer
+/// folded over every input bit; `f64` values are hashed through `to_bits`
+/// so the hash is as exact as the trajectory it guards.
+fn problem_hash(mol: &Molecule, shells: &[Shell], config: &ScfConfig) -> u64 {
+    #[inline]
+    fn mix(h: u64, v: u64) -> u64 {
+        let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = 0x4D41_4B4F_5343_4646u64; // b"MAKOSCFF"
+    for atom in &mol.atoms {
+        h = mix(h, atom.element.z() as u64);
+        for &c in &atom.position {
+            h = mix(h, c.to_bits());
+        }
+    }
+    for sh in shells {
+        h = mix(h, sh.l as u64);
+        h = mix(h, sh.atom as u64);
+        for &c in &sh.center {
+            h = mix(h, c.to_bits());
+        }
+        for (&e, &c) in sh.exps.iter().zip(&sh.coefs) {
+            h = mix(h, e.to_bits());
+            h = mix(h, c.to_bits());
+        }
+    }
+    h = mix(h, config.device.kind as u64);
+    h = mix(
+        h,
+        match &config.method {
+            ScfMethod::Rhf => 0,
+            ScfMethod::Rks(_) => 1,
+        },
+    );
+    if let ScfMethod::Rks(f) = &config.method {
+        h = mix(h, f.hf_exchange.to_bits());
+        h = mix(h, config.grid.0 as u64);
+        h = mix(h, config.grid.1 as u64);
+    }
+    h = mix(h, config.quantized as u64);
+    h = mix(h, config.incremental as u64);
+    h = mix(h, config.screening.to_bits());
+    h = mix(
+        h,
+        config
+            .quartet_threshold
+            .unwrap_or(config.screening * config.screening)
+            .to_bits(),
+    );
+    h
 }
 
 /// Emit a `scf.rescue` span for one ladder transition (a zero-duration

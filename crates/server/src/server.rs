@@ -1,0 +1,1173 @@
+//! The job runtime: a deterministic discrete-event scheduler over a pool of
+//! simulated device workers.
+//!
+//! # Execution model
+//!
+//! [`MakoServer::serve`] runs one closed workload — a list of [`JobSpec`]s
+//! with virtual arrival times — to completion on a **virtual clock**
+//! denominated in simulated device seconds (the same currency as
+//! [`mako_scf::ScfResult::total_seconds`]). Scheduling is a discrete-event
+//! simulation: the only events are job arrivals, attempt completions, and
+//! retry-backoff expiries, processed in deterministic order (ties break
+//! arrivals-first, then by worker index, then by job id). Given the same
+//! specs, config, and chaos schedule, `serve` is bit-for-bit reproducible —
+//! including every scheduling decision — regardless of host thread count.
+//!
+//! # Preemption
+//!
+//! Batch and best-effort jobs run in **checkpoint-backed quanta**: each
+//! dispatch executes at most `quantum_iterations` SCF iterations (the
+//! degraded quantum under load), persists an [`ScfCheckpoint`] at the
+//! boundary, and requeues. Interactive jobs run to completion. Because a
+//! preempted job resumes from its checkpoint bitwise-identically (the PR-3
+//! contract), preemption is invisible in the numbers — it only moves time.
+//!
+//! # Fault containment
+//!
+//! Worker deaths, straggler timeouts, checkpoint-write failures, and
+//! poisoned Fock builds (all injected by [`ServerChaos`]) void the attempt
+//! they strike: the job's in-memory resume state is untouched, the fault is
+//! recorded as a typed [`JobError`], and the job retries under capped
+//! exponential backoff from the last acknowledged checkpoint. A fault never
+//! panics and never leaks into another job's numbers — the chaos invariant
+//! (completed energy bitwise equal to a quiet solo run) holds because a
+//! voided attempt contributes nothing but virtual time.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mako_chem::Element;
+use mako_compiler::KernelCache;
+use mako_scf::{
+    CheckpointError, CheckpointPolicy, ScfCheckpoint, ScfDriver, ScfError, ScfResult,
+    ScfRunOptions,
+};
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionState};
+use crate::cache::{ArtifactKey, ScreenCache};
+use crate::chaos::ServerChaos;
+use crate::job::{JobError, JobId, JobOutcome, JobReport, JobSpec, PriorityClass};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Simulated device workers.
+    pub workers: usize,
+    /// Batch preemption quantum, SCF iterations per dispatch.
+    pub quantum_iterations: usize,
+    /// The shorter quantum batch jobs get when admitted under pressure.
+    pub degraded_quantum_iterations: usize,
+    /// Faulted attempts retried before a job fails.
+    pub max_retries: u32,
+    /// First retry backoff, virtual seconds.
+    pub retry_backoff_base: f64,
+    /// Cap on the exponential retry backoff, virtual seconds.
+    pub retry_backoff_cap: f64,
+    /// Straggler bar: attempts running longer than this (virtual seconds)
+    /// are killed and retried. `INFINITY` disables the bar.
+    pub attempt_timeout: f64,
+    /// Screening-pair cache bound, entries (0 = unbounded).
+    pub screen_cache_capacity: usize,
+    /// Kernel cache bound, entries (0 = unbounded).
+    pub kernel_cache_capacity: usize,
+    /// Directory for preemption checkpoints.
+    pub checkpoint_dir: PathBuf,
+    /// Admission control knobs.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            quantum_iterations: 4,
+            degraded_quantum_iterations: 2,
+            max_retries: 3,
+            retry_backoff_base: 1e-3,
+            retry_backoff_cap: 0.25,
+            attempt_timeout: f64::INFINITY,
+            screen_cache_capacity: 64,
+            kernel_cache_capacity: 64,
+            checkpoint_dir: std::env::temp_dir().join("mako-server"),
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn backoff(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(52);
+        (self.retry_backoff_base * (1u64 << exp) as f64).min(self.retry_backoff_cap)
+    }
+}
+
+/// Aggregate accounting of one [`serve`] call.
+///
+/// [`serve`]: MakoServer::serve
+#[derive(Debug, Clone, Default)]
+pub struct ServeLedger {
+    /// Jobs past admission control.
+    pub admitted: usize,
+    /// Jobs turned away at admission.
+    pub rejected: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs that failed (typed, after retries).
+    pub failed: usize,
+    /// Jobs that blew their deadline.
+    pub deadline_exceeded: usize,
+    /// Faulted attempts that were retried.
+    pub retries: u32,
+    /// Quantum-boundary yields to higher-priority work.
+    pub preemptions: usize,
+    /// Scheduling quanta dispatched (including voided attempts).
+    pub quanta: usize,
+    /// Workers permanently lost.
+    pub worker_deaths: usize,
+    /// Simulated checkpoint-write failures.
+    pub ckpt_write_faults: usize,
+    /// Attempts killed at the straggler bar.
+    pub timeouts: usize,
+    /// Admission state-machine transitions.
+    pub state_transitions: usize,
+}
+
+/// Everything one [`serve`] call returns.
+///
+/// [`serve`]: MakoServer::serve
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Terminal outcome per submitted job, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Aggregate accounting.
+    pub ledger: ServeLedger,
+    /// Virtual clock when the last event fired (makespan).
+    pub makespan: f64,
+    /// Admission state when the run ended.
+    pub final_state: AdmissionState,
+}
+
+/// The multi-tenant job server. Owns the cross-request caches; each
+/// [`serve`](MakoServer::serve) call is an independent deterministic
+/// simulation that shares them.
+pub struct MakoServer {
+    config: ServerConfig,
+    kernels: KernelCache,
+    screens: ScreenCache,
+    serve_seq: AtomicUsize,
+}
+
+impl Default for MakoServer {
+    fn default() -> MakoServer {
+        MakoServer::new(ServerConfig::default())
+    }
+}
+
+impl MakoServer {
+    /// A server with the given configuration and empty caches.
+    pub fn new(config: ServerConfig) -> MakoServer {
+        let kernels = KernelCache::with_capacity(config.kernel_cache_capacity);
+        let screens = ScreenCache::with_capacity(config.screen_cache_capacity);
+        MakoServer {
+            config,
+            kernels,
+            screens,
+            serve_seq: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The cross-request kernel cache.
+    pub fn kernel_cache(&self) -> &KernelCache {
+        &self.kernels
+    }
+
+    /// The cross-request screening-pair cache.
+    pub fn screen_cache(&self) -> &ScreenCache {
+        &self.screens
+    }
+
+    /// Run one job spec directly, outside the scheduler, with no faults —
+    /// the reference the chaos invariant compares against. Uses the shared
+    /// caches (which only amortize wall time, never change results).
+    pub fn run_solo(&self, spec: &JobSpec) -> Result<ScfResult, ScfError> {
+        let driver = self.build_driver(spec)?;
+        driver.run_with(ScfRunOptions::default())
+    }
+
+    /// Serve a closed workload with no injected faults.
+    pub fn serve_quiet(&self, specs: &[JobSpec]) -> ServeReport {
+        self.serve(specs, &ServerChaos::quiet(self.config.workers))
+    }
+
+    /// Serve a closed workload under a chaos schedule. Deterministic: the
+    /// same `(specs, config, chaos)` triple reproduces every scheduling
+    /// decision and every number bit-for-bit.
+    pub fn serve(&self, specs: &[JobSpec], chaos: &ServerChaos) -> ServeReport {
+        let seq = self.serve_seq.fetch_add(1, Ordering::Relaxed);
+        let mut run_span = mako_trace::span("server", "run");
+        if run_span.is_recording() {
+            run_span.add_field("jobs", specs.len());
+            run_span.add_field("workers", self.config.workers);
+        }
+        let _ = std::fs::create_dir_all(&self.config.checkpoint_dir);
+        let mut sim = Sim::new(self, chaos, specs, seq);
+        sim.run();
+        let report = sim.into_report();
+        if run_span.is_recording() {
+            run_span.add_field("completed", report.ledger.completed);
+            run_span.add_field("makespan", report.makespan);
+        }
+        report
+    }
+
+    fn build_driver(&self, spec: &JobSpec) -> Result<ScfDriver, ScfError> {
+        let mut elements: Vec<Element> = Vec::new();
+        for atom in &spec.molecule.atoms {
+            if !elements.contains(&atom.element) {
+                elements.push(atom.element);
+            }
+        }
+        let basis = spec.basis.basis_for(&elements);
+        let mut config = spec.config.clone();
+        // Placement belongs to the server, not the tenant.
+        config.distributed = None;
+        let key = ArtifactKey::for_job(spec);
+        let pairs = self.screens.get(&key);
+        let hit = pairs.is_some();
+        let driver =
+            ScfDriver::try_new_with_artifacts(&spec.molecule, &basis, config, &self.kernels, pairs)?;
+        if !hit {
+            self.screens.insert(key, driver.screened_pairs().to_vec());
+        }
+        Ok(driver)
+    }
+}
+
+/// Per-job mutable scheduling state.
+struct JobState {
+    spec: JobSpec,
+    driver: Option<ScfDriver>,
+    /// Last acknowledged checkpoint — the in-memory source of truth a
+    /// voided attempt falls back to.
+    resume: Option<Box<ScfCheckpoint>>,
+    ckpt_path: PathBuf,
+    retries: u32,
+    preemptions: usize,
+    quanta: usize,
+    device_seconds: f64,
+    started_at: Option<f64>,
+    /// Chaos poison fires on the first attempt only (transient corruption).
+    poison_spent: bool,
+    /// Admitted under pressure: runs the short quantum.
+    degraded: bool,
+}
+
+impl JobState {
+    fn completed_iterations(&self) -> usize {
+        self.resume.as_ref().map(|c| c.next_iteration).unwrap_or(0)
+    }
+
+    fn deadline_at(&self) -> f64 {
+        match self.spec.deadline {
+            Some(d) => self.spec.submit_at + d,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+/// What an attempt resolved to (decided eagerly at dispatch; applied when
+/// the virtual clock reaches the worker's `free_at`).
+enum AttemptEnd {
+    /// The job ran to its SCF terminus (converged or budget-exhausted).
+    Done(Box<ScfResult>),
+    /// Quantum boundary: adopt the checkpoint and requeue.
+    Yield(Box<ScfCheckpoint>),
+    /// The attempt was voided or errored; maybe salvage partial progress.
+    Fault {
+        error: JobError,
+        salvage: Option<Box<ScfCheckpoint>>,
+    },
+}
+
+struct Pending {
+    job: JobId,
+    end: AttemptEnd,
+    /// The chaos schedule kills this worker when the attempt resolves.
+    kills_worker: bool,
+}
+
+struct Worker {
+    free_at: f64,
+    dead: bool,
+    pending: Option<Pending>,
+    /// Quanta dispatched on this worker (the death-schedule index).
+    quanta_run: usize,
+    /// Checkpoint-adoption draws consumed (the ckpt-fault stream index).
+    saves: u64,
+}
+
+struct ReadyEntry {
+    job: JobId,
+    rank: u8,
+    ready_at: f64,
+}
+
+struct Sim<'a> {
+    server: &'a MakoServer,
+    chaos: &'a ServerChaos,
+    jobs: Vec<JobState>,
+    /// Submission order indices sorted by (submit_at, id); `next_arrival`
+    /// walks it.
+    arrivals: Vec<JobId>,
+    next_arrival: usize,
+    workers: Vec<Worker>,
+    ready: Vec<ReadyEntry>,
+    outcomes: Vec<Option<JobOutcome>>,
+    adm: AdmissionController,
+    ledger: ServeLedger,
+    clock: f64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(server: &'a MakoServer, chaos: &'a ServerChaos, specs: &[JobSpec], seq: usize) -> Sim<'a> {
+        let pid = std::process::id();
+        let jobs: Vec<JobState> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| JobState {
+                spec: spec.clone(),
+                driver: None,
+                resume: None,
+                ckpt_path: server
+                    .config
+                    .checkpoint_dir
+                    .join(format!("serve{pid}-{seq}-job{id}.ckpt")),
+                retries: 0,
+                preemptions: 0,
+                quanta: 0,
+                device_seconds: 0.0,
+                started_at: None,
+                poison_spent: false,
+                degraded: false,
+            })
+            .collect();
+        let mut arrivals: Vec<JobId> = (0..jobs.len()).collect();
+        arrivals.sort_by(|&a, &b| {
+            jobs[a]
+                .spec
+                .submit_at
+                .total_cmp(&jobs[b].spec.submit_at)
+                .then(a.cmp(&b))
+        });
+        let workers = (0..server.config.workers)
+            .map(|_| Worker {
+                free_at: 0.0,
+                dead: false,
+                pending: None,
+                quanta_run: 0,
+                saves: 0,
+            })
+            .collect();
+        Sim {
+            server,
+            chaos,
+            outcomes: vec![None; jobs.len()],
+            jobs,
+            arrivals,
+            next_arrival: 0,
+            workers,
+            ready: Vec::new(),
+            adm: AdmissionController::new(server.config.admission.clone()),
+            ledger: ServeLedger::default(),
+            clock: 0.0,
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            self.dispatch_ready();
+            let Some(t) = self.next_event_time() else {
+                break;
+            };
+            self.clock = self.clock.max(t);
+            // Arrivals first on time ties, then completions in worker order.
+            while self.next_arrival < self.arrivals.len()
+                && self.jobs[self.arrivals[self.next_arrival]].spec.submit_at <= self.clock
+            {
+                let id = self.arrivals[self.next_arrival];
+                self.next_arrival += 1;
+                self.arrive(id);
+            }
+            for w in 0..self.workers.len() {
+                if self.workers[w].pending.is_some() && self.workers[w].free_at <= self.clock {
+                    self.complete(w);
+                }
+            }
+            if self.workers.iter().all(|w| w.dead) {
+                self.drain_all_workers_lost();
+                break;
+            }
+        }
+        // Anything still queued when events ran out has nowhere to run.
+        self.drain_all_workers_lost();
+    }
+
+    /// The next instant something happens, or `None` when the run is over.
+    fn next_event_time(&self) -> Option<f64> {
+        let mut t: Option<f64> = None;
+        let mut fold = |cand: f64| {
+            t = Some(match t {
+                Some(cur) => cur.min(cand),
+                None => cand,
+            });
+        };
+        if let Some(&id) = self.arrivals.get(self.next_arrival) {
+            fold(self.jobs[id].spec.submit_at);
+        }
+        for w in &self.workers {
+            if w.pending.is_some() {
+                fold(w.free_at);
+            }
+        }
+        // A backoff expiry only matters if a worker could pick the job up.
+        if self
+            .workers
+            .iter()
+            .any(|w| !w.dead && w.pending.is_none())
+        {
+            for e in &self.ready {
+                if e.ready_at > self.clock {
+                    fold(e.ready_at);
+                }
+            }
+        }
+        t
+    }
+
+    fn arrive(&mut self, id: JobId) {
+        let spec = &self.jobs[id].spec;
+        mako_trace::instant(
+            "job",
+            "submit",
+            vec![
+                mako_trace::field("job", id),
+                mako_trace::field("tenant", spec.tenant.clone()),
+                mako_trace::field("class", spec.class.label()),
+            ],
+        );
+        let depth = self.ready.len();
+        if let Some(prev) = self.adm.evaluate(depth) {
+            self.ledger.state_transitions += 1;
+            mako_trace::instant(
+                "server",
+                "state",
+                vec![
+                    mako_trace::field("from", prev.label()),
+                    mako_trace::field("to", self.adm.state().label()),
+                    mako_trace::field("depth", depth),
+                ],
+            );
+        }
+        match self.adm.admit(spec, depth) {
+            Ok(ticket) => {
+                self.ledger.admitted += 1;
+                mako_trace::instant(
+                    "server",
+                    "admission",
+                    vec![
+                        mako_trace::field("job", id),
+                        mako_trace::field("decision", "admitted"),
+                        mako_trace::field("state", self.adm.state().label()),
+                    ],
+                );
+                self.jobs[id].degraded = ticket.degraded;
+                let rank = self.jobs[id].spec.class.rank();
+                self.ready.push(ReadyEntry {
+                    job: id,
+                    rank,
+                    ready_at: self.clock,
+                });
+            }
+            Err(reason) => {
+                self.ledger.rejected += 1;
+                mako_trace::instant(
+                    "server",
+                    "admission",
+                    vec![
+                        mako_trace::field("job", id),
+                        mako_trace::field("decision", reason.label()),
+                        mako_trace::field("state", self.adm.state().label()),
+                    ],
+                );
+                self.finish(id, JobOutcome::Rejected { reason }, false);
+            }
+        }
+    }
+
+    /// Fill every idle worker with the best dispatchable job.
+    fn dispatch_ready(&mut self) {
+        for w in 0..self.workers.len() {
+            if self.workers[w].dead || self.workers[w].pending.is_some() {
+                continue;
+            }
+            while let Some(pos) = self.pop_best_ready() {
+                let id = self.ready.remove(pos).job;
+                if self.clock > self.jobs[id].deadline_at() {
+                    let outcome = JobOutcome::DeadlineExceeded {
+                        deadline_seconds: self.jobs[id].spec.deadline.unwrap_or(0.0),
+                        completed_iterations: self.jobs[id].completed_iterations(),
+                        retries: self.jobs[id].retries,
+                    };
+                    self.finish(id, outcome, true);
+                    continue;
+                }
+                if self.dispatch(w, id) {
+                    break;
+                }
+                // Driver construction failed terminally; try the next job.
+            }
+        }
+    }
+
+    /// Index into `ready` of the best dispatchable entry: lowest
+    /// (class rank, job id) among those whose backoff has expired.
+    fn pop_best_ready(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in self.ready.iter().enumerate() {
+            if e.ready_at > self.clock {
+                continue;
+            }
+            best = Some(match best {
+                None => i,
+                Some(b) => {
+                    let (br, bj) = (self.ready[b].rank, self.ready[b].job);
+                    if (e.rank, e.job) < (br, bj) {
+                        i
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// Dispatch one quantum of `id` on worker `w`. Returns false when the
+    /// job reached a terminal outcome instead of occupying the worker.
+    fn dispatch(&mut self, w: usize, id: JobId) -> bool {
+        if self.jobs[id].driver.is_none() {
+            match self.server.build_driver(&self.jobs[id].spec) {
+                Ok(d) => self.jobs[id].driver = Some(d),
+                Err(e) => {
+                    let retries = self.jobs[id].retries;
+                    self.finish(
+                        id,
+                        JobOutcome::Failed {
+                            error: JobError::Scf(e),
+                            retries,
+                        },
+                        true,
+                    );
+                    return false;
+                }
+            }
+        }
+        if self.jobs[id].started_at.is_none() {
+            self.jobs[id].started_at = Some(self.clock);
+            mako_trace::instant(
+                "job",
+                "start",
+                vec![mako_trace::field("job", id), mako_trace::field("worker", w)],
+            );
+        }
+        let dies = self.worker_death_quantum(w) == Some(self.workers[w].quanta_run);
+        let start_iter = self.jobs[id].completed_iterations();
+        let quantum = self.quantum_len(id);
+        mako_trace::instant(
+            "server",
+            "quantum",
+            vec![
+                mako_trace::field("job", id),
+                mako_trace::field("worker", w),
+                mako_trace::field("start_iteration", start_iter),
+                mako_trace::field("iterations", quantum.unwrap_or(0)),
+            ],
+        );
+        let (raw, dt_raw) = self.run_quantum(w, id, start_iter, quantum);
+        self.jobs[id].quanta += 1;
+        self.workers[w].quanta_run += 1;
+        self.ledger.quanta += 1;
+
+        let slowdown = self.worker_slowdown(w);
+        let dt_slow = dt_raw * slowdown;
+        let cfg = &self.server.config;
+        let (end, dt_observed) = if dies {
+            // The worker dies mid-quantum; the attempt is voided whatever
+            // it computed.
+            (
+                AttemptEnd::Fault {
+                    error: JobError::WorkerLost { worker: w },
+                    salvage: None,
+                },
+                0.5 * dt_slow,
+            )
+        } else if dt_slow > cfg.attempt_timeout {
+            (
+                AttemptEnd::Fault {
+                    error: JobError::AttemptTimeout {
+                        limit_seconds: cfg.attempt_timeout,
+                    },
+                    salvage: None,
+                },
+                cfg.attempt_timeout,
+            )
+        } else {
+            (raw, dt_slow)
+        };
+        self.jobs[id].device_seconds += dt_observed;
+        self.workers[w].free_at = self.clock + dt_observed;
+        self.workers[w].pending = Some(Pending {
+            job: id,
+            end,
+            kills_worker: dies,
+        });
+        true
+    }
+
+    /// Execute one quantum eagerly and interpret the SCF outcome. Returns
+    /// the raw attempt end (before death/timeout precedence) and the
+    /// quantum's unslowed virtual duration.
+    fn run_quantum(
+        &mut self,
+        w: usize,
+        id: JobId,
+        start_iter: usize,
+        quantum: Option<usize>,
+    ) -> (AttemptEnd, f64) {
+        let job = &self.jobs[id];
+        let poison = if job.poison_spent {
+            None
+        } else {
+            self.chaos.poison_for(id)
+        };
+        let opts = ScfRunOptions {
+            checkpoint: Some(CheckpointPolicy {
+                every: 1,
+                path: job.ckpt_path.clone(),
+            }),
+            resume: job.resume.as_deref().cloned(),
+            kill_after: quantum.map(|q| start_iter + q),
+            poison_fock: poison,
+        };
+        let driver = job.driver.as_ref().expect("driver built at dispatch");
+        match driver.run_with(opts) {
+            Ok(res) => {
+                let dt = segment_seconds(&res.iteration_seconds, start_iter);
+                (AttemptEnd::Done(Box::new(res)), dt)
+            }
+            Err(ScfError::Killed { iterations }) => {
+                // Quantum boundary. Adopt the freshly persisted checkpoint —
+                // unless the chaos schedule says this write was lost.
+                let save = self.workers[w].saves;
+                self.workers[w].saves += 1;
+                if self.chaos.checkpoint_write_fails(w, save) {
+                    self.ledger.ckpt_write_faults += 1;
+                    self.fault_event(id, w, "ckpt_write");
+                    let dt = self
+                        .load_valid_ckpt(id, start_iter)
+                        .map(|c| segment_seconds(&c.iteration_seconds, start_iter))
+                        .unwrap_or(0.0);
+                    let error = JobError::Scf(ScfError::Checkpoint(CheckpointError::Io(
+                        "simulated checkpoint write failure".to_string(),
+                    )));
+                    return (
+                        AttemptEnd::Fault {
+                            error,
+                            salvage: None,
+                        },
+                        dt,
+                    );
+                }
+                match self.load_valid_ckpt(id, start_iter) {
+                    Some(ckpt) => {
+                        debug_assert_eq!(ckpt.next_iteration, iterations);
+                        let dt = segment_seconds(&ckpt.iteration_seconds, start_iter);
+                        (AttemptEnd::Yield(ckpt), dt)
+                    }
+                    None => {
+                        // The checkpoint genuinely failed to land; replay the
+                        // quantum through the standard retry path.
+                        let error = JobError::Scf(ScfError::Checkpoint(CheckpointError::Io(
+                            "quantum checkpoint missing or invalid".to_string(),
+                        )));
+                        (
+                            AttemptEnd::Fault {
+                                error,
+                                salvage: None,
+                            },
+                            0.0,
+                        )
+                    }
+                }
+            }
+            Err(e) => {
+                if poison.is_some() && matches!(e, ScfError::NonFinite { .. }) {
+                    self.jobs[id].poison_spent = true;
+                }
+                self.fault_event(id, w, "scf_error");
+                // Salvage: iterations the attempt completed before the error
+                // are on disk; adopting them is safe (same trajectory
+                // prefix) and shrinks the replay.
+                let salvage = self.load_valid_ckpt(id, start_iter);
+                let dt = salvage
+                    .as_ref()
+                    .map(|c| segment_seconds(&c.iteration_seconds, start_iter))
+                    .unwrap_or(0.0);
+                (
+                    AttemptEnd::Fault {
+                        error: JobError::Scf(e),
+                        salvage,
+                    },
+                    dt,
+                )
+            }
+        }
+    }
+
+    /// Load the job's on-disk checkpoint if it exists, fingerprints match
+    /// this job's problem, and it is ahead of the in-memory resume point.
+    fn load_valid_ckpt(&self, id: JobId, start_iter: usize) -> Option<Box<ScfCheckpoint>> {
+        let job = &self.jobs[id];
+        let driver = job.driver.as_ref()?;
+        let ckpt = ScfCheckpoint::load(&job.ckpt_path).ok()?;
+        ckpt.validate(
+            driver.nao(),
+            driver.nbatches(),
+            driver.nquartets(),
+            driver.problem_fingerprint(),
+        )
+        .ok()?;
+        (ckpt.next_iteration > start_iter).then(|| Box::new(ckpt))
+    }
+
+    /// Resolve a worker's pending attempt at its completion instant.
+    fn complete(&mut self, w: usize) {
+        let Pending {
+            job: id,
+            end,
+            kills_worker,
+        } = self.workers[w].pending.take().expect("busy worker");
+        if kills_worker {
+            self.workers[w].dead = true;
+            self.ledger.worker_deaths += 1;
+            self.fault_event(id, w, "worker_death");
+        }
+        match end {
+            AttemptEnd::Done(res) => {
+                let job = &self.jobs[id];
+                let report = JobReport {
+                    energy: res.energy,
+                    converged: res.converged,
+                    iterations: res.iterations,
+                    device_seconds: job.device_seconds,
+                    submitted_at: job.spec.submit_at,
+                    started_at: job.started_at.unwrap_or(job.spec.submit_at),
+                    finished_at: self.clock,
+                    retries: job.retries,
+                    preemptions: job.preemptions,
+                    quanta: job.quanta,
+                };
+                self.finish(id, JobOutcome::Completed(report), true);
+            }
+            AttemptEnd::Yield(ckpt) => {
+                self.jobs[id].resume = Some(ckpt);
+                if self.clock > self.jobs[id].deadline_at() {
+                    let outcome = JobOutcome::DeadlineExceeded {
+                        deadline_seconds: self.jobs[id].spec.deadline.unwrap_or(0.0),
+                        completed_iterations: self.jobs[id].completed_iterations(),
+                        retries: self.jobs[id].retries,
+                    };
+                    self.finish(id, outcome, true);
+                    return;
+                }
+                let rank = self.jobs[id].spec.class.rank();
+                // Count a preemption only when the yield actually cedes the
+                // worker to someone more important.
+                if self
+                    .ready
+                    .iter()
+                    .any(|e| e.rank < rank && e.ready_at <= self.clock)
+                {
+                    self.jobs[id].preemptions += 1;
+                    self.ledger.preemptions += 1;
+                    mako_trace::instant(
+                        "server",
+                        "preempt",
+                        vec![
+                            mako_trace::field("job", id),
+                            mako_trace::field("class", self.jobs[id].spec.class.label()),
+                        ],
+                    );
+                }
+                self.ready.push(ReadyEntry {
+                    job: id,
+                    rank,
+                    ready_at: self.clock,
+                });
+            }
+            AttemptEnd::Fault { error, salvage } => {
+                if let Some(ckpt) = salvage {
+                    self.jobs[id].resume = Some(ckpt);
+                }
+                self.retry_or_fail(id, error);
+            }
+        }
+    }
+
+    fn retry_or_fail(&mut self, id: JobId, error: JobError) {
+        if matches!(error, JobError::AttemptTimeout { .. }) {
+            self.ledger.timeouts += 1;
+        }
+        let job = &mut self.jobs[id];
+        if retryable(&error) && job.retries < self.server.config.max_retries {
+            job.retries += 1;
+            self.ledger.retries += 1;
+            let backoff = self.server.config.backoff(job.retries);
+            mako_trace::instant(
+                "job",
+                "retry",
+                vec![
+                    mako_trace::field("job", id),
+                    mako_trace::field("attempt", job.retries),
+                    mako_trace::field("backoff_seconds", backoff),
+                    mako_trace::field("error", error.to_string()),
+                ],
+            );
+            let ready_at = self.clock + backoff;
+            if ready_at > self.jobs[id].deadline_at() {
+                let outcome = JobOutcome::DeadlineExceeded {
+                    deadline_seconds: self.jobs[id].spec.deadline.unwrap_or(0.0),
+                    completed_iterations: self.jobs[id].completed_iterations(),
+                    retries: self.jobs[id].retries,
+                };
+                self.finish(id, outcome, true);
+                return;
+            }
+            let rank = self.jobs[id].spec.class.rank();
+            self.ready.push(ReadyEntry {
+                job: id,
+                rank,
+                ready_at,
+            });
+        } else {
+            let retries = job.retries;
+            self.finish(id, JobOutcome::Failed { error, retries }, true);
+        }
+    }
+
+    /// Record a job's terminal outcome; `admitted` releases its tenant slot.
+    fn finish(&mut self, id: JobId, outcome: JobOutcome, admitted: bool) {
+        match &outcome {
+            JobOutcome::Completed(_) => self.ledger.completed += 1,
+            JobOutcome::Failed { .. } => self.ledger.failed += 1,
+            JobOutcome::DeadlineExceeded { .. } => self.ledger.deadline_exceeded += 1,
+            JobOutcome::Rejected { .. } => {}
+        }
+        mako_trace::instant(
+            "job",
+            "outcome",
+            vec![
+                mako_trace::field("job", id),
+                mako_trace::field("outcome", outcome.label()),
+            ],
+        );
+        if admitted {
+            let tenant = self.jobs[id].spec.tenant.clone();
+            self.adm.release(&tenant);
+        }
+        let _ = std::fs::remove_file(&self.jobs[id].ckpt_path);
+        self.outcomes[id] = Some(outcome);
+    }
+
+    /// Fail everything still queued (and any unprocessed arrivals) when no
+    /// worker is left alive.
+    fn drain_all_workers_lost(&mut self) {
+        while let Some(e) = self.ready.pop() {
+            let retries = self.jobs[e.job].retries;
+            self.finish(
+                e.job,
+                JobOutcome::Failed {
+                    error: JobError::AllWorkersLost,
+                    retries,
+                },
+                true,
+            );
+        }
+        while self.next_arrival < self.arrivals.len() {
+            let id = self.arrivals[self.next_arrival];
+            self.next_arrival += 1;
+            self.finish(
+                id,
+                JobOutcome::Failed {
+                    error: JobError::AllWorkersLost,
+                    retries: 0,
+                },
+                false,
+            );
+        }
+    }
+
+    fn fault_event(&self, id: JobId, w: usize, kind: &'static str) {
+        mako_trace::instant(
+            "server",
+            "fault",
+            vec![
+                mako_trace::field("job", id),
+                mako_trace::field("worker", w),
+                mako_trace::field("kind", kind),
+            ],
+        );
+    }
+
+    fn quantum_len(&self, id: JobId) -> Option<usize> {
+        match self.jobs[id].spec.class {
+            PriorityClass::Interactive => None,
+            PriorityClass::Batch | PriorityClass::BestEffort => Some(if self.jobs[id].degraded {
+                self.server.config.degraded_quantum_iterations.max(1)
+            } else {
+                self.server.config.quantum_iterations.max(1)
+            }),
+        }
+    }
+
+    fn worker_death_quantum(&self, w: usize) -> Option<usize> {
+        (w < self.chaos.workers())
+            .then(|| self.chaos.death_quantum(w))
+            .flatten()
+    }
+
+    fn worker_slowdown(&self, w: usize) -> f64 {
+        if w < self.chaos.workers() {
+            self.chaos.slowdown(w)
+        } else {
+            1.0
+        }
+    }
+
+    fn into_report(mut self) -> ServeReport {
+        // Defensive: every job must have resolved; a hole here is a
+        // scheduler bug, surfaced as a typed failure rather than a panic.
+        let outcomes = self
+            .outcomes
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or(JobOutcome::Failed {
+                    error: JobError::AllWorkersLost,
+                    retries: 0,
+                })
+            })
+            .collect();
+        self.adm.evaluate(self.ready.len());
+        ServeReport {
+            outcomes,
+            ledger: self.ledger,
+            makespan: self.clock,
+            final_state: self.adm.state(),
+        }
+    }
+}
+
+/// Virtual seconds of the trajectory segment starting at `start_iter`
+/// (iteration timings before that belong to earlier attempts).
+fn segment_seconds(iteration_seconds: &[f64], start_iter: usize) -> f64 {
+    let from = start_iter.min(iteration_seconds.len());
+    iteration_seconds[from..].iter().sum()
+}
+
+/// Whether a fault class is worth retrying. Worker loss, straggler
+/// timeouts, checkpoint IO, and non-finite (poisoned) Fock builds are
+/// transient; everything else is a property of the problem and retrying
+/// cannot fix it.
+fn retryable(e: &JobError) -> bool {
+    match e {
+        JobError::Scf(ScfError::NonFinite { .. }) => true,
+        JobError::Scf(ScfError::Checkpoint(_)) => true,
+        JobError::Scf(_) => false,
+        JobError::WorkerLost { .. } => true,
+        JobError::AttemptTimeout { .. } => true,
+        JobError::AllWorkersLost => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ServerChaos;
+    use crate::job::PriorityClass;
+    use mako_chem::builders;
+
+    fn tmp_config() -> ServerConfig {
+        ServerConfig {
+            checkpoint_dir: std::env::temp_dir().join("mako-server-unit"),
+            ..ServerConfig::default()
+        }
+    }
+
+    fn energy(outcome: &JobOutcome) -> f64 {
+        outcome.energy().expect("completed job")
+    }
+
+    #[test]
+    fn quiet_serve_matches_solo_bitwise() {
+        let server = MakoServer::new(tmp_config());
+        let specs = vec![
+            JobSpec::new("a", PriorityClass::Batch, builders::water()),
+            JobSpec::new("b", PriorityClass::Interactive, builders::methane()).at(0.0),
+        ];
+        let report = server.serve_quiet(&specs);
+        assert_eq!(report.ledger.completed, 2);
+        for (spec, outcome) in specs.iter().zip(&report.outcomes) {
+            let solo = server.run_solo(spec).expect("solo run");
+            assert_eq!(
+                energy(outcome).to_bits(),
+                solo.energy.to_bits(),
+                "scheduled energy must be bitwise identical to the solo run"
+            );
+        }
+        assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn batch_yields_to_interactive_within_one_quantum() {
+        let server = MakoServer::new(ServerConfig {
+            workers: 1,
+            ..tmp_config()
+        });
+        // The batch job arrives first and hogs the only worker; the
+        // interactive job lands mid-run and must start within a quantum.
+        let specs = vec![
+            JobSpec::new("bulk", PriorityClass::Batch, builders::water()),
+            JobSpec::new("ui", PriorityClass::Interactive, builders::methane()).at(1e-6),
+        ];
+        let report = server.serve_quiet(&specs);
+        assert_eq!(report.ledger.completed, 2);
+        let batch = report.outcomes[0].report().expect("batch completed");
+        let ui = report.outcomes[1].report().expect("interactive completed");
+        assert!(batch.preemptions >= 1, "batch must have yielded");
+        assert!(
+            ui.started_at < batch.finished_at,
+            "interactive started before the batch job finished"
+        );
+        // No-starvation bound: the wait is at most one quantum of the
+        // running batch job (its first quantum, which began at t = 0).
+        let first_quantum_end = report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.report())
+            .map(|r| r.started_at)
+            .fold(f64::INFINITY, f64::min);
+        assert!(ui.started_at - first_quantum_end <= batch.device_seconds);
+    }
+
+    #[test]
+    fn worker_death_is_contained_and_bitwise_safe() {
+        let server = MakoServer::new(tmp_config());
+        let specs = vec![JobSpec::new("a", PriorityClass::Batch, builders::water())];
+        let chaos = ServerChaos::quiet(2).kill_worker(0, 0.0);
+        let report = server.serve(&specs, &chaos);
+        assert_eq!(report.ledger.worker_deaths, 1);
+        let rep = report.outcomes[0].report().expect("job survived the death");
+        assert!(rep.retries >= 1, "the voided attempt was retried");
+        let solo = server.run_solo(&specs[0]).expect("solo");
+        assert_eq!(rep.energy.to_bits(), solo.energy.to_bits());
+    }
+
+    #[test]
+    fn poison_is_retried_clean_and_bitwise_safe() {
+        let server = MakoServer::new(tmp_config());
+        let specs = vec![JobSpec::new("a", PriorityClass::Batch, builders::water())];
+        let chaos = ServerChaos::quiet(2).with_poison(0, 2);
+        let report = server.serve(&specs, &chaos);
+        let rep = report.outcomes[0].report().expect("job survived the poison");
+        assert!(rep.retries >= 1);
+        let solo = server.run_solo(&specs[0]).expect("solo");
+        assert_eq!(rep.energy.to_bits(), solo.energy.to_bits());
+    }
+
+    #[test]
+    fn persistent_ckpt_faults_fail_typed_not_panic() {
+        let server = MakoServer::new(tmp_config());
+        let specs = vec![JobSpec::new("a", PriorityClass::Batch, builders::water())];
+        let chaos = ServerChaos::quiet(2).with_ckpt_io_rate(1.0);
+        let report = server.serve(&specs, &chaos);
+        match &report.outcomes[0] {
+            JobOutcome::Failed { error, retries } => {
+                assert!(
+                    matches!(error, JobError::Scf(ScfError::Checkpoint(_))),
+                    "expected a typed checkpoint error, got {error:?}"
+                );
+                assert_eq!(*retries, server.config().max_retries);
+            }
+            other => panic!("expected typed failure, got {other:?}"),
+        }
+        assert!(report.ledger.ckpt_write_faults > 0);
+    }
+
+    #[test]
+    fn impossible_deadline_is_reported_not_run_forever() {
+        let server = MakoServer::new(tmp_config());
+        let specs = vec![
+            JobSpec::new("a", PriorityClass::Batch, builders::water()).with_deadline(1e-12)
+        ];
+        let report = server.serve_quiet(&specs);
+        match &report.outcomes[0] {
+            JobOutcome::DeadlineExceeded {
+                deadline_seconds, ..
+            } => assert_eq!(*deadline_seconds, 1e-12),
+            other => panic!("expected deadline outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn losing_every_worker_fails_queued_jobs_typed() {
+        let server = MakoServer::new(tmp_config());
+        let specs = vec![
+            JobSpec::new("a", PriorityClass::Batch, builders::water()),
+            JobSpec::new("a", PriorityClass::Batch, builders::methane()),
+            JobSpec::new("b", PriorityClass::Batch, builders::ammonia()).at(1e3),
+        ];
+        let chaos = ServerChaos::quiet(2).kill_worker(0, 0.0).kill_worker(1, 0.0);
+        let report = server.serve(&specs, &chaos);
+        assert_eq!(report.ledger.completed, 0);
+        for outcome in &report.outcomes {
+            match outcome {
+                JobOutcome::Failed { error, .. } => assert!(matches!(
+                    error,
+                    JobError::AllWorkersLost | JobError::WorkerLost { .. }
+                )),
+                other => panic!("expected failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn screen_cache_serves_repeat_submissions() {
+        let server = MakoServer::new(tmp_config());
+        let spec = JobSpec::new("a", PriorityClass::Interactive, builders::water());
+        let r1 = server.serve_quiet(std::slice::from_ref(&spec));
+        let misses = server.screen_cache().misses();
+        let r2 = server.serve_quiet(std::slice::from_ref(&spec));
+        assert_eq!(server.screen_cache().misses(), misses, "second serve hit");
+        assert!(server.screen_cache().hits() >= 1);
+        assert_eq!(
+            energy(&r1.outcomes[0]).to_bits(),
+            energy(&r2.outcomes[0]).to_bits(),
+            "cache-served artifacts change nothing"
+        );
+    }
+}

@@ -275,6 +275,19 @@ pub const KNOWN_EVENTS: &[&str] = &[
     "compiler.kernel_cache.hits",
     "compiler.kernel_cache.tunes",
     "compiler.kernel_cache.duplicates_avoided",
+    "compiler.kernel_cache.evictions",
+    "server.run",
+    "server.admission",
+    "server.state",
+    "server.quantum",
+    "server.preempt",
+    "server.fault",
+    "server.screen_cache.hits",
+    "server.screen_cache.evictions",
+    "job.submit",
+    "job.start",
+    "job.retry",
+    "job.outcome",
     "accel.clock",
     "clock.iteration",
     "clock.recovery",
@@ -423,6 +436,27 @@ mod tests {
             assert!(is_known_event(name), "{name} missing from KNOWN_EVENTS");
         }
         assert!(!is_known_event("scf.unheard_of"));
+    }
+
+    #[test]
+    fn known_event_registry_covers_the_serving_events() {
+        for name in [
+            "server.run",
+            "server.admission",
+            "server.state",
+            "server.quantum",
+            "server.preempt",
+            "server.fault",
+            "server.screen_cache.hits",
+            "server.screen_cache.evictions",
+            "job.submit",
+            "job.start",
+            "job.retry",
+            "job.outcome",
+            "compiler.kernel_cache.evictions",
+        ] {
+            assert!(is_known_event(name), "{name} missing from KNOWN_EVENTS");
+        }
     }
 
     #[test]

@@ -62,6 +62,22 @@ cargo run --release -p mako-bench --bin trace_validate -- target/ensemble_trace_
 grep -q '"bitwise_identical_all": true' target/BENCH_batch_smoke.json \
     || { echo "ensemble smoke lost per-molecule bitwise identity" >&2; exit 1; }
 
+echo "== tier2: server_bench (smoke: admission + starvation + chaos serve, traced) =="
+MAKO_SMOKE=1 MAKO_FAULT_SEED=11 \
+    MAKO_BENCH_OUT=target/BENCH_serve_smoke.json \
+    MAKO_TRACE=target/serve_trace_smoke.jsonl \
+    cargo run --release -p mako-bench --bin server_bench
+# The serving events must validate against the documented schema AND
+# actually appear — admission decisions, quanta, and typed outcomes are
+# part of the serving contract.
+cargo run --release -p mako-bench --bin trace_validate -- target/serve_trace_smoke.jsonl \
+    --require server.run --require server.admission --require server.quantum \
+    --require job.submit --require job.start --require job.outcome
+grep -q '"completed_bitwise_vs_solo": true' target/BENCH_serve_smoke.json \
+    || { echo "server smoke lost the chaos bitwise invariant" >&2; exit 1; }
+grep -q '"threads_bitwise_identical": true' target/BENCH_serve_smoke.json \
+    || { echo "server smoke lost cross-thread determinism" >&2; exit 1; }
+
 echo "== tier2: trace smoke (host_fock_bench under MAKO_TRACE + schema check) =="
 MAKO_BENCH_MAX_QUARTETS=2000 MAKO_THREADS=1,2 \
     MAKO_BENCH_OUT=target/BENCH_fock_trace_smoke.json \

@@ -27,8 +27,9 @@ use mako::linalg::Matrix;
 use mako::quant::QuantSchedule;
 use mako::scf::fock::{FockEngineOptions, JkMatrices};
 use mako::scf::{
-    build_jk_distributed, build_jk_distributed_ft, CheckpointPolicy, DistributedScf,
-    FaultToleranceOptions, ScfCheckpoint, ScfConfig, ScfDriver, ScfError, ScfRunOptions,
+    build_jk_distributed, build_jk_distributed_ft, CheckpointError, CheckpointPolicy,
+    DistributedScf, FaultToleranceOptions, ScfCheckpoint, ScfConfig, ScfDriver, ScfError,
+    ScfRunOptions,
 };
 use std::path::PathBuf;
 
@@ -392,4 +393,102 @@ fn checkpoint_rejects_wrong_problem() {
         "expected a checkpoint error, got: {err}"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// Run `driver` with a checkpoint-every-iteration policy, kill it at
+/// iteration 2, and hand back the checkpoint it left behind.
+fn checkpoint_from(driver: &ScfDriver, tag: &str) -> ScfCheckpoint {
+    let path = scratch_ckpt(tag);
+    let err = driver
+        .run_with(ScfRunOptions {
+            checkpoint: Some(CheckpointPolicy {
+                every: 1,
+                path: path.clone(),
+            }),
+            kill_after: Some(2),
+            ..ScfRunOptions::default()
+        })
+        .expect_err("interrupted run must die");
+    assert_eq!(err, ScfError::Killed { iterations: 2 });
+    let ck = ScfCheckpoint::load(&path).expect("load checkpoint");
+    let _ = std::fs::remove_file(&path);
+    ck
+}
+
+#[test]
+fn checkpoint_rejects_same_shape_different_geometry() {
+    // The cross-tenant attack the shape triple cannot see: a perturbed
+    // water has the same nao, batch count, and quartet count as the
+    // pristine one, so only the v2 problem hash separates them. Resuming
+    // tenant A's checkpoint on tenant B's near-identical molecule must fail
+    // typed — not silently continue B's SCF from A's density.
+    let water = ScfDriver::new(&builders::water(), &sto3g(), ScfConfig::default());
+    let shifted = ScfDriver::new(
+        &builders::perturbed_water(42, 1e-3),
+        &sto3g(),
+        ScfConfig::default(),
+    );
+    assert_eq!(water.nao(), shifted.nao());
+    assert_eq!(water.nbatches(), shifted.nbatches());
+    assert_eq!(water.nquartets(), shifted.nquartets());
+    assert_ne!(
+        water.problem_fingerprint(),
+        shifted.problem_fingerprint(),
+        "identical shapes must still hash as distinct problems"
+    );
+
+    let ck = checkpoint_from(&water, "geometry");
+    assert_eq!(
+        ck.validate(
+            shifted.nao(),
+            shifted.nbatches(),
+            shifted.nquartets(),
+            shifted.problem_fingerprint(),
+        ),
+        Err(CheckpointError::Mismatch { field: "problem" })
+    );
+    let err = shifted
+        .run_with(ScfRunOptions {
+            resume: Some(ck),
+            ..ScfRunOptions::default()
+        })
+        .expect_err("cross-geometry resume must be rejected");
+    assert_eq!(
+        err,
+        ScfError::Checkpoint(CheckpointError::Mismatch { field: "problem" })
+    );
+}
+
+#[test]
+fn checkpoint_rejects_same_molecule_different_device() {
+    // Same molecule, same basis, different simulated device: the numbers
+    // would even agree, but the device clock would not — a resumed
+    // trajectory would splice A100 iteration timings into an H100 ledger
+    // and silently break the bitwise-replay contract. The problem hash
+    // covers the device kind, so the splice is refused up front.
+    use mako::accel::DeviceKind;
+    let mol = builders::water();
+    let a100 = ScfDriver::new(&mol, &sto3g(), ScfConfig::default());
+    let h100 = ScfDriver::new(
+        &mol,
+        &sto3g(),
+        ScfConfig {
+            device: DeviceSpec::new(DeviceKind::H100),
+            ..ScfConfig::default()
+        },
+    );
+    assert_eq!(a100.nao(), h100.nao());
+    assert_ne!(a100.problem_fingerprint(), h100.problem_fingerprint());
+
+    let ck = checkpoint_from(&a100, "device");
+    let err = h100
+        .run_with(ScfRunOptions {
+            resume: Some(ck),
+            ..ScfRunOptions::default()
+        })
+        .expect_err("cross-device resume must be rejected");
+    assert_eq!(
+        err,
+        ScfError::Checkpoint(CheckpointError::Mismatch { field: "problem" })
+    );
 }
