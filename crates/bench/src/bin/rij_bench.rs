@@ -1,0 +1,486 @@
+//! RI-J density-fitting benchmark: adaptive-precision tiled Coulomb builds
+//! vs the dense quartet path on water clusters (STO-3G AO basis, the
+//! even-tempered RI-J universal auxiliary basis).
+//!
+//! Two sections:
+//!
+//! **Fit section** (`MAKO_RIJ_FIT_WATERS`, default 4): the dense quartet
+//! J is *evaluated* uncapped on a sub-cluster small enough for host time,
+//! and the FP64 RI-J `E_J` is asserted variationally bounded above by the
+//! dense value and within `MAKO_RIJ_FIT_TOL` (relative) of it. This is
+//! the ground-truth physics check.
+//!
+//! **Scale section** (`MAKO_RIJ_WATERS`, default 60): the full cluster.
+//! Evaluating ~18M dense quartets is not host-feasible, so the dense
+//! baseline is priced *analytically*: the bench tallies the surviving
+//! quartets per [`EriClass`] with the same bra ≥ ket / Schwarz-product
+//! rule `batch_quartets` uses, then prices one launch per class through
+//! the same [`batch_device_seconds`] call `build_jk`'s FP64-reference
+//! plan would make — identical device arithmetic, no quartet storage.
+//! The RI-J side is fully evaluated (3c/2c build + tiled contractions).
+//! Measures, Table-2 style:
+//!
+//! * per-tier J accuracy — every tile pinned to one of int8 / fp16 /
+//!   bf16 / tf32, RMSE and max deviation against the RI-J FP64 reference;
+//! * the adaptive schedule under `MAKO_RIJ_BUDGET`: tier census, the
+//!   rigorous per-pass error bounds (asserted ≤ budget), and the measured
+//!   end-to-end deviation (asserted ≤ budget × `MAKO_RIJ_AMP` — the
+//!   metric solve amplifies pass-1 error by at most the metric's
+//!   conditioning);
+//! * device-clock economics: the dense J path re-pays its quartet
+//!   evaluation on every SCF iteration, while RI-J pays a one-time 3c/2c
+//!   build and then two cheap tiled contractions per iteration. Asserts
+//!   per-iteration device speedup ≥ `MAKO_RIJ_MIN_SPEEDUP` (default 2)
+//!   and reports the build's break-even iteration count. (The dense
+//!   baseline prices the shared quartet evaluation of a J+K build; a
+//!   J-only dense build evaluates the same quartets, so the comparison
+//!   holds for it too.)
+//! * bitwise thread-invariance: the adaptive build is repeated under
+//!   rayon pools of `MAKO_THREADS` (default `1,2,4,8`) and every J digest
+//!   and device-clock bit pattern must match — asserted, not just logged.
+//!
+//! Results land in `BENCH_rij.json` (`MAKO_BENCH_OUT` overrides).
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin rij_bench
+//! ```
+//!
+//! Knobs: `MAKO_RIJ_WATERS` (scale-section cluster, default 60;
+//! `MAKO_SMOKE=1` drops it to 2), `MAKO_RIJ_FIT_WATERS` (fit-section
+//! cluster, default 4, clamped to `MAKO_RIJ_WATERS`), `MAKO_BENCH_SCREEN`
+//! (Schwarz pair threshold, default 1e-5), `MAKO_RIJ_BUDGET` (adaptive
+//! per-element error budget, default 1e-6), `MAKO_RIJ_BUDGET_LOOSE` (the
+//! second, tier-mixing adaptive point, default 1e-2), `MAKO_RIJ_FIT_TOL`
+//! (relative
+//! `E_J` fit tolerance vs dense, default 5e-3), `MAKO_RIJ_AMP`
+//! (end-to-end amplification allowance over the budget, default 1e3),
+//! `MAKO_RIJ_MIN_SPEEDUP` (per-iteration device speedup floor, default
+//! 2), `MAKO_THREADS`, `MAKO_BENCH_OUT`, `MAKO_TRACE` (tracing is
+//! numerically inert).
+
+use mako_accel::{CostModel, DeviceSpec};
+use mako_chem::basis::{rij_universal, sto3g::sto3g};
+use mako_chem::builders::water_cluster;
+use mako_chem::{AoLayout, Element};
+use mako_eri::batch::{batch_quartets, EriClass};
+use mako_eri::rij::AuxBasis;
+use mako_eri::screening::{build_screened_pairs, ScreenedPair};
+use mako_kernels::pipeline::{batch_device_seconds, PipelineConfig};
+use mako_linalg::Matrix;
+use mako_precision::TilePrecision;
+use mako_quant::{QuantSchedule, RijSchedule};
+use mako_scf::fock::build_jk;
+use mako_scf::rij::{RijConfig, RijEngine, RijJStats};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_thread_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// FNV-1a over the bit patterns of a matrix — the cross-thread digest.
+fn digest(m: &Matrix) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in m.as_slice() {
+        for byte in x.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn rmse(a: &Matrix, b: &Matrix) -> f64 {
+    let n = a.as_slice().len();
+    let ss: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    (ss / n as f64).sqrt()
+}
+
+fn tier_json(name: &str, stats: &RijJStats, r: f64, mx: f64, de: f64) -> String {
+    format!(
+        "{{\"tier\": \"{name}\", \"rmse_vs_fp64\": {r:e}, \"max_abs_vs_fp64\": {mx:e}, \
+         \"delta_ej_ha\": {de:e}, \"device_seconds\": {:.9}, \"tiles\": {:?}}}",
+        stats.device_seconds, stats.tile_counts
+    )
+}
+
+/// Price the dense FP64 J+K build analytically: tally surviving quartets
+/// per class with `batch_quartets`' bra ≥ ket / Schwarz-product rule, then
+/// one [`batch_device_seconds`] launch per class — the same pricing the
+/// FP64-reference `build_jk` plan performs, without materializing the
+/// quartet list. Returns (quartet count, device seconds).
+fn dense_device_analytic(
+    pairs: &[ScreenedPair],
+    threshold: f64,
+    cfg: &PipelineConfig,
+    model: &CostModel,
+) -> (usize, f64) {
+    let mut counts: BTreeMap<EriClass, usize> = BTreeMap::new();
+    for (pi, pab) in pairs.iter().enumerate() {
+        for pcd in pairs.iter().take(pi + 1) {
+            if pab.bound * pcd.bound < threshold {
+                continue;
+            }
+            let class = EriClass {
+                la: pab.data.la,
+                lb: pab.data.lb,
+                lc: pcd.data.la,
+                ld: pcd.data.lb,
+                kab: pab.data.degree(),
+                kcd: pcd.data.degree(),
+            };
+            *counts.entry(class).or_insert(0) += 1;
+        }
+    }
+    let quartets = counts.values().sum();
+    let device = counts
+        .iter()
+        .map(|(class, &n)| batch_device_seconds(class, n, cfg, model))
+        .sum();
+    (quartets, device)
+}
+
+/// Molecule + engine for one cluster size.
+struct Setup {
+    layout: AoLayout,
+    pairs: Vec<ScreenedPair>,
+    aux_naux: usize,
+    eng: RijEngine,
+    build_wall: f64,
+    density: Matrix,
+}
+
+fn setup(nwaters: usize, screen: f64, cfg: &PipelineConfig, model: &CostModel) -> Setup {
+    let mol = water_cluster(nwaters);
+    let shells = sto3g().shells_for(&mol);
+    let layout = AoLayout::new(&shells);
+    let pairs = build_screened_pairs(&shells, screen);
+    let aux_shells = rij_universal(&[Element::H, Element::O]).shells_for(&mol);
+    let aux = AuxBasis::new(&aux_shells);
+    let t0 = Instant::now();
+    let eng = RijEngine::build(&pairs, &layout, &aux, &RijConfig::default(), cfg, model)
+        .expect("RI-J Coulomb metric must be positive definite");
+    let build_wall = t0.elapsed().as_secs_f64();
+    let n = layout.nao;
+    let mut density = Matrix::from_fn(n, n, |i, j| 0.3 / (1.0 + (i as f64 - j as f64).abs()));
+    density.symmetrize();
+    let aux_naux = aux.naux();
+    Setup {
+        layout,
+        pairs,
+        aux_naux,
+        eng,
+        build_wall,
+        density,
+    }
+}
+
+fn main() {
+    mako_trace::init_from_env();
+    let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let nwaters = env_usize("MAKO_RIJ_WATERS", if smoke { 2 } else { 60 });
+    let fit_waters = env_usize("MAKO_RIJ_FIT_WATERS", 4).min(nwaters);
+    let screen = env_f64("MAKO_BENCH_SCREEN", 1e-5);
+    let budget = env_f64("MAKO_RIJ_BUDGET", 1e-6);
+    let fit_tol = env_f64("MAKO_RIJ_FIT_TOL", 5e-3);
+    let amp = env_f64("MAKO_RIJ_AMP", 1e3);
+    let min_speedup = env_f64("MAKO_RIJ_MIN_SPEEDUP", 2.0);
+
+    let model = CostModel::new(DeviceSpec::a100());
+    let fp64_cfg = PipelineConfig::kernel_mako_fp64();
+
+    // ==== fit section: evaluated dense ground truth on the sub-cluster ====
+    let fit = setup(fit_waters, screen, &fp64_cfg, &model);
+    let fit_nao = fit.layout.nao;
+    let batches = batch_quartets(&fit.pairs, 1e-10);
+    let fit_quartets: usize = batches.iter().map(|b| b.quartets.len()).sum();
+    println!(
+        "rij_bench fit: water{fit_waters} STO-3G  nao={}  pairs={}  naux={}  ({fit_quartets} dense quartets)",
+        fit.layout.nao,
+        fit.pairs.len(),
+        fit.aux_naux
+    );
+    let t0 = Instant::now();
+    let (jk_dense, dense_fit_stats) = build_jk(
+        &fit.density,
+        &fit.pairs,
+        &batches,
+        &fit.layout,
+        &QuantSchedule::fp64_reference(1e-12),
+        &fp64_cfg,
+        &fp64_cfg,
+        &model,
+    );
+    let dense_fit_wall = t0.elapsed().as_secs_f64();
+    let e_dense = 0.5 * fit.density.dot(&jk_dense.j);
+    let (j_fit, _) = fit.eng.build_j(&fit.density, &RijSchedule::fp64_reference(), &model);
+    let e_fit = 0.5 * fit.density.dot(&j_fit);
+    let fit_rel = (e_fit - e_dense).abs() / e_dense.abs();
+    println!(
+        "  dense E_J {e_dense:.9} Ha (wall {dense_fit_wall:.3} s)  rij E_J {e_fit:.9} Ha  fit {fit_rel:.2e} rel"
+    );
+    assert!(
+        e_fit <= e_dense * (1.0 + 1e-12),
+        "robust fitting must bound E_J from below: {e_fit} vs {e_dense}"
+    );
+    assert!(
+        fit_rel <= fit_tol,
+        "RI-J fit error {fit_rel:.3e} exceeds MAKO_RIJ_FIT_TOL {fit_tol:.0e}"
+    );
+
+    // ==== scale section: the full cluster ================================
+    let sc = if nwaters == fit_waters {
+        fit
+    } else {
+        setup(nwaters, screen, &fp64_cfg, &model)
+    };
+    let n = sc.layout.nao;
+    println!(
+        "rij_bench scale: water{nwaters} STO-3G  nao={n}  pairs={}  naux={} (screen {screen:.0e})",
+        sc.pairs.len(),
+        sc.aux_naux
+    );
+    println!(
+        "  rij build: B {} x {} ({:.1} MiB), wall {:.3} s, device {:.6} s, \
+         3c blocks {} evaluated / {} screened",
+        sc.eng.nrows(),
+        sc.eng.naux(),
+        sc.eng.b_bytes() as f64 / (1024.0 * 1024.0),
+        sc.build_wall,
+        sc.eng.build_device_seconds,
+        sc.eng.threec_evaluated,
+        sc.eng.threec_screened
+    );
+
+    // Dense baseline, priced analytically (same class grouping + pricing
+    // call as the FP64-reference build_jk plan; see header).
+    let (quartets, dense_device) = dense_device_analytic(&sc.pairs, 1e-10, &fp64_cfg, &model);
+    println!("  dense baseline: {quartets} quartets, device {dense_device:.6} s (analytic)");
+
+    // FP64 RI reference for the tier table and the adaptive check.
+    let t0 = Instant::now();
+    let (j_fp64, fp64_stats) = sc.eng.build_j(&sc.density, &RijSchedule::fp64_reference(), &model);
+    let fp64_wall = t0.elapsed().as_secs_f64();
+    let e_fp64 = 0.5 * sc.density.dot(&j_fp64);
+    println!(
+        "  rij fp64: wall {fp64_wall:.3} s, device {:.6} s, E_J {e_fp64:.9} Ha",
+        fp64_stats.device_seconds
+    );
+
+    // ---- per-tier forced sweeps (Table-2 style) ------------------------
+    let mut tier_rows: Vec<String> = Vec::new();
+    for tier in [
+        TilePrecision::Int8,
+        TilePrecision::Fp16,
+        TilePrecision::Bf16,
+        TilePrecision::Tf32,
+    ] {
+        let (j_t, stats) = sc.eng.build_j(&sc.density, &RijSchedule::forced(tier), &model);
+        let r = rmse(&j_t, &j_fp64);
+        let mx = j_t.sub(&j_fp64).max_abs();
+        let de = 0.5 * sc.density.dot(&j_t) - e_fp64;
+        println!(
+            "  forced {tier}: rmse {r:.3e}, max {mx:.3e}, dE_J {de:+.3e} Ha, device {:.6} s",
+            stats.device_seconds
+        );
+        tier_rows.push(tier_json(tier.name(), &stats, r, mx, de));
+    }
+
+    // ---- adaptive schedule ---------------------------------------------
+    let sched = RijSchedule::with_budget(budget);
+    let (j_ad, ad_stats) = sc.eng.build_j(&sc.density, &sched, &model);
+    let ad_max = j_ad.sub(&j_fp64).max_abs();
+    println!(
+        "  adaptive (budget {budget:.0e}): tiles {:?} (int8/fp16/bf16/tf32/fp64), \
+         bounds {:.2e}/{:.2e}, measured max dJ {ad_max:.2e}, device {:.6} s",
+        ad_stats.tile_counts, ad_stats.pass1_bound, ad_stats.pass2_bound, ad_stats.device_seconds
+    );
+    assert!(
+        ad_stats.pass1_bound <= budget * (1.0 + 1e-12),
+        "pass-1 bound {} exceeds the budget {budget}",
+        ad_stats.pass1_bound
+    );
+    assert!(
+        ad_stats.pass2_bound <= budget * (1.0 + 1e-12),
+        "pass-2 bound {} exceeds the budget {budget}",
+        ad_stats.pass2_bound
+    );
+    assert!(
+        ad_max <= budget * amp,
+        "adaptive J drifted {ad_max:.3e} from fp64 — over budget {budget:.0e} x amp {amp:.0e}"
+    );
+
+    // A second adaptive point at a loose budget, where the picker actually
+    // mixes tiers (the tight default collapses to all-FP64 on this
+    // cluster); same bound asserts, scaled to its own budget.
+    let budget_loose = env_f64("MAKO_RIJ_BUDGET_LOOSE", 1e-2);
+    let sched_loose = RijSchedule::with_budget(budget_loose);
+    let (j_loose, loose_stats) = sc.eng.build_j(&sc.density, &sched_loose, &model);
+    let loose_max = j_loose.sub(&j_fp64).max_abs();
+    println!(
+        "  adaptive (budget {budget_loose:.0e}): tiles {:?}, bounds {:.2e}/{:.2e}, \
+         measured max dJ {loose_max:.2e}, device {:.6} s",
+        loose_stats.tile_counts,
+        loose_stats.pass1_bound,
+        loose_stats.pass2_bound,
+        loose_stats.device_seconds
+    );
+    assert!(
+        loose_stats.pass1_bound <= budget_loose * (1.0 + 1e-12)
+            && loose_stats.pass2_bound <= budget_loose * (1.0 + 1e-12),
+        "loose-budget pass bounds {}/{} exceed {budget_loose}",
+        loose_stats.pass1_bound,
+        loose_stats.pass2_bound
+    );
+    assert!(
+        loose_max <= budget_loose * amp,
+        "loose adaptive J drifted {loose_max:.3e} over budget {budget_loose:.0e} x amp {amp:.0e}"
+    );
+
+    // ---- device economics ----------------------------------------------
+    let speedup = dense_device / ad_stats.device_seconds;
+    let breakeven = sc.eng.build_device_seconds
+        / (dense_device - ad_stats.device_seconds).max(f64::MIN_POSITIVE);
+    println!(
+        "  per-iteration device speedup {speedup:.1}x (dense J re-pays its quartets every \
+         iteration); build amortizes after {breakeven:.2} iterations"
+    );
+    assert!(
+        speedup >= min_speedup,
+        "per-iteration device speedup {speedup:.2}x below the {min_speedup}x floor"
+    );
+
+    // ---- bitwise thread-invariance -------------------------------------
+    let d0 = digest(&j_ad);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let thread_list = env_thread_list("MAKO_THREADS", &[1, 2, 4, 8]);
+    let mut rows: Vec<(usize, f64, u64, bool)> = Vec::new();
+    let mut all_bitwise = true;
+    for threads in thread_list {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let t0 = Instant::now();
+        let (j_t, st) = pool.install(|| sc.eng.build_j(&sc.density, &sched, &model));
+        let wall = t0.elapsed().as_secs_f64();
+        let dt = digest(&j_t);
+        let bitwise = dt == d0
+            && st == ad_stats
+            && st.device_seconds.to_bits() == ad_stats.device_seconds.to_bits();
+        all_bitwise &= bitwise;
+        println!(
+            "  {threads} thread(s): wall {wall:.3} s, digest {dt:016x}, bitwise_identical={bitwise}"
+        );
+        rows.push((threads, wall, dt, bitwise));
+    }
+    assert!(
+        all_bitwise,
+        "adaptive RI-J build is not bitwise thread-invariant"
+    );
+
+    // ---- JSON -----------------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"rij_bench\",");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"schwarz_threshold\": {screen:e},");
+    let _ = writeln!(json, "  \"fit\": {{");
+    let _ = writeln!(json, "    \"molecule\": \"water{fit_waters} (STO-3G / RI-J-universal)\",");
+    let _ = writeln!(json, "    \"nao\": {fit_nao},");
+    let _ = writeln!(json, "    \"dense_quartets\": {fit_quartets},");
+    let _ = writeln!(json, "    \"dense_wall_s\": {dense_fit_wall:.6},");
+    let _ = writeln!(json, "    \"dense_device_seconds\": {:.9},", dense_fit_stats.device_seconds);
+    let _ = writeln!(json, "    \"dense_ej_ha\": {e_dense:.12},");
+    let _ = writeln!(json, "    \"rij_fp64_ej_ha\": {e_fit:.12},");
+    let _ = writeln!(json, "    \"fit_rel_error\": {fit_rel:e}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"scale\": {{");
+    let _ = writeln!(json, "    \"molecule\": \"water{nwaters} (STO-3G / RI-J-universal)\",");
+    let _ = writeln!(json, "    \"nao\": {n},");
+    let _ = writeln!(json, "    \"naux\": {},", sc.eng.naux());
+    let _ = writeln!(json, "    \"b_rows\": {},", sc.eng.nrows());
+    let _ = writeln!(json, "    \"screened_pairs\": {},", sc.pairs.len());
+    let _ = writeln!(json, "    \"threec_evaluated\": {},", sc.eng.threec_evaluated);
+    let _ = writeln!(json, "    \"threec_screened\": {},", sc.eng.threec_screened);
+    let _ = writeln!(json, "    \"rij_build_wall_s\": {:.6},", sc.build_wall);
+    let _ = writeln!(json, "    \"rij_build_device_seconds\": {:.9},", sc.eng.build_device_seconds);
+    let _ = writeln!(json, "    \"dense_quartets\": {quartets},");
+    let _ = writeln!(json, "    \"dense_pricing\": \"analytic\",");
+    let _ = writeln!(json, "    \"dense_device_seconds\": {dense_device:.9},");
+    let _ = writeln!(json, "    \"rij_fp64_ej_ha\": {e_fp64:.12},");
+    let _ = writeln!(json, "    \"tiers\": [");
+    for (i, row) in tier_rows.iter().enumerate() {
+        let comma = if i + 1 < tier_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "      {row}{comma}");
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"adaptive\": {{");
+    let _ = writeln!(json, "      \"budget\": {budget:e},");
+    let _ = writeln!(json, "      \"tiles\": {:?},", ad_stats.tile_counts);
+    let _ = writeln!(json, "      \"pass1_bound\": {:e},", ad_stats.pass1_bound);
+    let _ = writeln!(json, "      \"pass2_bound\": {:e},", ad_stats.pass2_bound);
+    let _ = writeln!(json, "      \"measured_max_dj\": {ad_max:e},");
+    let _ = writeln!(json, "      \"device_seconds\": {:.9}", ad_stats.device_seconds);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"adaptive_loose\": {{");
+    let _ = writeln!(json, "      \"budget\": {budget_loose:e},");
+    let _ = writeln!(json, "      \"tiles\": {:?},", loose_stats.tile_counts);
+    let _ = writeln!(json, "      \"pass1_bound\": {:e},", loose_stats.pass1_bound);
+    let _ = writeln!(json, "      \"pass2_bound\": {:e},", loose_stats.pass2_bound);
+    let _ = writeln!(json, "      \"measured_max_dj\": {loose_max:e},");
+    let _ = writeln!(json, "      \"device_seconds\": {:.9}", loose_stats.device_seconds);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"device_speedup_per_iteration\": {speedup:.2},");
+    let _ = writeln!(json, "    \"build_breakeven_iterations\": {breakeven:.3},");
+    let _ = writeln!(json, "    \"bitwise_identical_all\": {all_bitwise},");
+    let _ = writeln!(json, "    \"runs\": [");
+    for (i, (threads, wall, dt, bitwise)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"wall_s\": {wall:.6}, \"digest\": \"{dt:016x}\", \
+             \"bitwise_identical\": {bitwise}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    let out = std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_rij.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+    match mako_trace::flush() {
+        Some(Ok(path)) => println!("trace written to {path}"),
+        Some(Err(e)) => eprintln!("warning: trace write failed: {e}"),
+        None => {}
+    }
+}

@@ -1,0 +1,122 @@
+//! Auxiliary (density-fitting) basis for the RI-J Coulomb path.
+//!
+//! RI-J expands the AO product density `ρ(r) = Σ D_{μν} μ(r)ν(r)` in an
+//! auxiliary basis `{P}` and fits the expansion in the Coulomb metric. A
+//! universal even-tempered set is sufficient for Coulomb-only fitting
+//! (J is far less sensitive to the aux set than exchange), so — in the same
+//! spirit as the parametric orbital families in [`super::families`] — this
+//! module generates a small uncontracted even-tempered set per element
+//! rather than shipping tabulated def2-universal-JKFIT data:
+//!
+//! * heavy atoms (Z > 2): `5s 2p 1d` → 16 spherical functions,
+//! * H / He: `3s 1p` → 6 spherical functions.
+//!
+//! Because the fitted object is a *product* of orbital Gaussians, the aux
+//! exponents are roughly twice the orbital exponents (a product of two
+//! Gaussians with exponents a, b is a Gaussian with exponent a + b), and
+//! the even-tempered ratio is wider than the orbital families' (the few
+//! uncontracted shells must span the product range). Every shell has K = 1,
+//! which makes the 3-center batches the pure GEMM shape the device model
+//! rewards — the same "K = 1 high-l" property the paper exploits.
+
+use super::{BasisSet, ShellDef};
+use crate::element::Element;
+
+/// Even-tempered ratio of the aux sets: wider than the orbital families'
+/// 2.6 because a handful of uncontracted shells must cover the whole
+/// product-density range.
+const BETA_AUX: f64 = 3.0;
+
+/// Most-diffuse aux exponent for an element and angular momentum: twice the
+/// orbital families' `alpha_min` (a product of two diffuse orbital
+/// Gaussians has the sum of their exponents).
+fn alpha_min_aux(z: f64, l: usize) -> f64 {
+    2.0 * (0.10 + 0.018 * z) * (1.0 + 0.35 * l as f64)
+}
+
+/// `n` even-tempered exponents, descending (tightest first).
+fn even_tempered(n: usize, alpha_min: f64, beta: f64) -> Vec<f64> {
+    (0..n).map(|k| alpha_min * beta.powi((n - 1 - k) as i32)).collect()
+}
+
+/// Uncontracted shell definitions for one element of the universal RI-J
+/// aux set.
+fn aux_defs(e: Element) -> Vec<ShellDef> {
+    let z = e.z() as f64;
+    // (l, number of uncontracted shells of that l).
+    let pattern: &[(usize, usize)] = if e.z() <= 2 {
+        &[(0, 3), (1, 1)]
+    } else {
+        &[(0, 5), (1, 2), (2, 1)]
+    };
+    let mut defs = Vec::new();
+    for &(l, nshell) in pattern {
+        for &alpha in &even_tempered(nshell, alpha_min_aux(z, l), BETA_AUX) {
+            defs.push(ShellDef {
+                l,
+                exps: vec![alpha],
+                coefs: vec![1.0],
+            });
+        }
+    }
+    defs
+}
+
+/// The universal even-tempered RI-J auxiliary basis covering `elements`.
+///
+/// Function counts: 16 spherical aux functions per heavy atom, 6 per H/He
+/// (28 per water molecule — roughly 4× the STO-3G orbital count, the usual
+/// aux/orbital ratio of real JFIT sets).
+pub fn rij_universal(elements: &[Element]) -> BasisSet {
+    let mut b = BasisSet::new("RI-J-universal");
+    let mut sorted: Vec<Element> = elements.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    for e in sorted {
+        b.insert(e, aux_defs(e));
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::water;
+    use crate::cart::nsph;
+
+    #[test]
+    fn aux_counts_per_element() {
+        let b = rij_universal(&[Element::H, Element::O]);
+        let nao = |e: Element| -> usize {
+            b.get(e).unwrap().iter().map(|d| nsph(d.l)).sum()
+        };
+        assert_eq!(nao(Element::H), 6); // 3s + 1p = 3·1 + 1·3
+        assert_eq!(nao(Element::O), 16); // 5s + 2p + 1d = 5·1 + 2·3 + 1·5
+    }
+
+    #[test]
+    fn water_aux_has_28_functions() {
+        let mol = water();
+        let b = rij_universal(&[Element::H, Element::O]);
+        assert_eq!(b.nao_for(&mol), 28);
+        let shells = b.shells_for(&mol);
+        // O: 8 shells, each H: 4 shells.
+        assert_eq!(shells.len(), 16);
+        // Every aux shell is a single uncontracted primitive (K = 1).
+        assert!(shells.iter().all(|s| s.nprim() == 1));
+    }
+
+    #[test]
+    fn exponents_descend_positive_and_double_the_orbital_scale() {
+        let b = rij_universal(&[Element::O]);
+        let defs = b.get(Element::O).unwrap();
+        let s_exps: Vec<f64> = defs.iter().filter(|d| d.l == 0).map(|d| d.exps[0]).collect();
+        assert_eq!(s_exps.len(), 5);
+        for w in s_exps.windows(2) {
+            assert!(w[0] > w[1] && w[1] > 0.0);
+        }
+        // Most-diffuse s exponent is exactly twice the orbital alpha_min.
+        let z = Element::O.z() as f64;
+        assert!((s_exps[4] - 2.0 * (0.10 + 0.018 * z)).abs() < 1e-15);
+    }
+}

@@ -15,7 +15,8 @@
 //! Supporting machinery: the Boys function with a Gill-style lookup table
 //! ([`boys`]), Hermite expansion coefficients and Coulomb integrals
 //! ([`hermite`]), one-electron integrals ([`one_electron`]), Schwarz
-//! screening ([`screening`]), and ERI-class batching ([`batch`]).
+//! screening ([`screening`]), ERI-class batching ([`batch`]), and the
+//! 3-/2-center RI-J integrals via the dummy-shell reduction ([`rij`]).
 #![deny(rust_2018_idioms)]
 
 
@@ -25,6 +26,7 @@ pub mod hermite;
 pub mod mmd;
 pub mod one_electron;
 pub mod os;
+pub mod rij;
 pub mod screening;
 pub mod tensor;
 
@@ -36,6 +38,7 @@ pub use mmd::{
 };
 pub use one_electron::{kinetic_block, nuclear_block, one_electron_matrices, overlap_block};
 pub use os::{eri_quartet_os, EriError, OS_MAX_L};
+pub use rij::{aux_shell_pair, three_center_block, two_center_metric, AuxBasis};
 pub use screening::{
     build_screened_pairs, classify, schwarz_bound, schwarz_estimate, DensityBlockMax,
     ImportanceClass, ScreenedPair,

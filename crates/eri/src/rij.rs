@@ -1,0 +1,303 @@
+//! 3-center `(μν|P)` and 2-center `(P|Q)` Coulomb integrals for RI-J
+//! density fitting, reusing the MMD/Hermite + Boys quartet machinery.
+//!
+//! The trick is the standard *dummy-shell* reduction: a Gaussian with
+//! exponent 0 and coefficient 1 is the constant function 1, so pairing an
+//! auxiliary shell `P` with such a unit s shell at its own center turns the
+//! 4-index quartet engine into a 3- or 2-index one,
+//!
+//! ```text
+//! (μν|P) = (μν | P·1)      (P|Q) = (P·1 | Q·1)
+//! ```
+//!
+//! with **zero** new integral code: [`crate::mmd::shell_pair`] on
+//! `(P, dummy)` yields a single primitive pair with `p = α_P`, product
+//! center at the aux center, and the exact `E` expansion of the aux shell
+//! (the `μ = α·0/(α+0) = 0` screening factor is 1, so the pair always
+//! survives primitive screening). Everything downstream — Hermite `R`
+//! recursion, Boys evaluation, spherical transforms, batching and device
+//! pricing by [`crate::batch::EriClass`] — is the unchanged quartet path.
+
+use crate::mmd::{eri_quartet_mmd_with, shell_pair, PqIndex, ShellPairData};
+use crate::screening::schwarz_bound;
+use mako_chem::{AoLayout, Shell};
+use mako_linalg::Matrix;
+use rayon::prelude::*;
+
+/// The raw unit s "shell": exponent 0, coefficient 1 — the constant
+/// function 1. Constructed directly (not through `ShellDef::at`, whose
+/// normalization would divide by zero for a zero exponent).
+fn unit_shell(center: [f64; 3]) -> Shell {
+    Shell {
+        l: 0,
+        center,
+        atom: usize::MAX,
+        exps: vec![0.0],
+        coefs: vec![1.0],
+    }
+}
+
+/// Pair data of one auxiliary shell against the unit dummy at its own
+/// center: the ket (or bra) half of every 3-/2-center integral involving
+/// that shell.
+pub fn aux_shell_pair(aux: &Shell) -> ShellPairData {
+    shell_pair(aux, &unit_shell(aux.center))
+}
+
+/// An auxiliary basis prepared for RI-J integral evaluation: per-shell
+/// dummy pairs, Schwarz bounds `√(P|P)`, and the AO layout of the aux
+/// functions.
+#[derive(Debug, Clone)]
+pub struct AuxBasis {
+    /// One `(P, dummy)` pair per aux shell, in shell order.
+    pub pairs: Vec<ShellPairData>,
+    /// `√((P·1|P·1))` per aux shell — `|(μν|P)| ≤ Q_μν · Q_P`.
+    pub bounds: Vec<f64>,
+    /// Function layout of the aux shells (offsets, l, total count).
+    pub layout: AoLayout,
+}
+
+impl AuxBasis {
+    /// Prepare `aux_shells` (bounds in parallel; deterministic order).
+    pub fn new(aux_shells: &[Shell]) -> AuxBasis {
+        let pairs: Vec<ShellPairData> =
+            aux_shells.par_iter().map(aux_shell_pair).collect();
+        let bounds: Vec<f64> = pairs.par_iter().map(schwarz_bound).collect();
+        AuxBasis {
+            pairs,
+            bounds,
+            layout: AoLayout::new(aux_shells),
+        }
+    }
+
+    /// Number of auxiliary functions.
+    pub fn naux(&self) -> usize {
+        self.layout.nao
+    }
+
+    /// Number of auxiliary shells.
+    pub fn nshells(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// One 3-center shell block `(μν|P)` as an `(nsph_μ·nsph_ν) × nsph_P`
+/// matrix (row `= μ_local · nsph_ν + ν_local`), evaluated through the
+/// quartet engine with `idx = PqIndex::new(lμ + lν, l_P)`.
+pub fn three_center_block(
+    pab: &ShellPairData,
+    aux_pair: &ShellPairData,
+    idx: &PqIndex,
+) -> Matrix {
+    let t = eri_quartet_mmd_with(pab, aux_pair, idx);
+    let [na, nb, np, _] = t.dims;
+    Matrix::from_fn(na * nb, np, |row, p| t.get(row / nb, row % nb, p, 0))
+}
+
+/// The full 2-center Coulomb metric `(P|Q)`, symmetric `naux × naux`.
+/// Shell-block rows are evaluated in parallel; the result is deterministic
+/// (disjoint writes, values independent of thread count).
+pub fn two_center_metric(aux: &AuxBasis) -> Matrix {
+    let n = aux.naux();
+    let nshell = aux.nshells();
+    // Evaluate the lower triangle of shell blocks (P ≥ Q), then mirror.
+    let blocks: Vec<(usize, usize, Matrix)> = (0..nshell)
+        .flat_map(|p| (0..=p).map(move |q| (p, q)))
+        .collect::<Vec<_>>()
+        .par_iter()
+        .map(|&(p, q)| {
+            let lp = aux.layout.shell_l[p];
+            let lq = aux.layout.shell_l[q];
+            let idx = PqIndex::new(lp, lq);
+            (p, q, three_center_block(&aux.pairs[p], &aux.pairs[q], &idx))
+        })
+        .collect();
+    let mut m = Matrix::zeros(n, n);
+    for (p, q, block) in blocks {
+        let prange = aux.layout.range(p);
+        let qrange = aux.layout.range(q);
+        for (pi, pg) in prange.clone().enumerate() {
+            for (qi, qg) in qrange.clone().enumerate() {
+                let v = block[(pi, qi)];
+                m[(pg, qg)] = v;
+                m[(qg, pg)] = v;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boys::boys_single;
+    use mako_chem::basis::{rij_universal, ShellDef};
+    use mako_chem::builders::water;
+    use mako_chem::Element;
+    use mako_linalg::cholesky;
+    use std::f64::consts::PI;
+
+    fn raw_s(center: [f64; 3], exp: f64) -> Shell {
+        Shell {
+            l: 0,
+            center,
+            atom: 0,
+            exps: vec![exp],
+            coefs: vec![1.0],
+        }
+    }
+
+    /// Analytic 3-center (ab|c) over unnormalized s Gaussians:
+    /// `2π^{5/2}/(p·q·√(p+q)) · exp(−μ_ab·AB²) · F₀(pq/(p+q)·|P−C|²)`
+    /// with p = a+b, q = c (the dummy contributes exponent 0).
+    fn analytic_sss(
+        a: f64,
+        ca: [f64; 3],
+        b: f64,
+        cb: [f64; 3],
+        c: f64,
+        cc: [f64; 3],
+    ) -> f64 {
+        let p = a + b;
+        let q = c;
+        let mu = a * b / p;
+        let ab2: f64 = (0..3).map(|k| (ca[k] - cb[k]).powi(2)).sum();
+        let pc: [f64; 3] =
+            std::array::from_fn(|k| (a * ca[k] + b * cb[k]) / p - cc[k]);
+        let r2: f64 = pc.iter().map(|x| x * x).sum();
+        let alpha = p * q / (p + q);
+        2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt())
+            * (-mu * ab2).exp()
+            * boys_single(0, alpha * r2)
+    }
+
+    #[test]
+    fn dummy_pair_has_expected_geometry() {
+        let aux = ShellDef {
+            l: 2,
+            exps: vec![0.8],
+            coefs: vec![1.0],
+        }
+        .at(3, [1.0, -2.0, 0.5]);
+        let pair = aux_shell_pair(&aux);
+        assert_eq!(pair.degree(), 1, "one primitive pair, never screened");
+        assert_eq!(pair.la, 2);
+        assert_eq!(pair.lb, 0);
+        let prim = &pair.prims[0];
+        assert_eq!(prim.p, 0.8, "composite exponent is the aux exponent");
+        assert_eq!(prim.center, [1.0, -2.0, 0.5], "product center = aux center");
+    }
+
+    #[test]
+    fn three_center_sss_matches_analytic() {
+        let geoms: [([f64; 3], [f64; 3], [f64; 3]); 3] = [
+            ([0.0; 3], [0.0; 3], [0.0; 3]),
+            ([0.0; 3], [1.1, 0.0, 0.0], [0.3, 0.7, -0.2]),
+            ([0.5, -0.5, 0.0], [-0.4, 0.8, 1.0], [2.0, 0.0, -1.0]),
+        ];
+        for (ca, cb, cc) in geoms {
+            let (a, b, c) = (1.3, 0.6, 0.9);
+            let pab = shell_pair(&raw_s(ca, a), &raw_s(cb, b));
+            let paux = aux_shell_pair(&raw_s(cc, c));
+            let idx = PqIndex::new(0, 0);
+            let got = three_center_block(&pab, &paux, &idx)[(0, 0)];
+            let want = analytic_sss(a, ca, b, cb, c, cc);
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "ca={ca:?}: got {got}, want {want}"
+            );
+        }
+    }
+
+    /// The exponent-0 dummy is the exact ε→0 limit of a real 4th shell:
+    /// a quartet against a raw s shell with a tiny exponent converges to
+    /// the 3-center value.
+    #[test]
+    fn dummy_is_the_small_exponent_limit() {
+        let pab = shell_pair(
+            &ShellDef {
+                l: 1,
+                exps: vec![0.9],
+                coefs: vec![1.0],
+            }
+            .at(0, [0.0; 3]),
+            &raw_s([0.8, 0.3, 0.0], 1.1),
+        );
+        let aux = ShellDef {
+            l: 0,
+            exps: vec![0.7],
+            coefs: vec![1.0],
+        }
+        .at(1, [0.0, 1.0, 0.4]);
+        let exact = three_center_block(&pab, &aux_shell_pair(&aux), &PqIndex::new(1, 0));
+        let mut prev_err = f64::INFINITY;
+        for eps in [1e-6, 1e-8, 1e-10] {
+            let soft = shell_pair(&aux, &raw_s(aux.center, eps));
+            let t = crate::mmd::eri_quartet_mmd(&pab, &soft);
+            let mut err = 0.0f64;
+            let nb = t.dims[1];
+            for row in 0..exact.rows() {
+                err = err.max((t.get(row / nb, row % nb, 0, 0) - exact[(row, 0)]).abs());
+            }
+            assert!(err < prev_err * 1.01, "eps={eps}: {err} vs {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-5, "limit error {prev_err}");
+    }
+
+    #[test]
+    fn three_center_block_is_pair_symmetric() {
+        // (μν|P) must equal (νμ|P) with the bra shells swapped.
+        let sa = ShellDef {
+            l: 1,
+            exps: vec![0.9, 0.4],
+            coefs: vec![0.6, 0.5],
+        }
+        .at(0, [0.0; 3]);
+        let sb = ShellDef {
+            l: 2,
+            exps: vec![0.7],
+            coefs: vec![1.0],
+        }
+        .at(1, [1.0, 0.2, -0.4]);
+        let aux = raw_s([0.3, -0.6, 0.9], 1.4);
+        let paux = aux_shell_pair(&aux);
+        let ab = three_center_block(&shell_pair(&sa, &sb), &paux, &PqIndex::new(3, 0));
+        let ba = three_center_block(&shell_pair(&sb, &sa), &paux, &PqIndex::new(3, 0));
+        let (na, nb) = (3usize, 5usize);
+        for mu in 0..na {
+            for nu in 0..nb {
+                let x = ab[(mu * nb + nu, 0)];
+                let y = ba[(nu * na + mu, 0)];
+                assert!((x - y).abs() <= 1e-13 * x.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn water_metric_is_symmetric_positive_definite() {
+        let mol = water();
+        let shells = rij_universal(&[Element::H, Element::O]).shells_for(&mol);
+        let aux = AuxBasis::new(&shells);
+        assert_eq!(aux.naux(), 28);
+        let m = two_center_metric(&aux);
+        assert_eq!(m.rows(), 28);
+        for i in 0..m.rows() {
+            for j in 0..i {
+                assert_eq!(m[(i, j)].to_bits(), m[(j, i)].to_bits(), "exact symmetry");
+            }
+            assert!(m[(i, i)] > 0.0, "diagonal (P|P) positive");
+        }
+        cholesky(&m).expect("Coulomb metric must be positive definite");
+        // Bounds are consistent: (P|Q) ≤ Q_P · Q_Q elementwise by Schwarz.
+        for (si, &bi) in aux.bounds.iter().enumerate() {
+            for (sj, &bj) in aux.bounds.iter().enumerate() {
+                for p in aux.layout.range(si) {
+                    for q in aux.layout.range(sj) {
+                        assert!(m[(p, q)].abs() <= bi * bj * (1.0 + 1e-10));
+                    }
+                }
+            }
+        }
+    }
+}

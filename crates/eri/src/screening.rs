@@ -60,11 +60,16 @@ pub fn build_screened_pairs(shells: &[Shell], threshold: f64) -> Vec<ScreenedPai
 }
 
 /// Density-weighted Schwarz estimate of a quartet:
-/// `Q_ab · Q_cd · max|D|` — the quantity the incremental (ΔD) screen and the
-/// convergence-aware scheduler both compare against their thresholds.
+/// `Q_ab · Q_cd · max(|D|, 1e-30)` — the quantity the incremental (ΔD)
+/// screen and the convergence-aware scheduler both compare against their
+/// thresholds. The `1e-30` density floor keeps the estimate nonzero (and
+/// threshold comparisons meaningful) for all-zero density blocks, and is
+/// the **single** definition every caller shares — [`classify`], the fock
+/// phase-0 ΔD screen, and the quantization scheduler all see identical
+/// estimates for identical inputs.
 #[inline]
 pub fn schwarz_estimate(bound_ab: f64, bound_cd: f64, density_max: f64) -> f64 {
-    bound_ab * bound_cd * density_max
+    bound_ab * bound_cd * density_max.max(1e-30)
 }
 
 /// Per-shell-block magnitudes of a density matrix: `max |D_{μν}|` over the
@@ -155,8 +160,21 @@ pub enum ImportanceClass {
     Negligible,
 }
 
-/// Classify a quartet by its density-weighted Schwarz estimate
-/// `Q_ab · Q_cd · D_max` against `(fp64_threshold, prune_threshold)`.
+/// Classify a quartet by its density-weighted [`schwarz_estimate`] against
+/// `(fp64_threshold, prune_threshold)`.
+///
+/// **Boundary convention (pinned):** an estimate that lands *exactly on* a
+/// threshold always takes the more conservative branch —
+///
+/// * `estimate == prune_threshold` → **not** pruned (pruning is strict `<`),
+/// * `estimate == fp64_threshold`  → **Critical** (the FP64 bar is `>=`).
+///
+/// The same rule holds for every other screening comparison in the
+/// workspace: `build_screened_pairs` keeps pairs with `bound >= threshold`,
+/// `batch_quartets` drops only `bound_ab·bound_cd < threshold`, and the
+/// fock phase-0 ΔD screen skips only `estimate < τ`. Equality never loses
+/// work or precision, so perturbing a threshold to exactly an estimate's
+/// value can only make the calculation *more* accurate.
 pub fn classify(
     bound_ab: f64,
     bound_cd: f64,
@@ -164,7 +182,7 @@ pub fn classify(
     fp64_threshold: f64,
     prune_threshold: f64,
 ) -> ImportanceClass {
-    let estimate = bound_ab * bound_cd * density_max.max(1e-30);
+    let estimate = schwarz_estimate(bound_ab, bound_cd, density_max);
     if estimate < prune_threshold {
         ImportanceClass::Negligible
     } else if estimate >= fp64_threshold {
@@ -277,6 +295,78 @@ mod tests {
         assert_eq!(
             classify(1e-6, 1e-6, 1.0, 1e-4, 1e-10),
             ImportanceClass::Negligible
+        );
+    }
+
+    /// The pinned boundary convention: equality with a threshold always takes
+    /// the conservative branch (survives pruning; promotes to FP64).
+    #[test]
+    fn classify_boundary_values() {
+        // estimate exactly equal to prune_threshold: NOT pruned.
+        let prune = schwarz_estimate(1e-5, 1e-5, 1.0);
+        assert_eq!(
+            classify(1e-5, 1e-5, 1.0, 1.0, prune),
+            ImportanceClass::Moderate,
+            "estimate == prune_threshold must survive pruning"
+        );
+        // Next representable value below: pruned.
+        assert_eq!(
+            classify(1e-5, 1e-5, 1.0, 1.0, f64::from_bits(prune.to_bits() + 1)),
+            ImportanceClass::Negligible
+        );
+
+        // estimate exactly equal to fp64_threshold: Critical.
+        let fp64 = schwarz_estimate(1e-2, 1e-2, 1.0);
+        assert_eq!(
+            classify(1e-2, 1e-2, 1.0, fp64, 1e-30),
+            ImportanceClass::Critical,
+            "estimate == fp64_threshold must promote to FP64"
+        );
+        // Next representable value above the estimate: quantized.
+        assert_eq!(
+            classify(1e-2, 1e-2, 1.0, f64::from_bits(fp64.to_bits() + 1), 1e-30),
+            ImportanceClass::Moderate
+        );
+
+        // Degenerate ordering: with fp64_threshold == prune_threshold every
+        // surviving quartet is Critical (never silently quantized).
+        assert_eq!(
+            classify(1e-3, 1e-3, 1.0, prune, prune),
+            ImportanceClass::Critical
+        );
+    }
+
+    /// `classify` and `schwarz_estimate` agree for all-zero density blocks:
+    /// the shared 1e-30 floor keeps the estimate nonzero, so a zero density
+    /// still prunes against any realistic threshold but never produces a
+    /// 0-vs-0 threshold comparison.
+    #[test]
+    fn zero_density_floor_is_shared() {
+        let est = schwarz_estimate(1.0, 1.0, 0.0);
+        assert_eq!(est, 1e-30);
+        assert_eq!(
+            classify(1.0, 1.0, 0.0, 1e-4, 1e-14),
+            ImportanceClass::Negligible
+        );
+        // ...and exactly at the floor the conservative branch wins again.
+        assert_eq!(
+            classify(1.0, 1.0, 0.0, 1e-4, est),
+            ImportanceClass::Moderate
+        );
+    }
+
+    #[test]
+    fn pair_threshold_boundary_keeps_equal_bound() {
+        // build_screened_pairs keeps bound >= threshold: feed it the exact
+        // bound of an on-center s pair as the threshold and it must survive.
+        let shells = vec![shell(0, [0.0; 3], 1.5)];
+        let pairs = build_screened_pairs(&shells, 0.0);
+        assert_eq!(pairs.len(), 1);
+        let exact = pairs[0].bound;
+        assert_eq!(build_screened_pairs(&shells, exact).len(), 1);
+        assert_eq!(
+            build_screened_pairs(&shells, f64::from_bits(exact.to_bits() + 1)).len(),
+            0
         );
     }
 }

@@ -200,11 +200,16 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
 /// On x86-64 hosts with F16C + AVX this uses the hardware converter
 /// (`VCVTPD2PS` → `VCVTPS2PH` round-to-nearest-even → widen back), which
 /// implements the same IEEE conversion as [`f32_to_f16_bits`]: identical
-/// bits for every finite, subnormal, and infinite input. The only divergence
-/// class is NaN *payloads* (hardware propagates mantissa bits, the software
-/// path canonicalizes to `0x7E00`); the quantized pipeline never rounds
-/// NaNs, and [`tests::hardware_path_matches_software_bitwise`] pins the
-/// non-NaN equivalence exhaustively over the f16 range.
+/// bits for every finite, subnormal, and infinite input. NaNs are the one
+/// class where the instructions differ from the software converter (hardware
+/// propagates mantissa payload bits, software canonicalizes to `0x7E00`), so
+/// the SIMD body detects NaN lanes *after* the scale multiply and reroutes
+/// that group through the scalar expression — the output is bit-identical to
+/// the `MAKO_KERNEL=generic` software path for **every** input, NaN and Inf
+/// included. [`tests::hardware_path_matches_software_bitwise`] pins the
+/// finite/Inf equivalence exhaustively over the f16 range and
+/// [`tests::nan_inf_payloads_match_scalar_bitwise`] pins the NaN/Inf edge
+/// cases at every lane offset.
 pub fn round_scaled_extend_f16(scale: f64, src: &[f64], dst: &mut Vec<f64>) {
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("f16c") && std::arch::is_x86_feature_detected!("avx") {
@@ -220,7 +225,11 @@ pub fn round_scaled_extend_f16(scale: f64, src: &[f64], dst: &mut Vec<f64>) {
 
 /// F16C body of [`round_scaled_extend_f16`]: 4 lanes per iteration, scalar
 /// software tail. Every step is a correctly-rounded IEEE conversion, so the
-/// lanes match the scalar path bit for bit (non-NaN inputs).
+/// lanes match the scalar path bit for bit — except NaN payloads, which
+/// `VCVTPS2PH` propagates while [`f32_to_f16_bits`] canonicalizes. Any
+/// 4-lane group whose scaled values contain a NaN is therefore rerouted
+/// through the scalar expression, keeping hardware and generic runs bitwise
+/// identical on every input.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx,f16c")]
 unsafe fn round_scaled_extend_f16c(scale: f64, src: &[f64], dst: &mut Vec<f64>) {
@@ -235,6 +244,16 @@ unsafe fn round_scaled_extend_f16c(scale: f64, src: &[f64], dst: &mut Vec<f64>) 
         unsafe {
             let x = _mm256_loadu_pd(src.as_ptr().add(i));
             let scaled = _mm256_mul_pd(x, s); // one f64 multiply, as scalar
+            // `x != x` is true only for NaN lanes; a NaN can appear from a
+            // NaN input, a NaN scale, or 0 × ∞ — all caught post-multiply.
+            let unord = _mm256_cmp_pd::<_CMP_UNORD_Q>(scaled, scaled);
+            if _mm256_movemask_pd(unord) != 0 {
+                for &x in &src[i..i + 4] {
+                    dst.push(f16_bits_to_f32(f32_to_f16_bits((x * scale) as f32)) as f64);
+                }
+                i += 4;
+                continue;
+            }
             let narrow = _mm256_cvtpd_ps(scaled); // f64→f32 RN (== `as f32`)
             let half = _mm_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(narrow);
             let back = _mm_cvtph_ps(half); // exact widening
@@ -404,6 +423,53 @@ mod tests {
                     want.to_bits(),
                     "x={x:e} scale={scale}: batched {got:e} vs scalar {want:e}"
                 );
+            }
+        }
+    }
+
+    /// NaN/Inf edge cases must be bit-identical between the batched
+    /// converter (F16C where available) and the scalar software path:
+    /// multiple NaN payloads of both signs, ±∞, NaN-producing products
+    /// (0 × ∞, ∞ × 0-scale, NaN scale), each planted at every offset within
+    /// a 4-lane SIMD group and in the scalar tail.
+    #[test]
+    fn nan_inf_payloads_match_scalar_bitwise() {
+        let specials: Vec<f64> = vec![
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7FF0_0000_0000_0001), // signaling-ish payload
+            f64::from_bits(0x7FF8_DEAD_BEEF_CAFE), // quiet, nonzero payload
+            f64::from_bits(0xFFF8_0000_0000_0123), // negative, small payload
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            65504.0,
+            1.0e-300, // flushes to zero through f32
+        ];
+        for &special in &specials {
+            for offset in 0..9 {
+                // 9-long input: the special lands at `offset`, covering every
+                // lane of both SIMD groups plus the scalar tail position.
+                let mut input: Vec<f64> = (0..9).map(|k| 1.5 + k as f64).collect();
+                input[offset] = special;
+                for &scale in &[1.0f64, -0.25, 0.0, f64::INFINITY, f64::NAN] {
+                    let mut batched = Vec::new();
+                    round_scaled_extend_f16(scale, &input, &mut batched);
+                    assert_eq!(batched.len(), input.len());
+                    for (&x, &got) in input.iter().zip(&batched) {
+                        let want =
+                            f16_bits_to_f32(f32_to_f16_bits((x * scale) as f32)) as f64;
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "x={x:e} ({:#018x}) scale={scale}: batched {:#018x} vs scalar {:#018x}",
+                            x.to_bits(),
+                            got.to_bits(),
+                            want.to_bits()
+                        );
+                    }
+                }
             }
         }
     }

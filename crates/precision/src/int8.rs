@@ -1,0 +1,195 @@
+//! Per-tile symmetric int8 quantization with bit-exact i32 accumulation.
+//!
+//! The adaptive-precision density-fitting path (Huang, Shao & Hammond,
+//! arXiv — "Accelerating Density Fitting with Adaptive-precision and 8-bit
+//! Integer on AI Accelerators") stores tiles of the 3-center tensor as
+//! signed 8-bit integers with one FP64 scale per tile:
+//!
+//! ```text
+//! q_i = round(x_i · 127 / max|x|)   ∈ [−127, 127]
+//! x̂_i = q_i · scale,   scale = max|x| / 127
+//! ```
+//!
+//! A dot product of two int8 tiles accumulates the raw `q_a · q_b` products
+//! in **i32 exactly** (this is what NVIDIA's IMMA/DP4A path does in
+//! hardware) and applies the two scales once at the end, in FP64 — the
+//! dequantized result then feeds the stage-2 FP64 accumulator
+//! (`mako_quant::accumulate::DualStageAccumulator`). Because every step is
+//! integer-exact until the final two multiplies, the emulation here is the
+//! bit-exact value a real int8 tensor core would produce.
+//!
+//! The per-element quantization error is bounded by `scale/2 = max|x|/254`,
+//! i.e. *absolute* w.r.t. the tile max — which is exactly why the precision
+//! picker (`mako_quant::picker`) weighs int8 eligibility by the tile's
+//! max-norm rather than elementwise relative error.
+
+/// Largest representable quantized magnitude (symmetric around zero; the
+/// −128 code is never produced, matching cuBLASLt's symmetric int8 mode).
+pub const INT8_QMAX: i32 = 127;
+
+/// Largest tile (in elements) whose int8 dot product provably cannot
+/// overflow an i32 accumulator: every product is at most `127² = 16129`,
+/// so `⌊(2³¹−1)/16129⌋ = 133 152` accumulations are always safe.
+pub const INT8_MAX_TILE_ELEMS: usize = (i32::MAX / (INT8_QMAX * INT8_QMAX)) as usize;
+
+/// One quantized tile: an i8 payload plus its FP64 dequantization scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int8Tile {
+    /// Dequantization scale: `x̂ = q · scale`. Zero for all-zero (or
+    /// degenerate) tiles, in which case the payload is all zeros too.
+    pub scale: f64,
+    /// Quantized payload, same length as the source slice.
+    pub data: Vec<i8>,
+}
+
+impl Int8Tile {
+    /// Quantize a tile with a symmetric per-tile scale chosen from its
+    /// max-norm.
+    ///
+    /// Degenerate tiles (all zeros, or containing any non-finite value —
+    /// which the schedulers upstream route to FP64 before quantization is
+    /// ever attempted) deterministically produce the zero tile with
+    /// `scale = 0.0` rather than a NaN-poisoned payload.
+    ///
+    /// # Panics
+    /// If the tile exceeds [`INT8_MAX_TILE_ELEMS`] (the i32 overflow-safety
+    /// bound for [`Int8Tile::dot`]).
+    pub fn quantize(src: &[f64]) -> Int8Tile {
+        assert!(
+            src.len() <= INT8_MAX_TILE_ELEMS,
+            "int8 tile of {} elements exceeds the i32-safe bound {}",
+            src.len(),
+            INT8_MAX_TILE_ELEMS
+        );
+        // f64::max ignores NaN operands, so track non-finite values
+        // explicitly rather than relying on the fold to propagate them.
+        let mut m = 0.0f64;
+        let mut all_finite = true;
+        for &x in src {
+            if !x.is_finite() {
+                all_finite = false;
+                break;
+            }
+            m = m.max(x.abs());
+        }
+        if !all_finite || m == 0.0 {
+            return Int8Tile {
+                scale: 0.0,
+                data: vec![0; src.len()],
+            };
+        }
+        let inv = INT8_QMAX as f64 / m;
+        let data = src
+            .iter()
+            .map(|&x| (x * inv).round().clamp(-(INT8_QMAX as f64), INT8_QMAX as f64) as i8)
+            .collect();
+        Int8Tile {
+            scale: m / INT8_QMAX as f64,
+            data,
+        }
+    }
+
+    /// Widen the payload back to FP64 (`q · scale` per element).
+    pub fn dequantize(&self) -> Vec<f64> {
+        self.data.iter().map(|&q| q as f64 * self.scale).collect()
+    }
+
+    /// Int8 dot product: exact i32 accumulation of the raw products, one
+    /// FP64 dequantization at the end — the emulated IMMA inner product.
+    ///
+    /// # Panics
+    /// If the tiles have different lengths.
+    pub fn dot(&self, other: &Int8Tile) -> f64 {
+        dot_i8(&self.data, &other.data) as f64 * (self.scale * other.scale)
+    }
+}
+
+/// Exact i32 dot product of two i8 slices — the accumulator an int8 tensor
+/// core maintains. Callers guarantee `a.len() ≤` [`INT8_MAX_TILE_ELEMS`]
+/// (enforced at quantization time), so the sum cannot overflow.
+///
+/// # Panics
+/// If the slices have different lengths.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "int8 dot length mismatch");
+    let mut acc: i32 = 0;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as i32 * y as i32;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale() {
+        let src: Vec<f64> = (0..257)
+            .map(|i: i32| (i as f64 * 0.37).sin() * 10f64.powi(i % 7 - 3))
+            .collect();
+        let t = Int8Tile::quantize(&src);
+        let max = src.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        assert!((t.scale - max / 127.0).abs() < 1e-15 * max);
+        for (x, xh) in src.iter().zip(t.dequantize()) {
+            assert!(
+                (x - xh).abs() <= t.scale / 2.0 + 1e-300,
+                "x={x} xh={xh} scale={}",
+                t.scale
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_degenerate_tiles_quantize_to_zero() {
+        for src in [vec![0.0; 5], vec![0.0, f64::NAN, 1.0], vec![f64::INFINITY]] {
+            let t = Int8Tile::quantize(&src);
+            assert_eq!(t.scale, 0.0);
+            assert!(t.data.iter().all(|&q| q == 0));
+            assert!(t.dequantize().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn extremes_saturate_exactly() {
+        let t = Int8Tile::quantize(&[1.0, -1.0, 0.5, -0.25]);
+        assert_eq!(t.data, vec![127, -127, 64, -32]);
+    }
+
+    #[test]
+    fn max_size_tile_dot_cannot_overflow() {
+        // Worst case: every product is 127·127; the bound guarantees the
+        // i32 sum stays below i32::MAX.
+        let a = vec![127i8; INT8_MAX_TILE_ELEMS];
+        let b = vec![-127i8; INT8_MAX_TILE_ELEMS];
+        let s = dot_i8(&a, &a);
+        assert_eq!(s as i64, 127 * 127 * INT8_MAX_TILE_ELEMS as i64);
+        assert!((s as i64) <= i32::MAX as i64);
+        assert_eq!(dot_i8(&a, &b), -s);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the i32-safe bound")]
+    fn oversized_tile_is_rejected() {
+        let _ = Int8Tile::quantize(&vec![1.0; INT8_MAX_TILE_ELEMS + 1]);
+    }
+
+    #[test]
+    fn dot_matches_dequantized_reference() {
+        let a: Vec<f64> = (0..64).map(|i| (i as f64 * 0.11).cos() * 3.0).collect();
+        let b: Vec<f64> = (0..64).map(|i| (i as f64 * 0.07).sin() * 0.2).collect();
+        let qa = Int8Tile::quantize(&a);
+        let qb = Int8Tile::quantize(&b);
+        let via_int = qa.dot(&qb);
+        let via_deq: f64 = qa
+            .dequantize()
+            .iter()
+            .zip(qb.dequantize())
+            .map(|(x, y)| x * y)
+            .sum();
+        // Identical math, different association — int path is exact until
+        // the final two multiplies, so the results agree to f64 roundoff.
+        assert!((via_int - via_deq).abs() <= 1e-12 * via_deq.abs().max(1.0));
+    }
+}

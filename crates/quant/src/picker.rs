@@ -1,0 +1,319 @@
+//! Error-budgeted per-tile precision picking for the RI-J contraction path.
+//!
+//! Grounding: Huang, Shao & Hammond ("Accelerating Density Fitting with
+//! Adaptive-precision and 8-bit Integer on AI Accelerators") pick per-tile
+//! storage formats from block norms of the 3-center tensor; Dawson et al.
+//! ("Reducing Numerical Precision Requirements in Quantum Chemistry
+//! Calculations") frame the choice as an explicit error budget. This module
+//! combines both: each tile of a `B · v` contraction gets the **cheapest**
+//! tier of [`TilePrecision`] whose worst-case error bound fits its share of
+//! a user-supplied absolute budget on the output elements.
+//!
+//! The per-tile bounds are rigorous (see [`tile_error_bound`]), so the sum
+//! over a row of tiles bounds the total error of each output element:
+//! if every tile passes `bound ≤ budget / ntiles`, then
+//! `|y_adaptive − y_fp64| ≤ budget` elementwise. The RI-J bench asserts
+//! exactly this.
+//!
+//! Like `QuantSchedule`, the schedule tightens with SCF convergence: early
+//! iterations run against a slack budget proportional to the convergence
+//! residual, and the final iterations collapse to pure FP64.
+
+use mako_precision::TilePrecision;
+
+/// Summary statistics of one `B`-tile × vector-segment product, computed
+/// once per build (block norms) and once per contraction (vector weights).
+#[derive(Debug, Clone, Copy)]
+pub struct TileStats {
+    /// `max |B_ij|` over the tile.
+    pub block_norm: f64,
+    /// `Σ |v_k|` over the contracted vector segment.
+    pub vec_l1: f64,
+    /// `max |v_k|` over the contracted vector segment.
+    pub vec_max: f64,
+    /// Length of the contracted vector segment.
+    pub vec_len: usize,
+}
+
+/// Worst-case absolute error a tile contributes to one output element when
+/// its `B`-block and vector segment are stored in `tier` (both operands
+/// rounded; int8 quantized with per-tile scales; accumulation as the real
+/// kernels do it: i32 exact for int8, FP32 partial sums for the float
+/// tiers, FP64 for fp64).
+///
+/// * Float tiers: `(factor + len·2⁻²⁴) · ‖B‖_∞ · ‖v‖₁` — two half-ulp
+///   operand roundings (`factor = 2·2⁻⁽ᵐ⁺¹⁾`) plus the FP32 accumulation
+///   drift — plus a subnormal-flush term `½·q·(‖v‖₁ + len·‖B‖_∞)` with `q`
+///   the tier's smallest positive subnormal (only material for fp16).
+/// * Int8: quantization error is **absolute** w.r.t. each tile max
+///   (`½·scale = max/254`), giving
+///   `‖B‖_∞/254 · (‖v‖₁ + len·‖v‖_∞)`; the i32 accumulation is exact.
+pub fn tile_error_bound(tier: TilePrecision, s: &TileStats) -> f64 {
+    let len = s.vec_len as f64;
+    match tier {
+        TilePrecision::Int8 => s.block_norm / 254.0 * (s.vec_l1 + len * s.vec_max),
+        _ => {
+            let subnormal_quantum = match tier {
+                TilePrecision::Fp16 => 2.0f64.powi(-24),
+                TilePrecision::Bf16 => 2.0f64.powi(-133),
+                TilePrecision::Tf32 => 2.0f64.powi(-136),
+                _ => 0.0,
+            };
+            // Accumulation drift: FP32 partial sums for the tensor-core
+            // tiers, FP64 for fp64 tiles.
+            let accum_ulp = if tier == TilePrecision::Fp64 {
+                2.0f64.powi(-53)
+            } else {
+                2.0f64.powi(-24)
+            };
+            let factor = tier.err_factor() + len * accum_ulp;
+            factor * s.block_norm * s.vec_l1
+                + 0.5 * subnormal_quantum * (s.vec_l1 + len * s.block_norm)
+        }
+    }
+}
+
+/// The per-contraction adaptive-precision schedule for RI-J tiles.
+#[derive(Debug, Clone, Copy)]
+pub struct RijSchedule {
+    /// Absolute error budget per output element of a `B · v` contraction.
+    pub budget: f64,
+    /// Whether sub-FP64 tiers are allowed at all (off for reference runs
+    /// and the final SCF iterations).
+    pub allow_quantized: bool,
+    /// Pin every tile to one tier regardless of the budget (benchmark
+    /// sweeps measuring per-tier RMSE). `None` for adaptive picking.
+    pub force: Option<TilePrecision>,
+}
+
+impl RijSchedule {
+    /// Pure-FP64 reference schedule: every tile runs in full precision.
+    pub fn fp64_reference() -> RijSchedule {
+        RijSchedule {
+            budget: 0.0,
+            allow_quantized: false,
+            force: None,
+        }
+    }
+
+    /// Adaptive schedule against an absolute per-element error budget.
+    pub fn with_budget(budget: f64) -> RijSchedule {
+        RijSchedule {
+            budget,
+            allow_quantized: true,
+            force: None,
+        }
+    }
+
+    /// Pin every tile to `tier` (per-tier RMSE sweeps).
+    pub fn forced(tier: TilePrecision) -> RijSchedule {
+        RijSchedule {
+            budget: f64::INFINITY,
+            allow_quantized: true,
+            force: Some(tier),
+        }
+    }
+
+    /// The schedule for an SCF iteration with convergence measure
+    /// `residual` and target `tol`, tightening exactly like
+    /// `QuantSchedule::for_iteration`: while the SCF error is large the
+    /// effective budget is slack (proportional to the residual — the J
+    /// matrix only needs to be as accurate as the error it feeds), it
+    /// tightens to the configured floor as convergence approaches, and the
+    /// final iterations (`residual ≤ 10·tol`) run pure FP64.
+    pub fn for_iteration(base_budget: f64, residual: f64, tol: f64) -> RijSchedule {
+        let residual = residual.max(tol);
+        RijSchedule {
+            budget: base_budget.max((residual * 0.1).min(0.5)),
+            allow_quantized: residual > tol * 10.0,
+            force: None,
+        }
+    }
+
+    /// Pick the cheapest eligible tier for one tile.
+    ///
+    /// Walks [`TilePrecision::ALL`] in cost order (int8 → fp16 → bf16 →
+    /// tf32) and returns the first tier whose [`tile_error_bound`] fits
+    /// `budget / ntiles` **and** whose representable range covers both
+    /// operands; FP64 is the unconditional fallback. Degenerate inputs —
+    /// non-finite stats or a non-positive/non-finite budget — and disabled
+    /// quantization deterministically return FP64, mirroring
+    /// `QuantSchedule::decide`'s degenerate-scale fallback.
+    ///
+    /// Eligibility is monotone in the budget, so a tighter budget can never
+    /// select a *cheaper* (lower-[`TilePrecision::rank`]) tier for the same
+    /// tile — the monotonicity the proptest suite pins.
+    pub fn pick(&self, stats: &TileStats, ntiles: usize) -> TilePrecision {
+        if let Some(t) = self.force {
+            return t;
+        }
+        if !self.allow_quantized {
+            return TilePrecision::Fp64;
+        }
+        if !(self.budget.is_finite() && self.budget > 0.0) {
+            return TilePrecision::Fp64;
+        }
+        if !(stats.block_norm.is_finite()
+            && stats.vec_l1.is_finite()
+            && stats.vec_max.is_finite())
+        {
+            return TilePrecision::Fp64;
+        }
+        let per_tile = self.budget / ntiles.max(1) as f64;
+        for &tier in TilePrecision::ALL[..TilePrecision::ALL.len() - 1].iter() {
+            let range_ok =
+                stats.block_norm <= tier.max_finite() && stats.vec_max <= tier.max_finite();
+            if range_ok && tile_error_bound(tier, stats) <= per_tile {
+                return tier;
+            }
+        }
+        TilePrecision::Fp64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(norm: f64, l1: f64, max: f64, len: usize) -> TileStats {
+        TileStats {
+            block_norm: norm,
+            vec_l1: l1,
+            vec_max: max,
+            vec_len: len,
+        }
+    }
+
+    #[test]
+    fn loose_budget_picks_int8_tight_budget_picks_fp64() {
+        let s = stats(1.0, 10.0, 1.0, 64);
+        assert_eq!(
+            RijSchedule::with_budget(1e3).pick(&s, 4),
+            TilePrecision::Int8
+        );
+        assert_eq!(
+            RijSchedule::with_budget(1e-14).pick(&s, 4),
+            TilePrecision::Fp64
+        );
+    }
+
+    #[test]
+    fn budget_sweep_is_monotone_and_hits_every_float_tier() {
+        let s = stats(1.0, 10.0, 1.0, 64);
+        let mut prev_rank = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        let mut b = 1e4;
+        while b > 1e-15 {
+            let t = RijSchedule::with_budget(b).pick(&s, 4);
+            assert!(t.rank() >= prev_rank, "budget {b}: rank regressed");
+            prev_rank = t.rank();
+            seen.insert(t);
+            b *= 0.5;
+        }
+        assert!(seen.contains(&TilePrecision::Int8));
+        assert!(seen.contains(&TilePrecision::Fp16));
+        assert!(seen.contains(&TilePrecision::Fp64));
+    }
+
+    #[test]
+    fn fp16_range_overflow_falls_through_to_bf16() {
+        // Block values beyond 65504 cannot be stored in fp16 no matter how
+        // loose the budget; bf16 (fp32 range) takes the tile.
+        let s = stats(1e6, 10.0, 1.0, 64);
+        let t = RijSchedule::with_budget(1e12).pick(&s, 1);
+        assert_eq!(t, TilePrecision::Int8, "int8 rescales, range never blocks it");
+        // Force the int8 bound to fail so the float walk decides.
+        let s2 = stats(1e6, 10.0, 1e6, 64);
+        let budget = tile_error_bound(TilePrecision::Bf16, &s2) * 2.0;
+        assert_eq!(
+            RijSchedule::with_budget(budget).pick(&s2, 1),
+            TilePrecision::Bf16
+        );
+    }
+
+    #[test]
+    fn tf32_takes_large_range_tight_error_tiles() {
+        // Budget below the bf16 bound but above the tf32 bound, with a
+        // block norm beyond fp16 range: only tf32 fits both constraints.
+        let s = stats(1e6, 10.0, 1e6, 64);
+        let budget = tile_error_bound(TilePrecision::Tf32, &s) * 2.0;
+        assert!(budget < tile_error_bound(TilePrecision::Bf16, &s));
+        assert_eq!(
+            RijSchedule::with_budget(budget).pick(&s, 1),
+            TilePrecision::Tf32
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_fp64() {
+        let healthy = stats(1.0, 1.0, 1.0, 8);
+        for s in [
+            stats(f64::NAN, 1.0, 1.0, 8),
+            stats(1.0, f64::INFINITY, 1.0, 8),
+            stats(1.0, 1.0, f64::NAN, 8),
+        ] {
+            assert_eq!(
+                RijSchedule::with_budget(1e3).pick(&s, 1),
+                TilePrecision::Fp64
+            );
+        }
+        for sched in [
+            RijSchedule::with_budget(f64::NAN),
+            RijSchedule::with_budget(0.0),
+            RijSchedule::with_budget(-1.0),
+            RijSchedule::with_budget(f64::INFINITY),
+            RijSchedule::fp64_reference(),
+        ] {
+            assert_eq!(sched.pick(&healthy, 1), TilePrecision::Fp64);
+        }
+    }
+
+    #[test]
+    fn forced_schedule_ignores_budget() {
+        let s = stats(1.0, 1.0, 1.0, 8);
+        for t in TilePrecision::ALL {
+            assert_eq!(RijSchedule::forced(t).pick(&s, 1), t);
+        }
+    }
+
+    #[test]
+    fn iteration_schedule_tightens_like_quant_schedule() {
+        let base = 1e-8;
+        let tol = 1e-7;
+        // Early: slack budget proportional to the residual, quantization on.
+        let early = RijSchedule::for_iteration(base, 1.0, tol);
+        assert!(early.allow_quantized);
+        assert!(early.budget > base);
+        // Budgets tighten monotonically with the residual.
+        let mut prev = f64::INFINITY;
+        for &res in &[1.0, 1e-2, 1e-4, 1e-6] {
+            let s = RijSchedule::for_iteration(base, res, tol);
+            assert!(s.budget <= prev, "res={res}");
+            prev = s.budget;
+        }
+        // Final iterations: pure FP64, like QuantSchedule::for_iteration.
+        let fin = RijSchedule::for_iteration(base, 5e-7, tol);
+        assert!(!fin.allow_quantized);
+        assert_eq!(fin.pick(&stats(1.0, 1.0, 1.0, 8), 1), TilePrecision::Fp64);
+        // The configured budget is a floor — never loosened below it.
+        assert!(RijSchedule::for_iteration(base, 1e-12, tol).budget >= base);
+    }
+
+    #[test]
+    fn error_bound_shares_sum_to_the_budget() {
+        // The contract the RI-J bench asserts: if every tile of a row
+        // passes `bound ≤ budget/ntiles`, the row's total bound ≤ budget.
+        let sched = RijSchedule::with_budget(1e-6);
+        let tiles: Vec<TileStats> = (0..7)
+            .map(|i| stats(10f64.powi(-i), 3.0, 1.0, 64))
+            .collect();
+        let total: f64 = tiles
+            .iter()
+            .map(|s| {
+                let t = sched.pick(s, tiles.len());
+                tile_error_bound(t, s)
+            })
+            .sum();
+        assert!(total <= sched.budget * (1.0 + 1e-12), "total={total}");
+    }
+}

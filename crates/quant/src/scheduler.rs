@@ -114,12 +114,29 @@ impl QuantSchedule {
     /// Decide the execution class of a quartet population from its pairs'
     /// Schwarz bounds, the largest relevant density element, and the
     /// system-wide estimate `scale` (max bound² × max density).
+    ///
+    /// The FP64/quantized split is relative to `scale`, so a degenerate
+    /// scale would poison the bar: `scale == 0` (all-pruned batches, empty
+    /// pair lists), a non-finite scale (overflowed bounds, NaN density), or
+    /// a non-finite `rel_fp64_threshold` would previously make
+    /// `estimate >= bar` false for *every* quartet and classify the whole
+    /// system as quantized. Any such degenerate input now collapses the bar
+    /// to `0.0`, which deterministically promotes every surviving quartet
+    /// to FP64 — the conservative direction (pruning, which is absolute,
+    /// is unaffected).
     pub fn decide(&self, bound_ab: f64, bound_cd: f64, density_max: f64, scale: f64) -> ExecClass {
+        let degenerate =
+            !(scale.is_finite() && scale > 0.0 && self.rel_fp64_threshold.is_finite());
+        let fp64_threshold = if degenerate {
+            0.0
+        } else {
+            self.rel_fp64_threshold * scale
+        };
         let class = classify(
             bound_ab,
             bound_cd,
             density_max,
-            self.rel_fp64_threshold * scale.max(1e-300),
+            fp64_threshold,
             self.prune_threshold,
         );
         match class {
@@ -198,6 +215,53 @@ mod tests {
             assert_eq!(s.decide(bounds.0, bounds.1, 1.0, 1.0), ExecClass::Fp64);
         }
         assert_eq!(s.decide(1e-8, 1e-8, 1.0, 1.0), ExecClass::Pruned);
+    }
+
+    /// Regression: degenerate `scale` values (zero from all-pruned batches,
+    /// NaN/∞ from poisoned bounds or densities) must deterministically fall
+    /// back to FP64 for every surviving quartet — never classify the system
+    /// as quantized. Before the fix, `scale = ∞` put the FP64 bar at ∞ and
+    /// quantized everything.
+    #[test]
+    fn degenerate_scale_falls_back_to_fp64() {
+        let early = QuantSchedule::for_iteration(1.0, 1e-7);
+        assert!(early.allow_quantized, "precondition: quantization is on");
+        for &scale in &[0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            // Mid-magnitude quartets that a healthy scale would quantize...
+            assert_eq!(
+                early.decide(1.0, 1.0, 0.5, scale),
+                ExecClass::Fp64,
+                "scale={scale}"
+            );
+            assert_eq!(
+                early.decide(1e-2, 1e-2, 1.0, scale),
+                ExecClass::Fp64,
+                "scale={scale}"
+            );
+            // ...while absolute pruning is unaffected.
+            assert_eq!(
+                early.decide(1e-10, 1e-10, 1.0, scale),
+                ExecClass::Pruned,
+                "scale={scale}"
+            );
+        }
+        // Sanity: a healthy scale still quantizes the mid-magnitude quartet.
+        assert_eq!(early.decide(1.0, 1.0, 0.5, 100.0), ExecClass::Quantized);
+    }
+
+    /// Regression: a non-finite relative threshold (corrupted schedule
+    /// state) is degenerate too — FP64 fallback, not blanket quantization.
+    #[test]
+    fn non_finite_threshold_falls_back_to_fp64() {
+        for bad in [f64::NAN, f64::INFINITY] {
+            let s = QuantSchedule {
+                rel_fp64_threshold: bad,
+                prune_threshold: 1e-14,
+                allow_quantized: true,
+            };
+            assert_eq!(s.decide(1.0, 1.0, 0.5, 100.0), ExecClass::Fp64);
+            assert_eq!(s.decide(1e-10, 1e-10, 1e-14, 100.0), ExecClass::Pruned);
+        }
     }
 
     #[test]

@@ -196,9 +196,14 @@ pub(crate) fn plan_jk(
         for &(pi, qi) in &batch.quartets {
             if let (Some(tau), Some(bm)) = (opts.delta_tau, &block_max) {
                 let (pab, pcd) = (&pairs[pi], &pairs[qi]);
-                let est = pab.bound
-                    * pcd.bound
-                    * bm.quartet_max(pab.i, pab.j, pcd.i, pcd.j);
+                // Shared estimate definition (incl. the 1e-30 density floor)
+                // and the pinned boundary convention: only a strictly
+                // smaller estimate skips; `est == tau` is still evaluated.
+                let est = mako_eri::screening::schwarz_estimate(
+                    pab.bound,
+                    pcd.bound,
+                    bm.quartet_max(pab.i, pab.j, pcd.i, pcd.j),
+                );
                 if est < tau {
                     // A skipped quartet perturbs any one J/K element by at
                     // most (arrangements ≤ 8) × (contracted elements ≤ n²)

@@ -26,6 +26,10 @@
 //!   deterministic staged rescue ladder (DIIS reset → damping → level
 //!   shift → quantization backoff → rollback), and non-finite containment,
 //!   all provably inert on healthy runs;
+//! * [`rij`] — adaptive-precision RI-J density fitting: the Coulomb matrix
+//!   via two tiled O(N³) contractions against a fitted auxiliary basis,
+//!   each tile independently stored in int8/fp16/bf16/tf32/fp64 under a
+//!   rigorous per-element error budget, bitwise thread-invariant;
 //! * [`ensemble`] — the lockstep fleet driver: N independent molecules
 //!   whose same-class quartet sub-batches are fused into shared kernel
 //!   launches (pricing only — every member stays bitwise identical to its
@@ -44,6 +48,7 @@ pub mod mp2;
 pub mod properties;
 pub mod parallel;
 pub mod rescue;
+pub mod rij;
 pub mod scf;
 pub mod xc;
 
@@ -64,6 +69,7 @@ pub use properties::{dipole_moment, mulliken_charges, Dipole};
 pub use rescue::{
     classify, RescueConfig, RescueEvent, RescueLedger, RescueStage, TrajectoryClass,
 };
+pub use rij::{RijConfig, RijEngine, RijJStats};
 pub use scf::{
     CheckpointPolicy, DistributedScf, IncrementalPolicy, OrthDiagnostics, ScfConfig, ScfDriver,
     ScfMethod, ScfResult, ScfRunOptions,

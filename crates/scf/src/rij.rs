@@ -1,0 +1,898 @@
+//! RI-J (resolution-of-the-identity Coulomb) Fock builds with
+//! adaptive-precision tiles — the density-fitting path of the paper's
+//! follow-on work ("Accelerating Density Fitting with Adaptive-precision
+//! and 8-bit Integer on AI Accelerators").
+//!
+//! Instead of the O(N⁴) quartet sum, the Coulomb matrix is fitted through
+//! an auxiliary basis `{P}`:
+//!
+//! ```text
+//! γ_P = Σ_{μν} D_{μν} (μν|P)          (pass 1: γ = Bᵀ·w∘d)
+//! (P|Q) c_Q = γ_P                      (solve: Cholesky of the metric)
+//! J_{μν} = Σ_P (μν|P) c_P              (pass 2: j = B·c)
+//! ```
+//!
+//! The 3-center tensor `B` is stored once per geometry as an
+//! `(nrows × naux)` matrix whose rows are the surviving screened AO pairs
+//! `μ ≥ ν` (off-diagonal shell blocks carry weight 2 in pass 1 — the
+//! symmetric double-count — and scatter into both `J_{μν}` and `J_{νμ}`).
+//! Both contractions are **tiled**, and every tile independently picks the
+//! cheapest storage tier — int8 / fp16 / bf16 / tf32 / fp64 — whose
+//! rigorous error bound fits its share of the caller's per-element budget
+//! (see [`mako_quant::RijSchedule`]).
+//!
+//! # Determinism
+//!
+//! `build_j` is bitwise invariant under the rayon thread count:
+//!
+//! * tile precision picks are computed **serially** up front from
+//!   `(block norms, vector stats, schedule)` — pure data, no timing;
+//! * pass 1 parallelizes over aux **column tiles** (disjoint γ segments),
+//!   pass 2 over B **row tiles** (disjoint J rows); within each output
+//!   segment the contraction tiles are reduced serially in ascending tile
+//!   order, so every FP64 addition happens in a fixed order;
+//! * int8 quantization of the shared vector operand is done once per tile
+//!   **before** the parallel section; quantization of B-tile slices inside
+//!   workers is a pure function of the tile bytes.
+//!
+//! The simulated device clock is likewise summed in fixed tile order from
+//! the serial pick table, so it is byte-identical across thread counts.
+//!
+//! # Error contract
+//!
+//! [`RijJStats::pass1_bound`] / [`RijJStats::pass2_bound`] are the maxima
+//! over output elements of the summed per-tile bounds
+//! ([`mako_quant::tile_error_bound`]); by the picker's budget-share rule
+//! each is ≤ `budget` whenever quantization is enabled. The *end-to-end*
+//! deviation of J from a pure-FP64 build additionally passes pass 1's error
+//! through the metric solve, which amplifies by at most the metric's
+//! condition; the bench reports both numbers.
+
+use mako_accel::CostModel;
+use mako_chem::cart::nsph;
+use mako_chem::AoLayout;
+use mako_eri::batch::EriClass;
+use mako_eri::rij::AuxBasis;
+use mako_eri::screening::ScreenedPair;
+use mako_eri::{three_center_block, PqIndex};
+use mako_kernels::pipeline::{batch_device_seconds, PipelineConfig};
+use mako_linalg::{cholesky, LinalgError, Matrix};
+use mako_precision::{Int8Tile, Precision, TilePrecision};
+use mako_quant::{tile_error_bound, RijSchedule, TileStats};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// Geometry-time configuration of the RI-J engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RijConfig {
+    /// 3-center Schwarz cutoff: `(μν|P)` shell blocks with
+    /// `Q_μν · Q_P` **strictly below** this are never evaluated and stay
+    /// exact zeros in `B` (the pinned boundary convention: equality
+    /// survives).
+    pub threec_cutoff: f64,
+    /// Tile edge along the pair-row axis of `B`.
+    pub tile_rows: usize,
+    /// Tile edge along the auxiliary-function axis of `B`.
+    pub tile_cols: usize,
+}
+
+impl Default for RijConfig {
+    fn default() -> RijConfig {
+        RijConfig {
+            threec_cutoff: 1e-12,
+            tile_rows: 64,
+            tile_cols: 64,
+        }
+    }
+}
+
+/// One row of `B`: a surviving AO pair and its pass-1 weight / scatter
+/// targets.
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    /// Global AO index μ.
+    i_ao: usize,
+    /// Global AO index ν.
+    j_ao: usize,
+    /// 2.0 for off-diagonal shell blocks (μ-shell ≠ ν-shell), 1.0 on the
+    /// diagonal blocks, whose rows already enumerate both orders.
+    weight: f64,
+}
+
+/// Bookkeeping from one [`RijEngine::build_j`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RijJStats {
+    /// Tiles executed per tier, indexed by [`TilePrecision::rank`]
+    /// (int8, fp16, bf16, tf32, fp64), summed over both passes.
+    pub tile_counts: [usize; 5],
+    /// Simulated device seconds for both tiled contractions (the solve is
+    /// priced into the engine build).
+    pub device_seconds: f64,
+    /// Max over γ elements of the summed per-tile error bounds of pass 1.
+    pub pass1_bound: f64,
+    /// Max over J rows of the summed per-tile error bounds of pass 2.
+    pub pass2_bound: f64,
+}
+
+/// The prepared RI-J engine for one geometry: the screened 3-center tensor,
+/// the Cholesky factor of the 2-center metric, and per-tile block norms.
+pub struct RijEngine {
+    rows: Vec<RowMeta>,
+    /// `(nrows × naux)` 3-center tensor, rows in screened-pair order.
+    b: Matrix,
+    /// Lower-triangular `L` with `(P|Q) = L·Lᵀ`.
+    chol: Matrix,
+    /// `max |B|` per `(row tile, col tile)`, row-major
+    /// `n_row_tiles × n_col_tiles`.
+    norms: Vec<f64>,
+    tile_rows: usize,
+    tile_cols: usize,
+    n_row_tiles: usize,
+    n_col_tiles: usize,
+    nao: usize,
+    /// Simulated device seconds to assemble `B`, the metric, and its
+    /// Cholesky factor (once per geometry).
+    pub build_device_seconds: f64,
+    /// `(pair, aux shell)` 3-center blocks actually evaluated.
+    pub threec_evaluated: usize,
+    /// `(pair, aux shell)` blocks dropped by the Schwarz cutoff.
+    pub threec_screened: usize,
+}
+
+/// Achievable FLOP/s (or int8 OP/s) of one tile tier on the modeled device:
+/// tensor path where the architecture has one, CUDA cores otherwise, scaled
+/// by the model's tuned-peak fraction.
+fn tier_peak(model: &CostModel, tier: TilePrecision) -> f64 {
+    let d = &model.device;
+    let raw = match tier {
+        TilePrecision::Int8 => d.int8_tensor_peak().max(d.cuda_peak(Precision::Fp16)),
+        TilePrecision::Fp64 => d
+            .tensor_peak(Precision::Fp64)
+            .max(d.cuda_peak(Precision::Fp64)),
+        t => {
+            let p = t.as_precision().expect("non-fp64 float tier maps to Precision");
+            d.tensor_peak(p).max(d.cuda_peak(p))
+        }
+    };
+    raw * model.tuned_peak_fraction
+}
+
+impl RijEngine {
+    /// Assemble the engine for one geometry: fill the screened `B` tensor
+    /// (parallel over pairs — disjoint row blocks), build and factor the
+    /// 2-center metric, compute per-tile block norms, and price the whole
+    /// build on the simulated device clock. Emits the `rij.build` span.
+    ///
+    /// Fails only if the Coulomb metric is not positive definite (a
+    /// linearly dependent auxiliary basis).
+    pub fn build(
+        pairs: &[ScreenedPair],
+        layout: &AoLayout,
+        aux: &AuxBasis,
+        cfg: &RijConfig,
+        pipeline: &PipelineConfig,
+        model: &CostModel,
+    ) -> Result<RijEngine, LinalgError> {
+        let mut span = mako_trace::span("rij", "build");
+        let naux = aux.naux();
+        let tile_rows = cfg.tile_rows.max(1);
+        let tile_cols = cfg.tile_cols.max(1);
+
+        // Row metadata + per-pair row offsets, in screened-pair order.
+        let mut rows: Vec<RowMeta> = Vec::new();
+        let mut row0s: Vec<usize> = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            row0s.push(rows.len());
+            let (na, nb) = (nsph(pair.data.la), nsph(pair.data.lb));
+            let (i0, j0) = (layout.range(pair.i).start, layout.range(pair.j).start);
+            let weight = if pair.i == pair.j { 1.0 } else { 2.0 };
+            for a in 0..na {
+                for b in 0..nb {
+                    rows.push(RowMeta {
+                        i_ao: i0 + a,
+                        j_ao: j0 + b,
+                        weight,
+                    });
+                }
+            }
+        }
+        let nrows = rows.len();
+
+        // Fill B in parallel, one disjoint row block per pair, in bounded
+        // waves so the transient per-pair blocks never double B's memory.
+        // Each worker evaluates its pair against every surviving aux
+        // shell; screened blocks stay exact zeros. Values are pure
+        // functions of the pair data, so the assembled tensor is
+        // thread-count invariant regardless of the wave cut.
+        const WAVE_PAIRS: usize = 512;
+        let mut b = Matrix::zeros(nrows, naux);
+        let (mut threec_evaluated, mut threec_screened) = (0usize, 0usize);
+        for w0 in (0..pairs.len()).step_by(WAVE_PAIRS) {
+            let w1 = (w0 + WAVE_PAIRS).min(pairs.len());
+            let blocks: Vec<(usize, Matrix, usize, usize)> = pairs[w0..w1]
+                .par_iter()
+                .zip(row0s[w0..w1].par_iter())
+                .map(|(pair, &r0)| {
+                    let nr = nsph(pair.data.la) * nsph(pair.data.lb);
+                    let lsum = pair.data.la + pair.data.lb;
+                    let mut block = Matrix::zeros(nr, naux);
+                    // One PqIndex per aux angular momentum present.
+                    let mut idx_cache: BTreeMap<usize, PqIndex> = BTreeMap::new();
+                    let (mut evaluated, mut screened) = (0usize, 0usize);
+                    for (s, apair) in aux.pairs.iter().enumerate() {
+                        if pair.bound * aux.bounds[s] < cfg.threec_cutoff {
+                            screened += 1;
+                            continue;
+                        }
+                        evaluated += 1;
+                        let laux = aux.layout.shell_l[s];
+                        let idx = idx_cache
+                            .entry(laux)
+                            .or_insert_with(|| PqIndex::new(lsum, laux));
+                        let t = three_center_block(&pair.data, apair, idx);
+                        for (pi, p) in aux.layout.range(s).enumerate() {
+                            for r in 0..nr {
+                                block[(r, p)] = t[(r, pi)];
+                            }
+                        }
+                    }
+                    (r0, block, evaluated, screened)
+                })
+                .collect();
+            for (r0, block, ev, sc) in &blocks {
+                b.set_block(*r0, 0, block);
+                threec_evaluated += ev;
+                threec_screened += sc;
+            }
+        }
+
+        // 2-center metric and its Cholesky factor.
+        let metric = mako_eri::two_center_metric(aux);
+        let chol = cholesky(&metric)?;
+
+        // Per-tile block norms (pure max — deterministic in parallel).
+        let n_row_tiles = nrows.div_ceil(tile_rows).max(1);
+        let n_col_tiles = naux.div_ceil(tile_cols).max(1);
+        let tile_ids: Vec<usize> = (0..n_row_tiles * n_col_tiles).collect();
+        let norms: Vec<f64> = tile_ids
+            .par_iter()
+            .map(|&t| {
+                let (rt, ct) = (t / n_col_tiles, t % n_col_tiles);
+                let (r0, r1) = (rt * tile_rows, ((rt + 1) * tile_rows).min(nrows));
+                let (c0, c1) = (ct * tile_cols, ((ct + 1) * tile_cols).min(naux));
+                let mut m = 0.0f64;
+                for r in r0..r1 {
+                    for &x in &b.row(r)[c0..c1] {
+                        m = m.max(x.abs());
+                    }
+                }
+                m
+            })
+            .collect();
+
+        // Device pricing: every evaluated 3-center shell block is a quartet
+        // of class (la, lb | l_P, 0) with kcd = 1 (the dummy); the metric's
+        // lower triangle prices as (l_P, 0 | l_Q, 0). Classes are priced in
+        // sorted order as one batched launch each, then the Cholesky is
+        // charged as n³/3 FP64 FLOPs.
+        let mut class_counts: BTreeMap<(usize, usize, usize, usize), usize> = BTreeMap::new();
+        for pair in pairs {
+            for (s, _) in aux.pairs.iter().enumerate() {
+                if pair.bound * aux.bounds[s] < cfg.threec_cutoff {
+                    continue;
+                }
+                *class_counts
+                    .entry((
+                        pair.data.la,
+                        pair.data.lb,
+                        aux.layout.shell_l[s],
+                        pair.data.degree(),
+                    ))
+                    .or_insert(0) += 1;
+            }
+        }
+        let mut twoc_counts: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for p in 0..aux.nshells() {
+            for q in 0..=p {
+                *twoc_counts
+                    .entry((aux.layout.shell_l[p], aux.layout.shell_l[q]))
+                    .or_insert(0) += 1;
+            }
+        }
+        let mut build_device_seconds = 0.0;
+        for (&(la, lb, lc, kab), &n) in &class_counts {
+            let class = EriClass {
+                la,
+                lb,
+                lc,
+                ld: 0,
+                kab,
+                kcd: 1,
+            };
+            build_device_seconds += batch_device_seconds(&class, n, pipeline, model);
+        }
+        for (&(lp, lq), &n) in &twoc_counts {
+            let class = EriClass {
+                la: lp,
+                lb: 0,
+                lc: lq,
+                ld: 0,
+                kab: 1,
+                kcd: 1,
+            };
+            build_device_seconds += batch_device_seconds(&class, n, pipeline, model);
+        }
+        let chol_flops = (naux as f64).powi(3) / 3.0;
+        build_device_seconds += chol_flops / tier_peak(model, TilePrecision::Fp64);
+
+        if span.is_recording() {
+            span.add_field("nrows", nrows);
+            span.add_field("naux", naux);
+            span.add_field("pairs", pairs.len());
+            span.add_field("threec_evaluated", threec_evaluated);
+            span.add_field("threec_screened", threec_screened);
+            span.add_field("device_seconds", build_device_seconds);
+        }
+        span.end();
+
+        Ok(RijEngine {
+            rows,
+            b,
+            chol,
+            norms,
+            tile_rows,
+            tile_cols,
+            n_row_tiles,
+            n_col_tiles,
+            nao: layout.nao,
+            build_device_seconds,
+            threec_evaluated,
+            threec_screened,
+        })
+    }
+
+    /// Number of surviving AO-pair rows of `B`.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of auxiliary functions.
+    pub fn naux(&self) -> usize {
+        self.chol.rows()
+    }
+
+    /// Bytes held by the 3-center tensor.
+    pub fn b_bytes(&self) -> usize {
+        self.b.rows() * self.b.cols() * std::mem::size_of::<f64>()
+    }
+
+    /// Build the Coulomb matrix for `density` under the adaptive-precision
+    /// schedule `sched`, pricing the two tiled contractions on `model`'s
+    /// device clock. Returns `(J, stats)`. Bitwise thread-count invariant
+    /// (module docs); emits `rij.pick`, `rij.solve`, and `rij.contract`.
+    pub fn build_j(
+        &self,
+        density: &Matrix,
+        sched: &RijSchedule,
+        model: &CostModel,
+    ) -> (Matrix, RijJStats) {
+        assert_eq!(density.rows(), self.nao, "density must be nao × nao");
+        let mut span = mako_trace::span("rij", "contract");
+        let (nrows, naux) = (self.b.rows(), self.b.cols());
+        let (nrt, nct) = (self.n_row_tiles, self.n_col_tiles);
+        let mut stats = RijJStats::default();
+
+        // Weighted density vector over the pair rows.
+        let wd: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| r.weight * density[(r.i_ao, r.j_ao)])
+            .collect();
+
+        // ---- pass 1: γ = Bᵀ · wd ------------------------------------
+        // Serial pick table: tier per (row tile, col tile), budget shared
+        // across the n_row_tiles contributions to each γ element.
+        let wd_stats: Vec<TileStats> = (0..nrt)
+            .map(|rt| {
+                let seg = &wd[rt * self.tile_rows..((rt + 1) * self.tile_rows).min(nrows)];
+                vec_stats(seg, 0.0)
+            })
+            .collect();
+        let picks1: Vec<TilePrecision> = (0..nrt * nct)
+            .map(|t| {
+                let (rt, ct) = (t / nct, t % nct);
+                let s = TileStats {
+                    block_norm: self.norms[rt * nct + ct],
+                    ..wd_stats[rt]
+                };
+                sched.pick(&s, nrt)
+            })
+            .collect();
+        // Rigorous per-element bound: γ_P 's tiles are one column of the
+        // pick table; take the max over column tiles of the summed bounds.
+        for ct in 0..nct {
+            let mut total = 0.0;
+            for rt in 0..nrt {
+                let s = TileStats {
+                    block_norm: self.norms[rt * nct + ct],
+                    ..wd_stats[rt]
+                };
+                total += tile_error_bound(picks1[rt * nct + ct], &s);
+            }
+            stats.pass1_bound = stats.pass1_bound.max(total);
+        }
+        // Shared-operand int8 tiles, quantized once before the parallel
+        // section (deterministic bytes).
+        let qwd: Vec<Int8Tile> = (0..nrt)
+            .map(|rt| {
+                let seg = &wd[rt * self.tile_rows..((rt + 1) * self.tile_rows).min(nrows)];
+                Int8Tile::quantize(seg)
+            })
+            .collect();
+        let mut gamma = vec![0.0f64; naux];
+        gamma
+            .par_chunks_mut(self.tile_cols)
+            .enumerate()
+            .for_each(|(ct, gseg)| {
+                let c0 = ct * self.tile_cols;
+                for rt in 0..nrt {
+                    let r0 = rt * self.tile_rows;
+                    let r1 = ((rt + 1) * self.tile_rows).min(nrows);
+                    self.pass1_tile(
+                        picks1[rt * nct + ct],
+                        r0,
+                        r1,
+                        c0,
+                        c0 + gseg.len(),
+                        &wd,
+                        &qwd[rt],
+                        gseg,
+                    );
+                }
+            });
+
+        // ---- solve (P|Q) c = γ ---------------------------------------
+        // Forward/back substitution against the stored Cholesky factor,
+        // serial FP64 (priced into the engine build).
+        let mut solve_span = mako_trace::span("rij", "solve");
+        let l = &self.chol;
+        let mut y = vec![0.0f64; naux];
+        for i in 0..naux {
+            let mut s = gamma[i];
+            for k in 0..i {
+                s -= l[(i, k)] * y[k];
+            }
+            y[i] = s / l[(i, i)];
+        }
+        let mut c = vec![0.0f64; naux];
+        for i in (0..naux).rev() {
+            let mut s = y[i];
+            for k in i + 1..naux {
+                s -= l[(k, i)] * c[k];
+            }
+            c[i] = s / l[(i, i)];
+        }
+        if solve_span.is_recording() {
+            solve_span.add_field("naux", naux);
+        }
+        solve_span.end();
+
+        // ---- pass 2: j = B · c ---------------------------------------
+        let c_stats: Vec<TileStats> = (0..nct)
+            .map(|ct| {
+                let seg = &c[ct * self.tile_cols..((ct + 1) * self.tile_cols).min(naux)];
+                vec_stats(seg, 0.0)
+            })
+            .collect();
+        let picks2: Vec<TilePrecision> = (0..nrt * nct)
+            .map(|t| {
+                let (rt, ct) = (t / nct, t % nct);
+                let s = TileStats {
+                    block_norm: self.norms[rt * nct + ct],
+                    ..c_stats[ct]
+                };
+                sched.pick(&s, nct)
+            })
+            .collect();
+        for rt in 0..nrt {
+            let mut total = 0.0;
+            for ct in 0..nct {
+                let s = TileStats {
+                    block_norm: self.norms[rt * nct + ct],
+                    ..c_stats[ct]
+                };
+                total += tile_error_bound(picks2[rt * nct + ct], &s);
+            }
+            stats.pass2_bound = stats.pass2_bound.max(total);
+        }
+        let qc: Vec<Int8Tile> = (0..nct)
+            .map(|ct| {
+                let seg = &c[ct * self.tile_cols..((ct + 1) * self.tile_cols).min(naux)];
+                Int8Tile::quantize(seg)
+            })
+            .collect();
+        let mut jrow = vec![0.0f64; nrows];
+        jrow.par_chunks_mut(self.tile_rows)
+            .enumerate()
+            .for_each(|(rt, jseg)| {
+                let r0 = rt * self.tile_rows;
+                for ct in 0..nct {
+                    let c0 = ct * self.tile_cols;
+                    let c1 = ((ct + 1) * self.tile_cols).min(naux);
+                    self.pass2_tile(picks2[rt * nct + ct], r0, c0, c1, &c, &qc[ct], jseg);
+                }
+            });
+
+        // Tile census + device clock, in fixed tile order from the serial
+        // pick tables (byte-identical across thread counts). Each pass is
+        // one fused launch.
+        let mut device_seconds = 2.0 * model.device.launch_latency;
+        for (t, &tier) in picks1.iter().chain(picks2.iter()).enumerate() {
+            let (rt, ct) = ((t % (nrt * nct)) / nct, t % nct);
+            let r1 = ((rt + 1) * self.tile_rows).min(nrows);
+            let c1 = ((ct + 1) * self.tile_cols).min(naux);
+            let flops = 2.0 * (r1 - rt * self.tile_rows) as f64 * (c1 - ct * self.tile_cols) as f64;
+            device_seconds += flops / tier_peak(model, tier);
+            stats.tile_counts[tier.rank()] += 1;
+        }
+        stats.device_seconds = device_seconds;
+        if mako_trace::enabled() {
+            mako_trace::instant(
+                "rij",
+                "pick",
+                vec![
+                    mako_trace::field("int8", stats.tile_counts[0]),
+                    mako_trace::field("fp16", stats.tile_counts[1]),
+                    mako_trace::field("bf16", stats.tile_counts[2]),
+                    mako_trace::field("tf32", stats.tile_counts[3]),
+                    mako_trace::field("fp64", stats.tile_counts[4]),
+                ],
+            );
+        }
+
+        // ---- scatter --------------------------------------------------
+        // Each ordered J element is written exactly once (off-diagonal
+        // shell blocks mirror; diagonal blocks enumerate both orders as
+        // separate rows), then the near-symmetric diagonal blocks are
+        // symmetrized exactly.
+        let mut j = Matrix::zeros(self.nao, self.nao);
+        for (r, meta) in self.rows.iter().enumerate() {
+            j[(meta.i_ao, meta.j_ao)] = jrow[r];
+            if meta.weight == 2.0 {
+                j[(meta.j_ao, meta.i_ao)] = jrow[r];
+            }
+        }
+        j.symmetrize();
+
+        if span.is_recording() {
+            span.add_field("nrows", nrows);
+            span.add_field("naux", naux);
+            span.add_field("device_seconds", stats.device_seconds);
+            span.add_field("pass1_bound", stats.pass1_bound);
+            span.add_field("pass2_bound", stats.pass2_bound);
+        }
+        span.end();
+        (j, stats)
+    }
+
+    /// One pass-1 tile: accumulate `Σ_r B[r, P] · wd[r]` for every aux
+    /// column of the tile into `out`, through the tile's storage tier.
+    #[allow(clippy::too_many_arguments)]
+    fn pass1_tile(
+        &self,
+        tier: TilePrecision,
+        r0: usize,
+        r1: usize,
+        c0: usize,
+        c1: usize,
+        wd: &[f64],
+        qwd: &Int8Tile,
+        out: &mut [f64],
+    ) {
+        match tier {
+            TilePrecision::Fp64 => {
+                for (ci, p) in (c0..c1).enumerate() {
+                    let mut s = 0.0f64;
+                    for (r, &w) in (r0..r1).zip(&wd[r0..r1]) {
+                        s += self.b[(r, p)] * w;
+                    }
+                    out[ci] += s;
+                }
+            }
+            TilePrecision::Int8 => {
+                let mut col = vec![0.0f64; r1 - r0];
+                for (ci, p) in (c0..c1).enumerate() {
+                    for r in r0..r1 {
+                        col[r - r0] = self.b[(r, p)];
+                    }
+                    out[ci] += Int8Tile::quantize(&col).dot(qwd);
+                }
+            }
+            t => {
+                let prec = t.as_precision().expect("float tier");
+                for (ci, p) in (c0..c1).enumerate() {
+                    let mut s32 = 0.0f32;
+                    for (r, &w) in (r0..r1).zip(&wd[r0..r1]) {
+                        s32 += (prec.round(self.b[(r, p)]) * prec.round(w)) as f32;
+                    }
+                    out[ci] += s32 as f64;
+                }
+            }
+        }
+    }
+
+    /// One pass-2 tile: accumulate `Σ_P B[r, P] · c[P]` for every pair row
+    /// of the tile into `out`, through the tile's storage tier.
+    #[allow(clippy::too_many_arguments)]
+    fn pass2_tile(
+        &self,
+        tier: TilePrecision,
+        r0: usize,
+        c0: usize,
+        c1: usize,
+        c: &[f64],
+        qc: &Int8Tile,
+        out: &mut [f64],
+    ) {
+        match tier {
+            TilePrecision::Fp64 => {
+                for (ri, o) in out.iter_mut().enumerate() {
+                    let row = &self.b.row(r0 + ri)[c0..c1];
+                    let mut s = 0.0f64;
+                    for (bv, cv) in row.iter().zip(&c[c0..c1]) {
+                        s += bv * cv;
+                    }
+                    *o += s;
+                }
+            }
+            TilePrecision::Int8 => {
+                for (ri, o) in out.iter_mut().enumerate() {
+                    let row = &self.b.row(r0 + ri)[c0..c1];
+                    *o += Int8Tile::quantize(row).dot(qc);
+                }
+            }
+            t => {
+                let prec = t.as_precision().expect("float tier");
+                for (ri, o) in out.iter_mut().enumerate() {
+                    let row = &self.b.row(r0 + ri)[c0..c1];
+                    let mut s32 = 0.0f32;
+                    for (bv, cv) in row.iter().zip(&c[c0..c1]) {
+                        s32 += (prec.round(*bv) * prec.round(*cv)) as f32;
+                    }
+                    *o += s32 as f64;
+                }
+            }
+        }
+    }
+}
+
+/// L1 / max / len statistics of a vector segment (block norm filled by the
+/// caller).
+fn vec_stats(seg: &[f64], block_norm: f64) -> TileStats {
+    let mut l1 = 0.0f64;
+    let mut mx = 0.0f64;
+    for &x in seg {
+        l1 += x.abs();
+        mx = mx.max(x.abs());
+    }
+    TileStats {
+        block_norm,
+        vec_l1: l1,
+        vec_max: mx,
+        vec_len: seg.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fock::build_jk_reference;
+    use mako_accel::DeviceSpec;
+    use mako_chem::basis::{rij_universal, sto3g::sto3g};
+    use mako_chem::builders::water;
+    use mako_chem::Element;
+    use mako_eri::screening::build_screened_pairs;
+
+    fn water_setup() -> (Vec<ScreenedPair>, AoLayout, AuxBasis) {
+        let mol = water();
+        let shells = sto3g().shells_for(&mol);
+        let layout = AoLayout::new(&shells);
+        let pairs = build_screened_pairs(&shells, 1e-12);
+        let aux_shells = rij_universal(&[Element::H, Element::O]).shells_for(&mol);
+        (pairs, layout, AuxBasis::new(&aux_shells))
+    }
+
+    /// All *ordered* shell pairs — what [`build_jk_reference`] iterates
+    /// (the screened `i ≥ j` list would silently halve the off-diagonal
+    /// blocks).
+    fn full_ordered_pairs(layout: &AoLayout) -> Vec<ScreenedPair> {
+        let mol = water();
+        let shells = sto3g().shells_for(&mol);
+        assert_eq!(layout.nao, AoLayout::new(&shells).nao);
+        let mut out = Vec::new();
+        for i in 0..shells.len() {
+            for j in 0..shells.len() {
+                let data = mako_eri::shell_pair(&shells[i], &shells[j]);
+                let bound = mako_eri::screening::schwarz_bound(&data);
+                out.push(ScreenedPair { i, j, data, bound });
+            }
+        }
+        out
+    }
+
+    fn test_density(n: usize) -> Matrix {
+        let mut d = Matrix::from_fn(n, n, |i, j| {
+            0.3 / (1.0 + (i as f64 - j as f64).abs())
+        });
+        d.symmetrize();
+        d
+    }
+
+    fn engine(pairs: &[ScreenedPair], layout: &AoLayout, aux: &AuxBasis) -> RijEngine {
+        RijEngine::build(
+            pairs,
+            layout,
+            aux,
+            &RijConfig::default(),
+            &PipelineConfig::kernel_mako_fp64(),
+            &CostModel::new(DeviceSpec::a100()),
+        )
+        .expect("metric positive definite")
+    }
+
+    #[test]
+    fn water_rij_matches_dense_reference() {
+        let (pairs, layout, aux) = water_setup();
+        let eng = engine(&pairs, &layout, &aux);
+        let d = test_density(layout.nao);
+        let model = CostModel::new(DeviceSpec::a100());
+        let (j_ri, stats) = eng.build_j(&d, &RijSchedule::fp64_reference(), &model);
+        let dense = build_jk_reference(&d, &full_ordered_pairs(&layout), &layout);
+        // RI-J is a *fitted* J: agreement is set by the aux basis, not by
+        // machine epsilon. The even-tempered universal set holds the fit
+        // to ~2e-3 relative on water, and the fitted Coulomb energy is
+        // variationally bounded: E_RI ≤ E_dense always.
+        let e_ri = 0.5 * d.dot(&j_ri);
+        let e_dense = 0.5 * d.dot(&dense.j);
+        assert!(
+            e_ri <= e_dense * (1.0 + 1e-12),
+            "robust fitting must bound the Coulomb energy from below: {e_ri} vs {e_dense}"
+        );
+        assert!(
+            (e_ri - e_dense).abs() <= 5e-3 * e_dense.abs(),
+            "E_J fit error: {e_ri} vs {e_dense}"
+        );
+        let dj = j_ri.sub(&dense.j).max_abs();
+        assert!(dj < 2e-2, "max|ΔJ| = {dj}");
+        // Reference schedule runs everything in fp64.
+        assert_eq!(stats.tile_counts[..4], [0, 0, 0, 0]);
+        assert!(stats.tile_counts[4] > 0);
+        assert!(stats.device_seconds > 0.0);
+        assert!(eng.build_device_seconds > 0.0);
+        // J is exactly symmetric after the diagonal-block symmetrization.
+        assert_eq!(j_ri.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_j_honors_the_picker_bounds() {
+        let (pairs, layout, aux) = water_setup();
+        let eng = engine(&pairs, &layout, &aux);
+        let d = test_density(layout.nao);
+        let model = CostModel::new(DeviceSpec::a100());
+        let (j_ref, _) = eng.build_j(&d, &RijSchedule::fp64_reference(), &model);
+        for budget in [1e-4, 1e-7, 1e-10] {
+            let sched = RijSchedule::with_budget(budget);
+            let (j_ad, stats) = eng.build_j(&d, &sched, &model);
+            // The rigorous per-pass bounds respect the budget-share rule.
+            assert!(
+                stats.pass1_bound <= budget * (1.0 + 1e-12),
+                "budget {budget}: pass1 bound {}",
+                stats.pass1_bound
+            );
+            assert!(
+                stats.pass2_bound <= budget * (1.0 + 1e-12),
+                "budget {budget}: pass2 bound {}",
+                stats.pass2_bound
+            );
+            // End-to-end deviation passes pass 1 through the metric solve;
+            // on water the amplification stays well under 100×.
+            let dj = j_ad.sub(&j_ref).max_abs();
+            assert!(dj <= budget * 100.0, "budget {budget}: max|ΔJ| = {dj}");
+        }
+    }
+
+    #[test]
+    fn forced_tiers_trade_accuracy_for_device_seconds() {
+        let (pairs, layout, aux) = water_setup();
+        let eng = engine(&pairs, &layout, &aux);
+        let d = test_density(layout.nao);
+        let model = CostModel::new(DeviceSpec::a100());
+        let (j_ref, ref_stats) = eng.build_j(&d, &RijSchedule::fp64_reference(), &model);
+        let mut prev_err = f64::INFINITY;
+        for tier in [
+            TilePrecision::Int8,
+            TilePrecision::Fp16,
+            TilePrecision::Fp64,
+        ] {
+            let (j_t, stats) = eng.build_j(&d, &RijSchedule::forced(tier), &model);
+            let ntiles: usize = stats.tile_counts.iter().sum();
+            assert_eq!(stats.tile_counts[tier.rank()], ntiles, "{tier} pins all tiles");
+            let err = j_t.sub(&j_ref).max_abs();
+            assert!(
+                err <= prev_err.max(1e-18) * 1.5,
+                "{tier}: error {err} should not regress past {prev_err}"
+            );
+            prev_err = err;
+            if tier != TilePrecision::Fp64 {
+                assert!(
+                    stats.device_seconds < ref_stats.device_seconds,
+                    "{tier} must be cheaper than fp64 on the device clock"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_j_is_bitwise_thread_invariant() {
+        let (pairs, layout, aux) = water_setup();
+        let eng = engine(&pairs, &layout, &aux);
+        let d = test_density(layout.nao);
+        let model = CostModel::new(DeviceSpec::a100());
+        let sched = RijSchedule::with_budget(1e-6);
+        let baseline: Vec<u64> = {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap();
+            let (j, _) = pool.install(|| eng.build_j(&d, &sched, &model));
+            j.as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        for nt in [2usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(nt)
+                .build()
+                .unwrap();
+            let (j, stats) = pool.install(|| eng.build_j(&d, &sched, &model));
+            let bits: Vec<u64> = j.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(baseline, bits, "{nt} threads changed J bits");
+            assert!(stats.device_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn threec_screening_only_drops_negligible_blocks() {
+        let (pairs, layout, aux) = water_setup();
+        // Pick a cutoff guaranteed to drop something but stay far from the
+        // dominant blocks: just above the smallest bound product present.
+        let min_prod = pairs
+            .iter()
+            .flat_map(|p| aux.bounds.iter().map(move |&b| p.bound * b))
+            .fold(f64::INFINITY, f64::min);
+        let cutoff = min_prod * 10.0;
+        let loose = RijEngine::build(
+            &pairs,
+            &layout,
+            &aux,
+            &RijConfig {
+                threec_cutoff: cutoff,
+                ..RijConfig::default()
+            },
+            &PipelineConfig::kernel_mako_fp64(),
+            &CostModel::new(DeviceSpec::a100()),
+        )
+        .unwrap();
+        let exact = engine(&pairs, &layout, &aux);
+        assert!(loose.threec_screened > 0, "cutoff {cutoff:e} should drop blocks");
+        assert!(exact.threec_screened < loose.threec_screened);
+        assert_eq!(
+            exact.threec_evaluated + exact.threec_screened,
+            loose.threec_evaluated + loose.threec_screened
+        );
+        let d = test_density(layout.nao);
+        let model = CostModel::new(DeviceSpec::a100());
+        let (jl, _) = loose.build_j(&d, &RijSchedule::fp64_reference(), &model);
+        let (je, _) = exact.build_j(&d, &RijSchedule::fp64_reference(), &model);
+        let dj = jl.sub(&je).max_abs();
+        assert!(dj <= cutoff * 100.0, "screened-out blocks perturb J by {dj}");
+    }
+}

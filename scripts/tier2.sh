@@ -78,6 +78,18 @@ grep -q '"completed_bitwise_vs_solo": true' target/BENCH_serve_smoke.json \
 grep -q '"threads_bitwise_identical": true' target/BENCH_serve_smoke.json \
     || { echo "server smoke lost cross-thread determinism" >&2; exit 1; }
 
+echo "== tier2: rij_bench (smoke: water2 fit + scale, adaptive tiles, traced) =="
+MAKO_SMOKE=1 MAKO_THREADS=1,2 \
+    MAKO_BENCH_OUT=target/BENCH_rij_smoke.json \
+    MAKO_TRACE=target/rij_trace_smoke.jsonl \
+    cargo run --release -p mako-bench --bin rij_bench
+# The rij.* events must validate against the documented schema AND actually
+# appear — the build/pick/solve/contract spans are part of the contract.
+cargo run --release -p mako-bench --bin trace_validate -- target/rij_trace_smoke.jsonl \
+    --require rij.build --require rij.pick --require rij.solve --require rij.contract
+grep -q '"bitwise_identical_all": true' target/BENCH_rij_smoke.json \
+    || { echo "rij smoke lost cross-thread bitwise identity" >&2; exit 1; }
+
 echo "== tier2: trace smoke (host_fock_bench under MAKO_TRACE + schema check) =="
 MAKO_BENCH_MAX_QUARTETS=2000 MAKO_THREADS=1,2 \
     MAKO_BENCH_OUT=target/BENCH_fock_trace_smoke.json \
