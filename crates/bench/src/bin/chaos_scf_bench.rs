@@ -173,10 +173,7 @@ fn main() {
     let ckpt_path = std::env::temp_dir().join(format!("mako_chaos_bench_{}.ckpt", std::process::id()));
     let err = restart_driver
         .run_with(ScfRunOptions {
-            checkpoint: Some(CheckpointPolicy {
-                every: 1,
-                path: ckpt_path.clone(),
-            }),
+            checkpoint: Some(CheckpointPolicy::new(1, ckpt_path.clone())),
             kill_after: Some(kill_after),
             ..ScfRunOptions::default()
         })

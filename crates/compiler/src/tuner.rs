@@ -221,6 +221,36 @@ impl KernelCache {
         tuned
     }
 
+    /// Snapshot every cached entry (unordered — callers that persist the
+    /// table sort by their own stable key codes). Only clones; the sweep
+    /// never re-runs.
+    pub fn snapshot(&self) -> Vec<((EriClass, Precision, DeviceKind), TunedKernel)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, e)| (*k, e.kernel.clone()))
+            .collect()
+    }
+
+    /// Seed entries without running the tuner — e.g. from a persisted
+    /// table. Existing keys win (the in-process entry is authoritative) and
+    /// seeding stops at the capacity bound rather than evicting: a stale
+    /// table must never push out entries live traffic is using. Safe
+    /// because `tune_class` is deterministic — a seeded entry is identical
+    /// to what the sweep would produce.
+    pub fn seed(&self, entries: Vec<((EriClass, Precision, DeviceKind), TunedKernel)>) {
+        let mut map = self.map.write();
+        for (key, kernel) in entries {
+            if self.capacity > 0 && map.len() >= self.capacity && !map.contains_key(&key) {
+                continue;
+            }
+            map.entry(key).or_insert_with(|| CacheEntry {
+                kernel,
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed) + 1),
+            });
+        }
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.map.read().len()
@@ -461,6 +491,31 @@ mod tests {
             "exactly one sweep for the contested key"
         );
         assert_eq!(cache.evictions(), 1, "exactly one eviction");
+    }
+
+    #[test]
+    fn seeded_cache_serves_without_retuning() {
+        let model = CostModel::new(DeviceSpec::a100());
+        let warm = KernelCache::new();
+        warm.get_or_tune(&class(1, 1), Precision::Fp64, &model);
+        warm.get_or_tune(&class(2, 1), Precision::Fp16, &model);
+        let cold = KernelCache::new();
+        cold.seed(warm.snapshot());
+        assert_eq!(cold.len(), 2);
+        let before = cold.tunes_performed();
+        let a = cold.get_or_tune(&class(1, 1), Precision::Fp64, &model);
+        assert_eq!(cold.tunes_performed(), before, "seeded key must be a hit");
+        let b = warm.get_or_tune(&class(1, 1), Precision::Fp64, &model);
+        assert_eq!(
+            a.cost_s.to_bits(),
+            b.cost_s.to_bits(),
+            "a seeded entry is bitwise the tuned one"
+        );
+        // Seeding respects the capacity bound and never evicts.
+        let bounded = KernelCache::with_capacity(1);
+        bounded.seed(warm.snapshot());
+        assert_eq!(bounded.len(), 1);
+        assert_eq!(bounded.evictions(), 0);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub use mako_precision as precision;
 pub use mako_quant as quant;
 pub use mako_scf as scf;
 pub use mako_server as server;
+pub use mako_store as store;
 pub use mako_trace as trace;
 
 use mako_accel::DeviceSpec;

@@ -10,14 +10,15 @@
 //! the remaining iterations **bitwise identically** to the uninterrupted
 //! one (DESIGN.md §10).
 //!
-//! ## Format (version 2)
+//! ## Format (version 3)
 //!
 //! Little-endian binary. `f64` values are serialized via
 //! [`f64::to_bits`], never through text, so restore is bit-exact.
 //!
 //! ```text
 //! magic   b"MAKOCKPT"            8 bytes
-//! version u32                    (currently 2)
+//! version u32                    (currently 3)
+//! crc     u32                    CRC-32 (IEEE) over every byte after this field
 //! fingerprint: nao u64, n_batches u64, n_quartets u64, problem_hash u64
 //! scalars: next_iteration u64, e_prev, energy, residual, residual_prev,
 //!          drift_bound f64; since_rebuild u64;
@@ -32,35 +33,47 @@
 //! ```
 //!
 //! Readers reject wrong magic, versions they don't understand, truncated
-//! payloads, and checkpoints whose fingerprint disagrees with the run being
-//! resumed. Version 2 extends the fingerprint beyond gross sizes (basis
+//! payloads, payloads failing their CRC ([`CheckpointError::Corrupt`] —
+//! bit rot the fingerprint cannot see), and checkpoints whose fingerprint
+//! disagrees with the run being resumed. Version 2 extended the
+//! fingerprint beyond gross sizes (basis
 //! size / batch population) with a `problem_hash` — a content hash of the
 //! molecule geometry, contracted shells, device kind, method, and screening
 //! configuration (see `ScfDriver::problem_fingerprint`) — so a checkpoint
 //! from one tenant's job cannot be resumed against a *different* problem
 //! that happens to have the same matrix shapes (e.g. a slightly perturbed
-//! geometry, or the same molecule priced on a different device).
+//! geometry, or the same molecule priced on a different device); version 3
+//! adds the payload CRC.
 //!
 //! ## Durability
 //!
-//! [`ScfCheckpoint::save`] writes a sibling temp file, `fsync`s it, then
-//! atomically renames it over the destination (and best-effort-syncs the
-//! parent directory so the rename itself is durable). A crash mid-save
-//! therefore never corrupts the previous checkpoint, and a completed save
-//! survives power loss. Transient IO errors are retried up to three times
-//! with capped exponential backoff before surfacing as
-//! [`CheckpointError::Io`].
+//! All checkpoint I/O flows through a [`mako_store::Vfs`]:
+//! [`ScfCheckpoint::save`]/[`ScfCheckpoint::load`] run on the real
+//! filesystem, while [`ScfCheckpoint::save_via`]/[`ScfCheckpoint::load_via`]
+//! take any backend — in the durability bench, the seeded fault injector.
+//! Saves use the shared fsync-then-rename discipline of
+//! [`mako_store::write_durable`] (sibling temp file, `fsync`, atomic
+//! rename, directory sync, temp cleanup on both the error path and the next
+//! attempt), so a crash mid-save never corrupts the previous checkpoint and
+//! a completed save survives power loss. Transient IO errors are retried up
+//! to three times with capped exponential backoff before surfacing as
+//! [`CheckpointError::Io`]; an injected crash fails fast (the simulated
+//! process is dead — there is nothing to retry on).
 
 use crate::diis::DiisSnapshot;
 use crate::error::CheckpointError;
 use crate::fock::FockBuildStats;
 use mako_accel::{DeviceClock, IterationLedger, RecoveryLedger};
 use mako_linalg::Matrix;
+use mako_store::{crc32, write_durable, RealVfs, Vfs, VfsError};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"MAKOCKPT";
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 2;
+pub const CHECKPOINT_VERSION: u32 = 3;
+/// Byte offset where the CRC-covered region begins (after magic, version,
+/// and the CRC field itself).
+const CRC_REGION_AT: usize = 16;
 
 /// IO retry schedule for [`ScfCheckpoint::save`]: attempts and capped
 /// exponential backoff between them (milliseconds of host time).
@@ -135,11 +148,12 @@ impl ScfCheckpoint {
         clock
     }
 
-    /// Serialize to the version-2 binary format.
+    /// Serialize to the version-3 binary format (payload CRC included).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.density.as_slice().len() * 8 * 4);
         out.extend_from_slice(MAGIC);
         put_u32(&mut out, CHECKPOINT_VERSION);
+        put_u32(&mut out, 0); // CRC placeholder, patched below
         put_u64(&mut out, self.nao as u64);
         put_u64(&mut out, self.n_batches as u64);
         put_u64(&mut out, self.n_quartets as u64);
@@ -196,10 +210,12 @@ impl ScfCheckpoint {
             put_f64(&mut out, r.fault_free_seconds);
             put_f64(&mut out, r.degraded_seconds);
         }
+        let crc = crc32(&out[CRC_REGION_AT..]);
+        out[12..16].copy_from_slice(&crc.to_le_bytes());
         out
     }
 
-    /// Parse a version-2 checkpoint.
+    /// Parse a version-3 checkpoint.
     pub fn from_bytes(bytes: &[u8]) -> Result<ScfCheckpoint, CheckpointError> {
         let mut r = Reader { buf: bytes, pos: 0 };
         let magic = r.take(8)?;
@@ -209,6 +225,13 @@ impl ScfCheckpoint {
         let version = r.u32()?;
         if version != CHECKPOINT_VERSION {
             return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        let expected = r.u32()?;
+        let actual = crc32(&bytes[CRC_REGION_AT..]);
+        if expected != actual {
+            // Checked before any structural parsing: truncation and bit rot
+            // both land here, and neither may be half-interpreted.
+            return Err(CheckpointError::Corrupt { expected, actual });
         }
         let nao = r.u64()? as usize;
         let n_batches = r.u64()? as usize;
@@ -314,18 +337,26 @@ impl ScfCheckpoint {
         })
     }
 
-    /// Write to disk durably and atomically.
+    /// Write to the real filesystem durably and atomically — see
+    /// [`ScfCheckpoint::save_via`].
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.save_via(&RealVfs, path)
+    }
+
+    /// Write to `vfs` durably and atomically.
     ///
-    /// The bytes go to a sibling temp file which is `fsync`ed *before* the
-    /// atomic rename, so a crash at any point leaves either the previous
-    /// checkpoint or the complete new one — never a torn file that merely
-    /// made it to the page cache. After the rename the parent directory is
-    /// synced best-effort so the rename itself survives power loss.
+    /// The bytes go through [`mako_store::write_durable`]: a sibling temp
+    /// file `fsync`ed *before* the atomic rename, so a crash at any point
+    /// leaves either the previous checkpoint or the complete new one —
+    /// never a torn file that merely made it to the page cache — and the
+    /// temp file is cleaned up on failure instead of leaking.
     ///
     /// Transient IO errors (full disk briefly reclaimed, NFS hiccup, …) are
     /// retried up to three times with capped exponential backoff; only a
-    /// persistent failure surfaces as [`CheckpointError::Io`].
-    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+    /// persistent failure surfaces as [`CheckpointError::Io`]. An injected
+    /// crash point is *not* retried — the simulated process is dead, and
+    /// spinning on a dead Vfs would only distort the fault model.
+    pub fn save_via(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), CheckpointError> {
         let bytes = self.to_bytes();
         let mut last_err = String::new();
         for attempt in 0..SAVE_ATTEMPTS {
@@ -333,8 +364,15 @@ impl ScfCheckpoint {
                 let ms = (SAVE_BACKOFF_BASE_MS << (attempt - 1)).min(SAVE_BACKOFF_CAP_MS);
                 std::thread::sleep(std::time::Duration::from_millis(ms));
             }
-            match write_durable(path, &bytes) {
+            match write_durable(vfs, path, &bytes) {
                 Ok(()) => return Ok(()),
+                Err(VfsError::Crashed) => {
+                    return Err(CheckpointError::Io(format!(
+                        "checkpoint save to {}: {}",
+                        path.display(),
+                        VfsError::Crashed
+                    )))
+                }
                 Err(e) => last_err = e.to_string(),
             }
         }
@@ -346,9 +384,16 @@ impl ScfCheckpoint {
         )))
     }
 
-    /// Read a checkpoint back from disk.
+    /// Read a checkpoint back from the real filesystem.
     pub fn load(path: &Path) -> Result<ScfCheckpoint, CheckpointError> {
-        let bytes = std::fs::read(path)?;
+        ScfCheckpoint::load_via(&RealVfs, path)
+    }
+
+    /// Read a checkpoint back from `vfs`.
+    pub fn load_via(vfs: &dyn Vfs, path: &Path) -> Result<ScfCheckpoint, CheckpointError> {
+        let bytes = vfs
+            .read(path)
+            .map_err(|e| CheckpointError::Io(e.to_string()))?;
         ScfCheckpoint::from_bytes(&bytes)
     }
 
@@ -379,28 +424,6 @@ impl ScfCheckpoint {
         }
         Ok(())
     }
-}
-
-/// One attempt at the fsync-then-rename protocol.
-fn write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    use std::io::Write;
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            // Directory fsync is advisory: some filesystems refuse to open
-            // directories for sync, and the rename is already atomic.
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-    }
-    Ok(())
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -587,11 +610,100 @@ mod tests {
             Err(CheckpointError::UnsupportedVersion { found: 99 })
         );
 
+        // Truncation inside the CRC region is caught by the checksum
+        // (checked before any structural parsing).
         let truncated = &bytes[..bytes.len() - 5];
-        assert_eq!(
+        assert!(matches!(
             ScfCheckpoint::from_bytes(truncated),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        // Truncation inside the fixed header is a structural error.
+        assert_eq!(
+            ScfCheckpoint::from_bytes(&bytes[..10]),
             Err(CheckpointError::Truncated)
         );
+    }
+
+    #[test]
+    fn one_bit_flip_at_every_64_byte_boundary_is_rejected() {
+        let bytes = sample().to_bytes();
+        assert!(bytes.len() > 512, "sample must span many boundaries");
+        for at in (0..bytes.len()).step_by(64) {
+            let mut rotted = bytes.clone();
+            rotted[at] ^= 0x01;
+            let res = ScfCheckpoint::from_bytes(&rotted);
+            assert!(
+                matches!(
+                    res,
+                    Err(CheckpointError::Corrupt { .. })
+                        | Err(CheckpointError::BadMagic)
+                        | Err(CheckpointError::UnsupportedVersion { .. })
+                ),
+                "flip at byte {at} must be rejected, got {res:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_64_byte_boundary_is_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in (0..bytes.len()).step_by(64) {
+            let res = ScfCheckpoint::from_bytes(&bytes[..cut]);
+            assert!(
+                matches!(
+                    res,
+                    Err(CheckpointError::Truncated) | Err(CheckpointError::Corrupt { .. })
+                ),
+                "truncation to {cut} bytes must be rejected, got {res:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipping_the_stored_crc_itself_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[13] ^= 0x40; // inside the CRC field
+        assert!(matches!(
+            ScfCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn save_failure_does_not_leak_a_tmp_file() {
+        use mako_store::{tmp_path, FaultProfile, FaultVfs};
+        let ck = sample();
+        // Every write fails: the save exhausts its retries and must sweep
+        // its own temp residue each time.
+        let vfs = FaultVfs::new(FaultProfile {
+            seed: 9,
+            crash_at: None,
+            write_fault_rate: 1.0,
+            bitrot_rate: 0.0,
+        });
+        let path = Path::new("/ck/scf.ckpt");
+        vfs.create_dir_all(Path::new("/ck")).expect("mkdir");
+        match ck.save_via(&vfs, path) {
+            Err(CheckpointError::Io(msg)) => assert!(msg.contains("3 attempts"), "{msg}"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(
+            !vfs.exists(&tmp_path(path)),
+            "failed save must not leak its temp file"
+        );
+        assert!(!vfs.exists(path), "no torn destination either");
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_through_a_fault_free_vfs() {
+        use mako_store::FaultVfs;
+        let ck = sample();
+        let vfs = FaultVfs::quiet();
+        let path = Path::new("/ck/scf.ckpt");
+        vfs.create_dir_all(Path::new("/ck")).expect("mkdir");
+        ck.save_via(&vfs, path).expect("save");
+        let back = ScfCheckpoint::load_via(&vfs, path).expect("load");
+        assert_eq!(back, ck);
     }
 
     #[test]

@@ -71,6 +71,15 @@ pub enum CheckpointError {
     },
     /// The file ended mid-record or a length field is inconsistent.
     Truncated,
+    /// The payload fails its CRC-32: bit rot or a torn overwrite. The
+    /// fingerprint cannot catch this (a flipped density bit changes no
+    /// fingerprint field), so v3 checksums the whole payload.
+    Corrupt {
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC of the payload as read.
+        actual: u32,
+    },
     /// The checkpoint was written by a run with different inputs (basis
     /// size, batch population, …) and cannot resume this one.
     Mismatch {
@@ -88,6 +97,10 @@ impl std::fmt::Display for CheckpointError {
                 write!(f, "checkpoint format version {found} is not supported")
             }
             CheckpointError::Truncated => write!(f, "checkpoint file is truncated or corrupt"),
+            CheckpointError::Corrupt { expected, actual } => write!(
+                f,
+                "checkpoint payload fails CRC-32 (header {expected:08x}, payload {actual:08x}) — bit rot or torn write"
+            ),
             CheckpointError::Mismatch { field } => {
                 write!(f, "checkpoint does not match this run: {field} differs")
             }

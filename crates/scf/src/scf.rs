@@ -113,6 +113,23 @@ pub struct CheckpointPolicy {
     pub every: usize,
     /// Checkpoint file path (overwritten atomically on each save).
     pub path: PathBuf,
+    /// Storage backend the saves go through. `None` = the real filesystem;
+    /// the durability harness injects its seeded fault backend here so
+    /// every checkpoint write becomes an enumerable crash point.
+    pub vfs: Option<std::sync::Arc<dyn mako_store::Vfs>>,
+}
+
+impl CheckpointPolicy {
+    /// Save every `every` iterations to `path` on the real filesystem.
+    pub fn new(every: usize, path: PathBuf) -> CheckpointPolicy {
+        CheckpointPolicy { every, path, vfs: None }
+    }
+
+    /// Route saves through an explicit storage backend.
+    pub fn via(mut self, vfs: std::sync::Arc<dyn mako_store::Vfs>) -> CheckpointPolicy {
+        self.vfs = Some(vfs);
+        self
+    }
 }
 
 /// Per-run options of [`ScfDriver::run_with`]: checkpointing, resumption,
@@ -1215,7 +1232,11 @@ impl<'a> ScfSession<'a> {
                 ledgers: self.clock.iterations().to_vec(),
                 recoveries: self.clock.recoveries().to_vec(),
             };
-            ck.save(&p.path).map_err(ScfError::Checkpoint)?;
+            match &p.vfs {
+                Some(vfs) => ck.save_via(vfs.as_ref(), &p.path),
+                None => ck.save(&p.path),
+            }
+            .map_err(ScfError::Checkpoint)?;
         }
         if finishing {
             self.finished = true;

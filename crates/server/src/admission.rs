@@ -167,6 +167,14 @@ impl AdmissionController {
         Ok(AdmissionTicket { degraded })
     }
 
+    /// Re-occupy a tenant slot for an admission replayed from the journal.
+    /// The decision was already made, logged, and billed before the crash;
+    /// recovery must not re-run the gauntlet (the queue may look different
+    /// now, and a replayed admit that suddenly rejected would lose a job).
+    pub(crate) fn occupy(&mut self, tenant: &str) {
+        *self.in_flight.entry(tenant.to_string()).or_insert(0) += 1;
+    }
+
     /// Release one in-flight slot when a job reaches a terminal outcome.
     pub(crate) fn release(&mut self, tenant: &str) {
         if let Some(n) = self.in_flight.get_mut(tenant) {

@@ -57,6 +57,30 @@ impl ArtifactKey {
             screening: spec.config.screening.to_bits(),
         }
     }
+
+    /// Collapse the key to one u64 — the file-name key of the persistent
+    /// [`mako_store::ArtifactStore`]. Enum fields enter through explicit
+    /// stable codes, not `as` casts of source order, so reordering a
+    /// variant cannot silently alias two on-disk artifacts.
+    pub fn content_hash(&self) -> u64 {
+        let basis = match self.basis {
+            BasisFamily::Sto3g => 0u64,
+            BasisFamily::Def2TzvpLike => 1,
+            BasisFamily::Def2QzvpLike => 2,
+            BasisFamily::CcPvtzLike => 3,
+            BasisFamily::CcPvqzLike => 4,
+        };
+        let device = match self.device {
+            DeviceKind::A100_40G => 0u64,
+            DeviceKind::A100_80G => 1,
+            DeviceKind::V100 => 2,
+            DeviceKind::H100 => 3,
+        };
+        let mut h = mix(0x4152_5446_4143_5431, self.molecule);
+        h = mix(h, self.screening);
+        h = mix(h, basis);
+        mix(h, device)
+    }
 }
 
 /// SplitMix64 finalizer — the repo's standard content-hash mixer.

@@ -164,6 +164,18 @@ pub enum JobError {
         /// The per-attempt limit, virtual seconds.
         limit_seconds: f64,
     },
+    /// The serve was cut short by a storage-layer crash (injected or real):
+    /// the job had no terminal outcome when the process died. Recovery
+    /// replays the journal and finishes the job; this outcome only survives
+    /// in the aborted report itself.
+    Crashed,
+    /// A terminal failure replayed from the write-ahead journal after a
+    /// crash. The original typed error was journaled as its display string;
+    /// the job is *not* re-run (its failure was already final).
+    Replayed {
+        /// Display form of the original error.
+        description: String,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -174,6 +186,12 @@ impl std::fmt::Display for JobError {
             JobError::AllWorkersLost => write!(f, "all workers lost"),
             JobError::AttemptTimeout { limit_seconds } => {
                 write!(f, "attempt exceeded the {limit_seconds} s straggler bar")
+            }
+            JobError::Crashed => {
+                write!(f, "serve aborted by a storage crash before the job resolved")
+            }
+            JobError::Replayed { description } => {
+                write!(f, "replayed from journal: {description}")
             }
         }
     }

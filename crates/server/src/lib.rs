@@ -52,10 +52,13 @@ pub mod admission;
 pub mod cache;
 pub mod chaos;
 pub mod job;
+pub mod journal;
+pub mod persist;
 pub mod server;
 
 pub use admission::{AdmissionConfig, AdmissionState};
 pub use cache::{ArtifactKey, ScreenCache};
 pub use chaos::{ServerChaos, DEATH_HORIZON};
 pub use job::{JobError, JobId, JobOutcome, JobReport, JobSpec, PriorityClass, RejectReason};
+pub use journal::{workload_hash, Journal, JournalRecord};
 pub use server::{MakoServer, ServeLedger, ServeReport, ServerConfig};

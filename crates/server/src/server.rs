@@ -35,6 +35,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use mako_chem::Element;
 use mako_compiler::KernelCache;
@@ -42,11 +43,13 @@ use mako_scf::{
     CheckpointError, CheckpointPolicy, ScfCheckpoint, ScfDriver, ScfError, ScfResult,
     ScfRunOptions,
 };
+use mako_store::{ArtifactStore, Vfs, VfsError};
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionState};
 use crate::cache::{ArtifactKey, ScreenCache};
 use crate::chaos::ServerChaos;
 use crate::job::{JobError, JobId, JobOutcome, JobReport, JobSpec, PriorityClass};
+use crate::journal::{workload_hash, Journal, JournalRecord};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -145,6 +148,19 @@ pub struct ServeReport {
     pub makespan: f64,
     /// Admission state when the run ended.
     pub final_state: AdmissionState,
+    /// The serve was cut short by a storage crash (injected or real).
+    /// Unresolved jobs carry [`JobError::Crashed`]; call
+    /// [`MakoServer::recover`] to finish the run from the journal.
+    pub crashed: bool,
+}
+
+/// The durable-store context of a server opened with
+/// [`MakoServer::with_store`]: the [`Vfs`] every byte goes through, the
+/// root directory, and the persistent artifact cache.
+pub(crate) struct StoreCtx {
+    pub(crate) vfs: Arc<dyn Vfs>,
+    pub(crate) root: PathBuf,
+    pub(crate) artifacts: ArtifactStore,
 }
 
 /// The multi-tenant job server. Owns the cross-request caches; each
@@ -155,6 +171,7 @@ pub struct MakoServer {
     kernels: KernelCache,
     screens: ScreenCache,
     serve_seq: AtomicUsize,
+    store: Option<StoreCtx>,
 }
 
 impl Default for MakoServer {
@@ -173,7 +190,55 @@ impl MakoServer {
             kernels,
             screens,
             serve_seq: AtomicUsize::new(0),
+            store: None,
         }
+    }
+
+    /// A server whose checkpoints, write-ahead journal, and artifact cache
+    /// all live under `root` on `vfs`. This is what makes a serve
+    /// *recoverable*: every scheduling decision is journaled before it
+    /// takes effect, so a crash at any write leaves a durable prefix
+    /// [`MakoServer::recover`] can finish the run from.
+    pub fn with_store(
+        config: ServerConfig,
+        vfs: Arc<dyn Vfs>,
+        root: PathBuf,
+    ) -> Result<MakoServer, VfsError> {
+        vfs.create_dir_all(&root)?;
+        let artifacts = ArtifactStore::open(vfs.clone(), root.join("artifacts"))?;
+        let mut server = MakoServer::new(config);
+        // Warm the kernel cache from the persisted tuner table: corrupt or
+        // truncated images are quarantined by the artifact store / decoder
+        // and simply re-tuned — never consumed.
+        match artifacts.load("kernels", crate::persist::KERNELS_KEY) {
+            Ok(Some(bytes)) => match crate::persist::decode_kernels(&bytes) {
+                Some(entries) => server.kernels.seed(entries),
+                None => {
+                    let _ = artifacts
+                        .quarantine_undecodable("kernels", crate::persist::KERNELS_KEY);
+                }
+            },
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+        server.store = Some(StoreCtx {
+            vfs,
+            root,
+            artifacts,
+        });
+        Ok(server)
+    }
+
+    /// The persistent artifact cache, when the server was opened
+    /// [`with_store`](MakoServer::with_store).
+    pub fn artifact_store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref().map(|c| &c.artifacts)
+    }
+
+    /// The durable-store root, when the server was opened
+    /// [`with_store`](MakoServer::with_store).
+    pub fn store_root(&self) -> Option<&PathBuf> {
+        self.store.as_ref().map(|c| &c.root)
     }
 
     /// The configuration.
@@ -216,13 +281,198 @@ impl MakoServer {
         }
         let _ = std::fs::create_dir_all(&self.config.checkpoint_dir);
         let mut sim = Sim::new(self, chaos, specs, seq);
+        if let Some(ctx) = self.store.as_ref() {
+            // A fresh serve owns the journal: forget any previous run's.
+            let wal = ctx.root.join("serve.wal");
+            let _ = ctx.vfs.remove(&wal);
+            sim.journal = Some(Journal::new(ctx.vfs.clone(), wal));
+            sim.jappend(&JournalRecord::ServeBegin {
+                jobs: specs.len() as u64,
+                workload: workload_hash(specs),
+            });
+        }
         sim.run();
         let report = sim.into_report();
+        if !report.crashed {
+            self.persist_kernels();
+        }
         if run_span.is_recording() {
             run_span.add_field("completed", report.ledger.completed);
             run_span.add_field("makespan", report.makespan);
         }
         report
+    }
+
+    /// Finish a crashed serve from its write-ahead journal.
+    ///
+    /// Call after a [`serve`](MakoServer::serve) on a
+    /// [`with_store`](MakoServer::with_store) server was cut short (storage
+    /// crash, process death). Replays the durable journal prefix, re-seats
+    /// every decision it records — admissions stand, rejected jobs stay
+    /// rejected, terminal outcomes are reconstructed **bitwise** without
+    /// re-running an iteration — salvages per-job checkpoints where they
+    /// validate (quarantining the ones that don't), and re-runs only the
+    /// work the crash actually lost. Completed energies are bitwise
+    /// identical to a quiet uninterrupted run; virtual timing restarts
+    /// (the clock died with the process).
+    ///
+    /// `specs` must be the same workload the crashed serve ran
+    /// ([`workload_hash`] is checked against the journal's `ServeBegin`).
+    pub fn recover(&self, specs: &[JobSpec], chaos: &ServerChaos) -> Result<ServeReport, VfsError> {
+        let ctx = self.store.as_ref().ok_or_else(|| {
+            VfsError::Io("recover requires a server opened with_store".to_string())
+        })?;
+        ctx.vfs.recover_crash();
+        let seq = self.serve_seq.fetch_add(1, Ordering::Relaxed);
+        let journal = Journal::new(ctx.vfs.clone(), ctx.root.join("serve.wal"));
+        let mut replay_span = mako_trace::span("recover", "replay");
+        let (records, tail) = journal.replay_and_repair()?;
+
+        let mut generation = 1u32;
+        let mut seed_admitted: Vec<Option<bool>> = vec![None; specs.len()];
+        let mut seed_outcomes: Vec<Option<JobOutcome>> = vec![None; specs.len()];
+        for rec in &records {
+            match rec {
+                JournalRecord::ServeBegin { jobs, workload } => {
+                    if *jobs as usize != specs.len() || *workload != workload_hash(specs) {
+                        return Err(VfsError::Io(
+                            "journal does not match the resubmitted workload".to_string(),
+                        ));
+                    }
+                }
+                JournalRecord::RecoveryMark { generation: g } => generation = g + 1,
+                JournalRecord::Admitted { job, degraded } => {
+                    if let Some(slot) = seed_admitted.get_mut(*job as usize) {
+                        *slot = Some(*degraded);
+                    }
+                }
+                rec => {
+                    if let Some(jid) = rec.job() {
+                        let jid = jid as usize;
+                        if jid < specs.len() {
+                            if let Some(outcome) = rec.outcome(&specs[jid]) {
+                                seed_outcomes[jid] = Some(outcome);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if replay_span.is_recording() {
+            replay_span.add_field("records", records.len());
+            replay_span.add_field(
+                "tail",
+                match tail {
+                    mako_store::Tail::Clean => "clean",
+                    mako_store::Tail::Torn => "torn",
+                    mako_store::Tail::Corrupt => "corrupt",
+                },
+            );
+            replay_span.add_field("generation", generation);
+        }
+        drop(replay_span);
+
+        let mut sim = Sim::new(self, chaos, specs, seq);
+        sim.journal = Some(journal);
+        sim.jappend(&JournalRecord::RecoveryMark { generation });
+
+        // Re-seat journaled terminal outcomes: these jobs are done and never
+        // re-enter the queue.
+        for id in 0..specs.len() {
+            let Some(outcome) = seed_outcomes[id].take() else {
+                continue;
+            };
+            match &outcome {
+                JobOutcome::Completed(_) => sim.ledger.completed += 1,
+                JobOutcome::Failed { .. } => sim.ledger.failed += 1,
+                JobOutcome::DeadlineExceeded { .. } => sim.ledger.deadline_exceeded += 1,
+                JobOutcome::Rejected { .. } => sim.ledger.rejected += 1,
+            }
+            if seed_admitted[id].is_some() {
+                sim.ledger.admitted += 1;
+            }
+            sim.outcomes[id] = Some(outcome);
+        }
+        sim.arrivals.retain(|&id| sim.outcomes[id].is_none());
+        sim.seed_admitted = seed_admitted;
+
+        // Salvage on-disk checkpoints for admitted-but-unfinished jobs: a
+        // valid one shrinks the replay; a corrupt or mismatched one is
+        // quarantined and the job recomputes from scratch — never consumed.
+        let mut salvaged = 0usize;
+        for (id, spec) in specs.iter().enumerate() {
+            if sim.outcomes[id].is_some() || sim.seed_admitted[id].is_none() {
+                continue;
+            }
+            let path = sim.jobs[id].ckpt_path.clone();
+            if !ctx.vfs.exists(&path) {
+                continue;
+            }
+            let Ok(driver) = self.build_driver(spec) else {
+                continue;
+            };
+            let valid = ScfCheckpoint::load_via(ctx.vfs.as_ref(), &path)
+                .ok()
+                .filter(|c| {
+                    c.validate(
+                        driver.nao(),
+                        driver.nbatches(),
+                        driver.nquartets(),
+                        driver.problem_fingerprint(),
+                    )
+                    .is_ok()
+                        && c.next_iteration > 0
+                });
+            match valid {
+                Some(ckpt) => {
+                    mako_trace::instant(
+                        "recover",
+                        "salvage",
+                        vec![
+                            mako_trace::field("job", id),
+                            mako_trace::field("next_iteration", ckpt.next_iteration),
+                        ],
+                    );
+                    sim.jobs[id].driver = Some(driver);
+                    sim.jobs[id].resume = Some(Box::new(ckpt));
+                    salvaged += 1;
+                }
+                None => {
+                    let mut name = path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    name.push_str(".quarantine");
+                    let qpath = path.with_file_name(name);
+                    if ctx.vfs.rename(&path, &qpath).is_err() {
+                        let _ = ctx.vfs.remove(&path);
+                    }
+                    mako_trace::instant(
+                        "store",
+                        "quarantine",
+                        vec![
+                            mako_trace::field("kind", "checkpoint"),
+                            mako_trace::field("fault", "invalid"),
+                        ],
+                    );
+                }
+            }
+        }
+        mako_trace::instant(
+            "recover",
+            "serve",
+            vec![
+                mako_trace::field("generation", generation),
+                mako_trace::field("resolved", sim.outcomes.iter().filter(|o| o.is_some()).count()),
+                mako_trace::field("salvaged", salvaged),
+            ],
+        );
+        sim.run();
+        let report = sim.into_report();
+        if !report.crashed {
+            self.persist_kernels();
+        }
+        Ok(report)
     }
 
     fn build_driver(&self, spec: &JobSpec) -> Result<ScfDriver, ScfError> {
@@ -237,14 +487,58 @@ impl MakoServer {
         // Placement belongs to the server, not the tenant.
         config.distributed = None;
         let key = ArtifactKey::for_job(spec);
-        let pairs = self.screens.get(&key);
-        let hit = pairs.is_some();
+        let mut pairs = self.screens.get(&key);
+        let memory_hit = pairs.is_some();
+        let mut disk_hit = false;
+        if pairs.is_none() {
+            // Memory miss: consult the persistent artifact cache. A corrupt
+            // or undecodable entry is quarantined and recomputed below —
+            // never consumed.
+            if let Some(ctx) = self.store.as_ref() {
+                let hash = key.content_hash();
+                if let Ok(Some(bytes)) = ctx.artifacts.load("screen", hash) {
+                    match crate::persist::decode_pairs(&bytes) {
+                        Some(decoded) => {
+                            disk_hit = true;
+                            pairs = Some(decoded);
+                        }
+                        None => {
+                            let _ = ctx.artifacts.quarantine_undecodable("screen", hash);
+                        }
+                    }
+                }
+            }
+        }
         let driver =
             ScfDriver::try_new_with_artifacts(&spec.molecule, &basis, config, &self.kernels, pairs)?;
-        if !hit {
+        if !memory_hit {
+            if !disk_hit {
+                if let Some(ctx) = self.store.as_ref() {
+                    let _ = ctx.artifacts.store(
+                        "screen",
+                        key.content_hash(),
+                        &crate::persist::encode_pairs(driver.screened_pairs()),
+                    );
+                }
+            }
             self.screens.insert(key, driver.screened_pairs().to_vec());
         }
         Ok(driver)
+    }
+
+    /// Persist the tuned-kernel table (no-op without a store; best-effort —
+    /// a failed store only costs re-tuning wall time on the next open).
+    fn persist_kernels(&self) {
+        if let Some(ctx) = self.store.as_ref() {
+            let snapshot = self.kernels.snapshot();
+            if !snapshot.is_empty() {
+                let _ = ctx.artifacts.store(
+                    "kernels",
+                    crate::persist::KERNELS_KEY,
+                    &crate::persist::encode_kernels(&snapshot),
+                );
+            }
+        }
     }
 }
 
@@ -331,6 +625,20 @@ struct Sim<'a> {
     adm: AdmissionController,
     ledger: ServeLedger,
     clock: f64,
+    /// The write-ahead journal (store-backed serves only).
+    journal: Option<Journal>,
+    /// A storage crash fired: the simulated process is dead. The run loop
+    /// exits at the next crash check and unresolved jobs report
+    /// [`JobError::Crashed`].
+    aborted: bool,
+    /// Journaling hit a non-crash write fault. Appending past a torn frame
+    /// would leave committed records *after* garbage, breaking replay's
+    /// prefix semantics — so journaling stops entirely (the serve itself
+    /// continues; it just loses recoverability from this point).
+    journal_dead: bool,
+    /// Per-job admission replayed from the journal by recovery:
+    /// `Some(degraded)` means the gauntlet already ran and was billed.
+    seed_admitted: Vec<Option<bool>>,
 }
 
 impl<'a> Sim<'a> {
@@ -343,10 +651,16 @@ impl<'a> Sim<'a> {
                 spec: spec.clone(),
                 driver: None,
                 resume: None,
-                ckpt_path: server
-                    .config
-                    .checkpoint_dir
-                    .join(format!("serve{pid}-{seq}-job{id}.ckpt")),
+                // Store-backed serves use stable names so recovery can find
+                // (and salvage) the files; ephemeral serves stay collision-
+                // proof across processes.
+                ckpt_path: match &server.store {
+                    Some(ctx) => ctx.root.join(format!("job{id}.ckpt")),
+                    None => server
+                        .config
+                        .checkpoint_dir
+                        .join(format!("serve{pid}-{seq}-job{id}.ckpt")),
+                },
                 retries: 0,
                 preemptions: 0,
                 quanta: 0,
@@ -377,6 +691,7 @@ impl<'a> Sim<'a> {
             server,
             chaos,
             outcomes: vec![None; jobs.len()],
+            seed_admitted: vec![None; jobs.len()],
             jobs,
             arrivals,
             next_arrival: 0,
@@ -385,12 +700,55 @@ impl<'a> Sim<'a> {
             adm: AdmissionController::new(server.config.admission.clone()),
             ledger: ServeLedger::default(),
             clock: 0.0,
+            journal: None,
+            aborted: false,
+            journal_dead: false,
         }
+    }
+
+    /// Durably append one journal record (no-op without a journal). A
+    /// [`VfsError::Crashed`] means the simulated process just died: mark
+    /// the serve aborted. Any other fault permanently stops journaling —
+    /// see [`Sim::journal_dead`].
+    fn jappend(&mut self, rec: &JournalRecord) {
+        if self.aborted || self.journal_dead {
+            return;
+        }
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        match journal.append(rec) {
+            Ok(()) => {}
+            Err(VfsError::Crashed) => {
+                self.aborted = true;
+                self.journal_dead = true;
+            }
+            Err(_) => {
+                self.journal_dead = true;
+            }
+        }
+    }
+
+    /// Whether the storage layer has crashed (checked between events: the
+    /// crash kills the simulated process wherever the write landed).
+    fn crash_check(&mut self) -> bool {
+        if self.aborted {
+            return true;
+        }
+        if let Some(ctx) = self.server.store.as_ref() {
+            if ctx.vfs.crashed() {
+                self.aborted = true;
+            }
+        }
+        self.aborted
     }
 
     fn run(&mut self) {
         loop {
             self.dispatch_ready();
+            if self.crash_check() {
+                return;
+            }
             let Some(t) = self.next_event_time() else {
                 break;
             };
@@ -403,9 +761,15 @@ impl<'a> Sim<'a> {
                 self.next_arrival += 1;
                 self.arrive(id);
             }
+            if self.crash_check() {
+                return;
+            }
             for w in 0..self.workers.len() {
                 if self.workers[w].pending.is_some() && self.workers[w].free_at <= self.clock {
                     self.complete(w);
+                    if self.crash_check() {
+                        return;
+                    }
                 }
             }
             if self.workers.iter().all(|w| w.dead) {
@@ -460,6 +824,32 @@ impl<'a> Sim<'a> {
                 mako_trace::field("class", spec.class.label()),
             ],
         );
+        if let Some(degraded) = self.seed_admitted[id] {
+            // Admission replayed from the journal: the decision was made,
+            // logged, and billed before the crash. Re-seat it — re-running
+            // the gauntlet against recovery's (different-looking) queue
+            // could reject a job the tenant was already promised.
+            self.ledger.admitted += 1;
+            let tenant = self.jobs[id].spec.tenant.clone();
+            self.adm.occupy(&tenant);
+            mako_trace::instant(
+                "server",
+                "admission",
+                vec![
+                    mako_trace::field("job", id),
+                    mako_trace::field("decision", "replayed"),
+                    mako_trace::field("state", self.adm.state().label()),
+                ],
+            );
+            self.jobs[id].degraded = degraded;
+            let rank = self.jobs[id].spec.class.rank();
+            self.ready.push(ReadyEntry {
+                job: id,
+                rank,
+                ready_at: self.clock,
+            });
+            return;
+        }
         let depth = self.ready.len();
         if let Some(prev) = self.adm.evaluate(depth) {
             self.ledger.state_transitions += 1;
@@ -475,6 +865,12 @@ impl<'a> Sim<'a> {
         }
         match self.adm.admit(spec, depth) {
             Ok(ticket) => {
+                // Write-ahead: the admission is durable before the job can
+                // enter the queue (recovery must not re-run the gauntlet).
+                self.jappend(&JournalRecord::Admitted {
+                    job: id as u64,
+                    degraded: ticket.degraded,
+                });
                 self.ledger.admitted += 1;
                 mako_trace::instant(
                     "server",
@@ -579,6 +975,10 @@ impl<'a> Sim<'a> {
         }
         if self.jobs[id].started_at.is_none() {
             self.jobs[id].started_at = Some(self.clock);
+            self.jappend(&JournalRecord::Started {
+                job: id as u64,
+                at: self.clock.to_bits(),
+            });
             mako_trace::instant(
                 "job",
                 "start",
@@ -656,9 +1056,9 @@ impl<'a> Sim<'a> {
             self.chaos.poison_for(id)
         };
         let opts = ScfRunOptions {
-            checkpoint: Some(CheckpointPolicy {
-                every: 1,
-                path: job.ckpt_path.clone(),
+            checkpoint: Some(match self.server.store.as_ref() {
+                Some(ctx) => CheckpointPolicy::new(1, job.ckpt_path.clone()).via(ctx.vfs.clone()),
+                None => CheckpointPolicy::new(1, job.ckpt_path.clone()),
             }),
             resume: job.resume.as_deref().cloned(),
             kill_after: quantum.map(|q| start_iter + q),
@@ -744,7 +1144,10 @@ impl<'a> Sim<'a> {
     fn load_valid_ckpt(&self, id: JobId, start_iter: usize) -> Option<Box<ScfCheckpoint>> {
         let job = &self.jobs[id];
         let driver = job.driver.as_ref()?;
-        let ckpt = ScfCheckpoint::load(&job.ckpt_path).ok()?;
+        let ckpt = match self.server.store.as_ref() {
+            Some(ctx) => ScfCheckpoint::load_via(ctx.vfs.as_ref(), &job.ckpt_path).ok()?,
+            None => ScfCheckpoint::load(&job.ckpt_path).ok()?,
+        };
         ckpt.validate(
             driver.nao(),
             driver.nbatches(),
@@ -785,6 +1188,15 @@ impl<'a> Sim<'a> {
                 self.finish(id, JobOutcome::Completed(report), true);
             }
             AttemptEnd::Yield(ckpt) => {
+                let next_iteration = ckpt.next_iteration as u64;
+                self.jappend(&JournalRecord::Checkpointed {
+                    job: id as u64,
+                    next_iteration,
+                });
+                self.jappend(&JournalRecord::Yielded {
+                    job: id as u64,
+                    iteration: next_iteration,
+                });
                 self.jobs[id].resume = Some(ckpt);
                 if self.clock > self.jobs[id].deadline_at() {
                     let outcome = JobOutcome::DeadlineExceeded {
@@ -872,6 +1284,11 @@ impl<'a> Sim<'a> {
 
     /// Record a job's terminal outcome; `admitted` releases its tenant slot.
     fn finish(&mut self, id: JobId, outcome: JobOutcome, admitted: bool) {
+        // Write-ahead: the outcome is durable before the checkpoint that
+        // could reproduce it is deleted.
+        if let Some(rec) = JournalRecord::terminal_for(id as u64, &outcome) {
+            self.jappend(&rec);
+        }
         match &outcome {
             JobOutcome::Completed(_) => self.ledger.completed += 1,
             JobOutcome::Failed { .. } => self.ledger.failed += 1,
@@ -890,7 +1307,14 @@ impl<'a> Sim<'a> {
             let tenant = self.jobs[id].spec.tenant.clone();
             self.adm.release(&tenant);
         }
-        let _ = std::fs::remove_file(&self.jobs[id].ckpt_path);
+        match self.server.store.as_ref() {
+            Some(ctx) => {
+                let _ = ctx.vfs.remove(&self.jobs[id].ckpt_path);
+            }
+            None => {
+                let _ = std::fs::remove_file(&self.jobs[id].ckpt_path);
+            }
+        }
         self.outcomes[id] = Some(outcome);
     }
 
@@ -960,14 +1384,26 @@ impl<'a> Sim<'a> {
     }
 
     fn into_report(mut self) -> ServeReport {
-        // Defensive: every job must have resolved; a hole here is a
-        // scheduler bug, surfaced as a typed failure rather than a panic.
+        if !self.aborted {
+            self.jappend(&JournalRecord::ServeEnd {
+                makespan: self.clock.to_bits(),
+            });
+        }
+        let aborted = self.aborted;
+        // Every job must have resolved unless the storage layer crashed —
+        // then unresolved jobs died with the process and recovery finishes
+        // them. A hole in a quiet run is a scheduler bug, surfaced as a
+        // typed failure rather than a panic.
         let outcomes = self
             .outcomes
             .into_iter()
             .map(|o| {
                 o.unwrap_or(JobOutcome::Failed {
-                    error: JobError::AllWorkersLost,
+                    error: if aborted {
+                        JobError::Crashed
+                    } else {
+                        JobError::AllWorkersLost
+                    },
                     retries: 0,
                 })
             })
@@ -978,6 +1414,7 @@ impl<'a> Sim<'a> {
             ledger: self.ledger,
             makespan: self.clock,
             final_state: self.adm.state(),
+            crashed: aborted,
         }
     }
 }
@@ -1001,6 +1438,10 @@ fn retryable(e: &JobError) -> bool {
         JobError::WorkerLost { .. } => true,
         JobError::AttemptTimeout { .. } => true,
         JobError::AllWorkersLost => false,
+        // A crashed serve is finished by `recover`, not by retrying; a
+        // replayed failure already exhausted its retries before the crash.
+        JobError::Crashed => false,
+        JobError::Replayed { .. } => false,
     }
 }
 
@@ -1153,6 +1594,134 @@ mod tests {
                 other => panic!("expected failure, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn crashed_serve_recovers_to_bitwise_outcomes() {
+        use mako_store::{FaultProfile, FaultVfs};
+        let specs = vec![
+            JobSpec::new("a", PriorityClass::Batch, builders::water()),
+            JobSpec::new("b", PriorityClass::Interactive, builders::methane()),
+        ];
+        // Probe: count the storage ops of a quiet store-backed serve, then
+        // crash a fresh one halfway through and recover it.
+        let probe_vfs = Arc::new(FaultVfs::quiet());
+        let probe = MakoServer::with_store(
+            tmp_config(),
+            probe_vfs.clone() as Arc<dyn Vfs>,
+            PathBuf::from("/srv"),
+        )
+        .expect("store");
+        let quiet = probe.serve_quiet(&specs);
+        assert!(!quiet.crashed);
+        assert_eq!(quiet.ledger.completed, 2);
+        let total_ops = probe_vfs.ops();
+        assert!(total_ops > 4, "a store-backed serve must hit storage");
+
+        let vfs = Arc::new(FaultVfs::new(FaultProfile::crash_at(7, total_ops / 2)));
+        let server = MakoServer::with_store(
+            tmp_config(),
+            vfs.clone() as Arc<dyn Vfs>,
+            PathBuf::from("/srv"),
+        )
+        .expect("store");
+        let crashed = server.serve_quiet(&specs);
+        assert!(crashed.crashed, "the injected crash point must fire");
+        let recovered = server
+            .recover(&specs, &ServerChaos::quiet(2))
+            .expect("recover");
+        assert!(!recovered.crashed);
+        assert_eq!(recovered.ledger.completed, 2);
+        for (q, r) in quiet.outcomes.iter().zip(&recovered.outcomes) {
+            assert_eq!(
+                energy(q).to_bits(),
+                energy(r).to_bits(),
+                "recovered energies are bitwise the quiet serve's"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_refuses_a_mismatched_workload() {
+        use mako_store::FaultVfs;
+        let vfs = Arc::new(FaultVfs::quiet());
+        let server = MakoServer::with_store(
+            tmp_config(),
+            vfs as Arc<dyn Vfs>,
+            PathBuf::from("/srv"),
+        )
+        .expect("store");
+        let specs = vec![JobSpec::new("a", PriorityClass::Batch, builders::water())];
+        let _ = server.serve_quiet(&specs);
+        let other = vec![
+            JobSpec::new("a", PriorityClass::Batch, builders::water()),
+            JobSpec::new("z", PriorityClass::Batch, builders::methane()),
+        ];
+        assert!(
+            server.recover(&other, &ServerChaos::quiet(2)).is_err(),
+            "a journal must never be replayed against a different workload"
+        );
+    }
+
+    #[test]
+    fn persisted_artifacts_warm_a_fresh_server_process() {
+        use mako_store::FaultVfs;
+        let vfs = Arc::new(FaultVfs::quiet());
+        let specs = vec![JobSpec::new("a", PriorityClass::Batch, builders::water())];
+
+        let first = MakoServer::with_store(
+            tmp_config(),
+            vfs.clone() as Arc<dyn Vfs>,
+            PathBuf::from("/srv"),
+        )
+        .expect("store");
+        let cold = first.serve_quiet(&specs);
+        assert_eq!(cold.ledger.completed, 1);
+        assert!(
+            first.artifact_store().unwrap().stored() >= 2,
+            "a cold serve persists its screen artifact and kernel table"
+        );
+
+        // A "new process": same storage, fresh in-memory caches.
+        let second = MakoServer::with_store(
+            tmp_config(),
+            vfs.clone() as Arc<dyn Vfs>,
+            PathBuf::from("/srv"),
+        )
+        .expect("store");
+        assert!(
+            !second.kernels.snapshot().is_empty(),
+            "the tuned-kernel table is seeded from disk at open"
+        );
+        let warm = second.serve_quiet(&specs);
+        assert!(
+            second.artifact_store().unwrap().loaded() >= 1,
+            "the screen artifact is served from disk, not recomputed"
+        );
+        assert_eq!(
+            energy(&cold.outcomes[0]).to_bits(),
+            energy(&warm.outcomes[0]).to_bits(),
+            "persisted artifacts change nothing"
+        );
+
+        // Rot the screen artifact: a third process quarantines and
+        // recomputes — a corrupt artifact is never consumed.
+        let key = ArtifactKey::for_job(&specs[0]).content_hash();
+        let screen_path = second.artifact_store().unwrap().path_for("screen", key);
+        assert!(vfs.corrupt(&screen_path, 40, 0x10), "artifact exists to rot");
+        let third = MakoServer::with_store(
+            tmp_config(),
+            vfs.clone() as Arc<dyn Vfs>,
+            PathBuf::from("/srv"),
+        )
+        .expect("store");
+        let healed = third.serve_quiet(&specs);
+        assert!(third.artifact_store().unwrap().quarantined() >= 1, "rot quarantined");
+        assert_eq!(
+            energy(&cold.outcomes[0]).to_bits(),
+            energy(&healed.outcomes[0]).to_bits(),
+            "recomputed-after-rot energy is bitwise the cold one"
+        );
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! The `Vfs` abstraction: every byte the serving stack persists flows
+//! through this trait, so the *same* durability code runs against the real
+//! filesystem in production and against the seeded fault injector
+//! ([`crate::FaultVfs`]) in the crash-point sweep. Correctness under crash
+//! is a property of the calling discipline (journal before apply, fsync
+//! before rename), not of which backend happens to be underneath.
+//!
+//! The operation set is deliberately syscall-shaped — write, append, sync,
+//! rename, remove — because those are exactly the points a crash can land
+//! between. A coarser API ("save this blob atomically") would hide the
+//! crash points the fault model needs to enumerate.
+
+use std::path::{Path, PathBuf};
+
+/// Typed failure of a Vfs operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// Underlying I/O failure (message kept as a string so the error stays
+    /// `Clone`/`PartialEq` like the rest of the workspace's taxonomies).
+    Io(String),
+    /// The device ran out of space after `written` bytes of the request
+    /// landed — the classic short-write: callers must assume a torn tail.
+    NoSpace {
+        /// Bytes that made it to the (page cache of the) file.
+        written: usize,
+    },
+    /// The path does not exist.
+    NotFound,
+    /// The injected crash point fired: the simulated process is dead and
+    /// every subsequent operation fails until
+    /// [`Vfs::recover_crash`] models the restart.
+    Crashed,
+}
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VfsError::Io(msg) => write!(f, "vfs I/O error: {msg}"),
+            VfsError::NoSpace { written } => {
+                write!(f, "no space left on device ({written} bytes written)")
+            }
+            VfsError::NotFound => write!(f, "no such file"),
+            VfsError::Crashed => write!(f, "simulated crash point fired"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+impl From<std::io::Error> for VfsError {
+    fn from(e: std::io::Error) -> VfsError {
+        match e.kind() {
+            std::io::ErrorKind::NotFound => VfsError::NotFound,
+            _ => VfsError::Io(e.to_string()),
+        }
+    }
+}
+
+/// File-system operations the storage layer is allowed to perform.
+///
+/// Implementations must be `Send + Sync`: the serving simulation issues all
+/// I/O from one thread, but the caches that sit on top are shared.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> Result<Vec<u8>, VfsError>;
+    /// Create-or-truncate `path` and write `bytes`. **Not durable** until
+    /// [`Vfs::sync`] — a crash may tear or drop the data.
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError>;
+    /// Append `bytes` to `path` (creating it if absent). Not durable until
+    /// synced; a crash may keep only a prefix of the appended region.
+    fn append(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError>;
+    /// `fsync` the file: everything written so far survives a crash.
+    fn sync(&self, path: &Path) -> Result<(), VfsError>;
+    /// Best-effort `fsync` of a directory (makes renames/creates durable on
+    /// backends that need it; advisory elsewhere).
+    fn sync_dir(&self, dir: &Path) -> Result<(), VfsError>;
+    /// Atomically rename `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), VfsError>;
+    /// Remove a file.
+    fn remove(&self, path: &Path) -> Result<(), VfsError>;
+    /// Whether a file exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Files directly inside `dir` (no recursion), sorted for determinism.
+    fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, VfsError>;
+    /// Create a directory and all parents.
+    fn create_dir_all(&self, dir: &Path) -> Result<(), VfsError>;
+    /// Whether an injected crash point has fired. The real backend never
+    /// crashes *observably* (a real crash takes the process with it); the
+    /// fault backend reports `true` from the crash point until
+    /// [`Vfs::recover_crash`].
+    fn crashed(&self) -> bool {
+        false
+    }
+    /// Model the post-crash restart: drop everything that was not durable
+    /// (un-synced page cache) and accept operations again. No-op on the
+    /// real backend, where a restart is a new process.
+    fn recover_crash(&self) {}
+}
+
+/// The production backend: a thin veneer over `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> Result<Vec<u8>, VfsError> {
+        Ok(std::fs::read(path)?)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError> {
+        Ok(std::fs::write(path, bytes)?)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(f.write_all(bytes)?)
+    }
+
+    fn sync(&self, path: &Path) -> Result<(), VfsError> {
+        let f = std::fs::OpenOptions::new().read(true).open(path)?;
+        Ok(f.sync_all()?)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), VfsError> {
+        // Advisory: some filesystems refuse to open directories for sync.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), VfsError> {
+        Ok(std::fs::rename(from, to)?)
+    }
+
+    fn remove(&self, path: &Path) -> Result<(), VfsError> {
+        Ok(std::fs::remove_file(path)?)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, VfsError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), VfsError> {
+        Ok(std::fs::create_dir_all(dir)?)
+    }
+}
+
+/// The sibling temp path of the fsync-then-rename protocol. A *sibling*
+/// (same directory) so the final rename never crosses a filesystem.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write `bytes` to `path` durably and atomically: sibling temp file,
+/// `fsync`, atomic rename, best-effort directory sync — the discipline
+/// extracted from `ScfCheckpoint::save`, now shared by every artifact the
+/// stack persists.
+///
+/// A crash at any step leaves either the previous file or the complete new
+/// one, never a torn hybrid. Two leak guards close the gaps the old
+/// implementation had: a stale temp file from a *previous* failed attempt
+/// is removed up front, and the temp file of *this* attempt is removed on
+/// every error path, so a persistent failure cannot litter the directory.
+pub fn write_durable(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), VfsError> {
+    let tmp = tmp_path(path);
+    if vfs.exists(&tmp) {
+        // A previous attempt died between creating and renaming its temp
+        // file; it is garbage by construction (never fsync'd or already
+        // superseded) and must not accumulate.
+        let _ = vfs.remove(&tmp);
+    }
+    let attempt = (|| {
+        vfs.write(&tmp, bytes)?;
+        vfs.sync(&tmp)?;
+        vfs.rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                vfs.sync_dir(dir)?;
+            }
+        }
+        Ok(())
+    })();
+    if attempt.is_err() {
+        // Error-path cleanup. After a *crash* the temp file is on-disk
+        // state the next save's up-front sweep handles instead (the
+        // simulated process is dead; it cannot clean anything).
+        let _ = vfs.remove(&tmp);
+    }
+    attempt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mako-store-vfs-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn real_vfs_roundtrip_append_list() {
+        let dir = scratch("roundtrip");
+        let vfs = RealVfs;
+        let a = dir.join("a.bin");
+        vfs.write(&a, b"hello").expect("write");
+        vfs.append(&a, b" world").expect("append");
+        vfs.sync(&a).expect("sync");
+        assert_eq!(vfs.read(&a).expect("read"), b"hello world");
+        assert!(vfs.exists(&a));
+        assert_eq!(vfs.read(&dir.join("missing")), Err(VfsError::NotFound));
+        let listed = vfs.list(&dir).expect("list");
+        assert_eq!(listed, vec![a.clone()]);
+        vfs.remove(&a).expect("remove");
+        assert!(!vfs.exists(&a));
+    }
+
+    #[test]
+    fn write_durable_replaces_atomically_and_leaves_no_tmp() {
+        let dir = scratch("durable");
+        let vfs = RealVfs;
+        let path = dir.join("artifact.bin");
+        write_durable(&vfs, &path, b"v1").expect("first save");
+        write_durable(&vfs, &path, b"v2-longer").expect("second save");
+        assert_eq!(vfs.read(&path).expect("read"), b"v2-longer");
+        assert!(!vfs.exists(&tmp_path(&path)), "no temp residue after success");
+    }
+
+    #[test]
+    fn write_durable_sweeps_a_stale_tmp_from_a_dead_attempt() {
+        let dir = scratch("stale");
+        let vfs = RealVfs;
+        let path = dir.join("artifact.bin");
+        // A previous process died between write and rename.
+        vfs.write(&tmp_path(&path), b"torn garbage").expect("plant stale tmp");
+        write_durable(&vfs, &path, b"good").expect("save");
+        assert_eq!(vfs.read(&path).expect("read"), b"good");
+        assert!(!vfs.exists(&tmp_path(&path)), "stale tmp swept");
+    }
+
+    #[test]
+    fn write_durable_cleans_tmp_on_the_error_path() {
+        let dir = scratch("errpath");
+        let vfs = RealVfs;
+        // The destination's parent exists but renaming over a *directory*
+        // fails — a reliable error injection on the real backend.
+        let path = dir.join("occupied");
+        std::fs::create_dir(&path).expect("occupy destination with a dir");
+        let err = write_durable(&vfs, &path, b"data");
+        assert!(err.is_err(), "rename over a directory must fail");
+        assert!(
+            !vfs.exists(&tmp_path(&path)),
+            "failed attempt must not leak its temp file"
+        );
+    }
+}

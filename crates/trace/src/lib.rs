@@ -331,10 +331,73 @@ pub fn init_from_env() -> bool {
     true
 }
 
+/// Where a [`flush`] failed, for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushStage {
+    /// Creating the temporary sibling file.
+    Create,
+    /// Writing the serialized events (short write / ENOSPC land here).
+    Write,
+    /// Fsyncing the temporary file.
+    Sync,
+    /// Renaming the temporary file over the sink path.
+    Rename,
+}
+
+impl FlushStage {
+    fn label(self) -> &'static str {
+        match self {
+            FlushStage::Create => "create",
+            FlushStage::Write => "write",
+            FlushStage::Sync => "sync",
+            FlushStage::Rename => "rename",
+        }
+    }
+}
+
+/// A typed [`flush`] failure: which stage of the atomic write broke, on
+/// which path, and the underlying I/O error. Whatever the stage, the sink
+/// path itself is untouched — it still holds the previous complete flush
+/// (or nothing), never a torn file.
+#[derive(Debug)]
+pub struct FlushError {
+    /// The sink path the flush was writing toward.
+    pub path: String,
+    /// The stage that failed.
+    pub stage: FlushStage,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for FlushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} failed for trace sink {}: {} (sink left untouched)",
+            self.stage.label(),
+            self.path,
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for FlushError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Write the collected events to the configured sink. Returns the path
 /// written, `None` when no sink is configured. Non-destructive, so a binary
 /// may flush more than once (each flush rewrites the whole file).
-pub fn flush() -> Option<std::io::Result<String>> {
+///
+/// The write is atomic: events are serialized to a temporary sibling
+/// (`<path>.tmp`), fsynced, and renamed over the sink. A short write or
+/// ENOSPC therefore surfaces as a typed [`FlushError`] and leaves the sink
+/// holding its previous complete contents — readers never observe a
+/// truncated mid-record file, and the failed temporary is removed rather
+/// than leaked.
+pub fn flush() -> Option<Result<String, FlushError>> {
     let sink = SINK.lock().unwrap_or_else(|p| p.into_inner()).clone();
     let (path, format) = sink?;
     let collector = GLOBAL.get()?;
@@ -343,7 +406,28 @@ pub fn flush() -> Option<std::io::Result<String>> {
         TraceFormat::Jsonl => dump.to_jsonl(),
         TraceFormat::Chrome => dump.to_chrome(),
     };
-    Some(std::fs::write(&path, text).map(|()| path))
+    Some(write_atomic(&path, text.as_bytes()).map(|()| path))
+}
+
+fn write_atomic(path: &str, bytes: &[u8]) -> Result<(), FlushError> {
+    use std::io::Write as _;
+    let fail = |stage: FlushStage, source: std::io::Error| FlushError {
+        path: path.to_string(),
+        stage,
+        source,
+    };
+    let tmp = format!("{path}.tmp");
+    let mut file = std::fs::File::create(&tmp).map_err(|e| fail(FlushStage::Create, e))?;
+    let staged = file
+        .write_all(bytes)
+        .map_err(|e| fail(FlushStage::Write, e))
+        .and_then(|()| file.sync_all().map_err(|e| fail(FlushStage::Sync, e)));
+    drop(file);
+    staged
+        .and_then(|()| std::fs::rename(&tmp, path).map_err(|e| fail(FlushStage::Rename, e)))
+        .inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
 }
 
 /// Take (and clear) everything the global collector holds — the test hook.
@@ -682,6 +766,38 @@ mod tests {
             dropped: 0,
         };
         schema::validate_jsonl(&dump.to_jsonl()).expect("escaped output must stay valid");
+    }
+
+    #[test]
+    fn atomic_flush_never_leaves_a_torn_or_temporary_file() {
+        let dir = std::env::temp_dir().join(format!("mako-trace-flush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sink = dir.join("out.jsonl");
+        let sink_str = sink.to_str().unwrap();
+
+        // A successful write replaces the sink wholesale and cleans up the
+        // temporary.
+        std::fs::write(&sink, "stale previous flush").unwrap();
+        write_atomic(sink_str, b"{\"type\":\"meta\"}\n").unwrap();
+        assert_eq!(
+            std::fs::read(&sink).unwrap(),
+            b"{\"type\":\"meta\"}\n".to_vec()
+        );
+        assert!(!std::path::Path::new(&format!("{sink_str}.tmp")).exists());
+
+        // A failed write (unwritable directory for the temp file) reports a
+        // typed error and leaves the existing sink byte-identical.
+        std::fs::write(&sink, "the complete previous flush").unwrap();
+        let bad = dir.join("no-such-subdir").join("out.jsonl");
+        let err = write_atomic(bad.to_str().unwrap(), b"x").unwrap_err();
+        assert_eq!(err.stage, FlushStage::Create);
+        assert!(err.to_string().contains("create"), "{err}");
+        assert_eq!(
+            std::fs::read(&sink).unwrap(),
+            b"the complete previous flush".to_vec(),
+            "a failed flush must not touch the sink"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -292,6 +292,14 @@ pub const KNOWN_EVENTS: &[&str] = &[
     "job.start",
     "job.retry",
     "job.outcome",
+    "store.append",
+    "store.artifact",
+    "store.quarantine",
+    "store.truncate",
+    "store.crash",
+    "recover.replay",
+    "recover.salvage",
+    "recover.serve",
     "accel.clock",
     "clock.iteration",
     "clock.recovery",
@@ -461,6 +469,23 @@ mod tests {
         ] {
             assert!(is_known_event(name), "{name} missing from KNOWN_EVENTS");
         }
+    }
+
+    #[test]
+    fn known_event_registry_covers_the_durability_events() {
+        for name in [
+            "store.append",
+            "store.artifact",
+            "store.quarantine",
+            "store.truncate",
+            "store.crash",
+            "recover.replay",
+            "recover.salvage",
+            "recover.serve",
+        ] {
+            assert!(is_known_event(name), "{name} missing from KNOWN_EVENTS");
+        }
+        assert!(!is_known_event("store.unheard_of"));
     }
 
     #[test]

@@ -90,6 +90,22 @@ cargo run --release -p mako-bench --bin trace_validate -- target/rij_trace_smoke
 grep -q '"bitwise_identical_all": true' target/BENCH_rij_smoke.json \
     || { echo "rij smoke lost cross-thread bitwise identity" >&2; exit 1; }
 
+echo "== tier2: durability_bench (smoke: strided crash-point sweep + corruption, traced) =="
+MAKO_SMOKE=1 MAKO_FAULT_SEED=23 \
+    MAKO_BENCH_OUT=target/BENCH_durability_smoke.json \
+    MAKO_TRACE=target/durability_trace_smoke.jsonl \
+    cargo run --release -p mako-bench --bin durability_bench
+# The store.* / recover.* events must validate against the documented
+# schema AND actually appear — journaling, crash resolution, quarantine,
+# and recovery replay are the durability contract.
+cargo run --release -p mako-bench --bin trace_validate -- target/durability_trace_smoke.jsonl \
+    --require store.append --require store.crash --require store.quarantine \
+    --require recover.replay --require recover.salvage --require recover.serve
+grep -q '"recovered_bitwise_vs_quiet": true' target/BENCH_durability_smoke.json \
+    || { echo "durability smoke lost crash-recovery bitwise identity" >&2; exit 1; }
+grep -q '"double_recovery_idempotent": true' target/BENCH_durability_smoke.json \
+    || { echo "durability smoke lost double-recovery idempotence" >&2; exit 1; }
+
 echo "== tier2: trace smoke (host_fock_bench under MAKO_TRACE + schema check) =="
 MAKO_BENCH_MAX_QUARTETS=2000 MAKO_THREADS=1,2 \
     MAKO_BENCH_OUT=target/BENCH_fock_trace_smoke.json \

@@ -278,10 +278,7 @@ fn checkpoint_restart_reproduces_trajectory_bitwise() {
 
     for kill_after in [1usize, 2, 5] {
         let path = scratch_ckpt(&format!("restart_{kill_after}"));
-        let policy = CheckpointPolicy {
-            every: 1,
-            path: path.clone(),
-        };
+        let policy = CheckpointPolicy::new(1, path.clone());
         let err = driver
             .run_with(ScfRunOptions {
                 checkpoint: Some(policy.clone()),
@@ -327,10 +324,7 @@ fn checkpoint_restart_survives_repeated_kills() {
     let driver = ScfDriver::new(&mol, &sto3g(), ScfConfig::default());
     let full = driver.run().expect("uninterrupted run");
     let path = scratch_ckpt("relay");
-    let policy = CheckpointPolicy {
-        every: 2,
-        path: path.clone(),
-    };
+    let policy = CheckpointPolicy::new(2, path.clone());
 
     let mut resume: Option<ScfCheckpoint> = None;
     let mut finished = None;
@@ -369,10 +363,7 @@ fn checkpoint_rejects_wrong_problem() {
     let path = scratch_ckpt("fingerprint");
     let err = driver
         .run_with(ScfRunOptions {
-            checkpoint: Some(CheckpointPolicy {
-                every: 1,
-                path: path.clone(),
-            }),
+            checkpoint: Some(CheckpointPolicy::new(1, path.clone())),
             kill_after: Some(2),
             ..ScfRunOptions::default()
         })
@@ -401,10 +392,7 @@ fn checkpoint_from(driver: &ScfDriver, tag: &str) -> ScfCheckpoint {
     let path = scratch_ckpt(tag);
     let err = driver
         .run_with(ScfRunOptions {
-            checkpoint: Some(CheckpointPolicy {
-                every: 1,
-                path: path.clone(),
-            }),
+            checkpoint: Some(CheckpointPolicy::new(1, path.clone())),
             kill_after: Some(2),
             ..ScfRunOptions::default()
         })
